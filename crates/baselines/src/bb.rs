@@ -1,0 +1,212 @@
+//! KADABRA-style sampler: bb-BFS path sampling with adaptive stopping \[7\].
+
+use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_spd::bidirectional::BidirectionalSearch;
+use rand::{Rng, RngExt};
+
+/// Result of an adaptive bb-BFS run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveEstimate {
+    /// Estimated `BC(r)`.
+    pub bc: f64,
+    /// Samples drawn.
+    pub samples: u64,
+    /// Whether the empirical-Bernstein rule stopped before `max_samples`.
+    pub stopped_early: bool,
+    /// Total edge traversals performed by the bidirectional searches — the
+    /// bb-BFS cost metric (\[7\]'s speedup comes from this being `o(m)` per
+    /// sample on many families).
+    pub edges_touched: u64,
+}
+
+/// The KADABRA-primitive estimator \[7\]: identical statistics to RK (uniform
+/// pair, uniform shortest path, interior indicator for the probe) but each
+/// sample is served by a *balanced bidirectional* BFS instead of a full
+/// single-source BFS, and sampling stops adaptively once an
+/// empirical-Bernstein confidence radius drops below `eps`.
+///
+/// The stopping rule (checked at geometrically spaced sample counts with a
+/// union bound over checks) is a documented simplification of KADABRA's
+/// per-vertex adaptive schedule — it preserves the two comparison axes the
+/// evaluation uses: per-sample cost and samples-to-target-accuracy.
+pub struct BbSampler<'g> {
+    graph: &'g CsrGraph,
+    r: Vertex,
+    search: BidirectionalSearch,
+    hits: u64,
+    samples: u64,
+    edges_touched: u64,
+}
+
+impl<'g> BbSampler<'g> {
+    /// Sampler for probe `r` on the unweighted graph `g`.
+    ///
+    /// # Panics
+    /// If `g` is weighted or has fewer than 3 vertices.
+    pub fn new(graph: &'g CsrGraph, r: Vertex) -> Self {
+        assert!(!graph.is_weighted(), "bb-BFS sampling implemented for unweighted graphs");
+        assert!(graph.num_vertices() >= 3, "graph too small");
+        assert!((r as usize) < graph.num_vertices(), "probe out of range");
+        BbSampler {
+            graph,
+            r,
+            search: BidirectionalSearch::new(graph.num_vertices()),
+            hits: 0,
+            samples: 0,
+            edges_touched: 0,
+        }
+    }
+
+    /// Draws one `(s, t)` pair, samples a shortest path bidirectionally and
+    /// records whether `r` lies in its interior.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.graph.num_vertices() as Vertex;
+        let s = rng.random_range(0..n);
+        let mut t = rng.random_range(0..n - 1);
+        if t >= s {
+            t += 1;
+        }
+        self.samples += 1;
+        if let Some(res) = self.search.query(self.graph, s, t, true, rng) {
+            self.edges_touched += self.search.last_edges_touched as u64;
+            let path = res.path.expect("sampling was requested");
+            if path.len() > 2 && path[1..path.len() - 1].contains(&self.r) {
+                self.hits += 1;
+            }
+        } else {
+            self.edges_touched += self.search.last_edges_touched as u64;
+        }
+    }
+
+    /// Current estimate.
+    pub fn estimate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.samples as f64
+        }
+    }
+
+    /// Empirical-Bernstein confidence radius at the current sample count:
+    /// `sqrt(2 v̂ ln(3/δ) / t) + 3 ln(3/δ) / t` for a `[0, 1]` variable
+    /// with empirical variance `v̂`.
+    fn bernstein_radius(&self, delta: f64) -> f64 {
+        let t = self.samples as f64;
+        let mean = self.estimate();
+        let var = mean * (1.0 - mean); // Bernoulli empirical variance
+        let log_term = (3.0 / delta).ln();
+        (2.0 * var * log_term / t).sqrt() + 3.0 * log_term / t
+    }
+
+    /// Runs until the `(eps, delta)` empirical-Bernstein rule fires or
+    /// `max_samples` is reached. Checks at geometrically spaced counts with
+    /// `delta` split across checks.
+    pub fn run_adaptive<R: Rng + ?Sized>(
+        mut self,
+        eps: f64,
+        delta: f64,
+        max_samples: u64,
+        rng: &mut R,
+    ) -> AdaptiveEstimate {
+        assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0, 1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+        assert!(max_samples >= 1);
+        // Union bound over at most log2(max_samples) checkpoints.
+        let checks = (max_samples as f64).log2().ceil().max(1.0);
+        let delta_per_check = delta / checks;
+        let mut next_check = 64u64;
+        let mut stopped_early = false;
+        while self.samples < max_samples {
+            self.sample(rng);
+            if self.samples == next_check {
+                if self.bernstein_radius(delta_per_check) <= eps {
+                    stopped_early = true;
+                    break;
+                }
+                next_check = (next_check * 2).min(max_samples);
+            }
+        }
+        AdaptiveEstimate {
+            bc: self.estimate(),
+            samples: self.samples,
+            stopped_early,
+            edges_touched: self.edges_touched,
+        }
+    }
+
+    /// Draws exactly `count` samples (matched-budget comparisons).
+    pub fn run_fixed<R: Rng + ?Sized>(mut self, count: u64, rng: &mut R) -> AdaptiveEstimate {
+        for _ in 0..count {
+            self.sample(rng);
+        }
+        AdaptiveEstimate {
+            bc: self.estimate(),
+            samples: self.samples,
+            stopped_early: false,
+            edges_touched: self.edges_touched,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+    use mhbc_spd::exact_betweenness_of;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn fixed_budget_converges() {
+        let g = generators::barbell(5, 2);
+        let r = 5;
+        let exact = exact_betweenness_of(&g, r);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let est = BbSampler::new(&g, r).run_fixed(40_000, &mut rng);
+        assert!((est.bc - exact).abs() < 0.02, "est {} vs exact {exact}", est.bc);
+        assert!(est.edges_touched > 0);
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_low_variance_probe() {
+        // A leaf-adjacent vertex on a big cycle has tiny BC; the Bernstein
+        // radius collapses quickly.
+        let g = generators::star(50);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let est = BbSampler::new(&g, 5).run_adaptive(0.05, 0.1, 1_000_000, &mut rng);
+        assert!(est.stopped_early, "low-variance probe should stop early");
+        assert!(est.samples < 100_000);
+    }
+
+    #[test]
+    fn adaptive_respects_eps_delta() {
+        let g = generators::barbell(5, 1);
+        let r = 5;
+        let exact = exact_betweenness_of(&g, r);
+        let mut failures = 0;
+        for seed in 0..20 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let est = BbSampler::new(&g, r).run_adaptive(0.08, 0.1, 200_000, &mut rng);
+            if (est.bc - exact).abs() > 0.08 {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 2, "{failures}/20 runs exceeded eps");
+    }
+
+    #[test]
+    fn agrees_with_rk_statistics() {
+        // Same estimator, different engine: long-run estimates must agree.
+        let g = generators::grid(6, 6, false);
+        let r = 14; // interior vertex
+        let mut rng1 = SmallRng::seed_from_u64(9);
+        let mut rng2 = SmallRng::seed_from_u64(10);
+        let bb = BbSampler::new(&g, r).run_fixed(30_000, &mut rng1);
+        let rk = crate::RkSampler::new(&g).run(30_000, &mut rng2);
+        assert!(
+            (bb.bc - rk.of(r)).abs() < 0.02,
+            "bb {} vs rk {}",
+            bb.bc,
+            rk.of(r)
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Geisberger–Sanders–Schultes linear-scaling estimator \[17\].
+
+use crate::BaselineEstimate;
+use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_spd::BfsSpd;
+use rand::{Rng, RngExt};
+
+/// The linear-scaling estimator of \[17\]: sources drawn uniformly, but each
+/// target's contribution is scaled by `d(s, v) / d(s, t)` so vertices do
+/// not profit from sitting near a sampled source. Pairing `(s, t)` with
+/// `(t, s)` shows `B̂C(r) = mean_s [ 2 · d(s, r) · g_s(r) ] / (n − 1)` is
+/// unbiased, with `g_s` computed by
+/// [`BfsSpd::accumulate_scaled_dependencies`].
+///
+/// Unweighted graphs only (matching \[17\]'s evaluation).
+pub struct LinearScalingSampler<'g> {
+    graph: &'g CsrGraph,
+    r: Vertex,
+    spd: BfsSpd,
+    scaled: Vec<f64>,
+    sum: f64,
+    samples: u64,
+}
+
+impl<'g> LinearScalingSampler<'g> {
+    /// Sampler for probe `r` on the unweighted graph `g`.
+    ///
+    /// # Panics
+    /// If `g` is weighted, too small, or `r` is out of range.
+    pub fn new(graph: &'g CsrGraph, r: Vertex) -> Self {
+        assert!(!graph.is_weighted(), "linear scaling implemented for unweighted graphs");
+        assert!(graph.num_vertices() >= 2, "graph too small");
+        assert!((r as usize) < graph.num_vertices(), "probe out of range");
+        LinearScalingSampler {
+            graph,
+            r,
+            spd: BfsSpd::new(graph.num_vertices()),
+            scaled: Vec::new(),
+            sum: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Draws one source sample; returns the running estimate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let s = rng.random_range(0..self.graph.num_vertices() as Vertex);
+        self.spd.compute(self.graph, s);
+        self.spd.accumulate_scaled_dependencies(self.graph, &mut self.scaled);
+        self.sum += 2.0 * self.scaled[self.r as usize];
+        self.samples += 1;
+        self.estimate()
+    }
+
+    /// Current estimate (0 before any samples).
+    pub fn estimate(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.sum / (self.samples as f64 * (self.graph.num_vertices() as f64 - 1.0))
+    }
+
+    /// Draws `count` samples and finalises.
+    pub fn run<R: Rng + ?Sized>(mut self, count: u64, rng: &mut R) -> BaselineEstimate {
+        for _ in 0..count {
+            self.sample(rng);
+        }
+        BaselineEstimate { bc: self.estimate(), samples: self.samples, spd_passes: self.samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+    use mhbc_spd::exact_betweenness_of;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn scaled_accumulation_on_path_matches_hand_computation() {
+        // Path 0-1-2-3, source 0: g(1) = 1/d(0,2)*... -> scaled values
+        // d(0,v) * sum_t delta_0t(v)/d(0,t): v=1: 1*(1/2 + 1/3) = 5/6,
+        // v=2: 2*(1/3) = 2/3.
+        let g = generators::path(4);
+        let mut spd = BfsSpd::new(4);
+        spd.compute(&g, 0);
+        let mut scaled = Vec::new();
+        spd.accumulate_scaled_dependencies(&g, &mut scaled);
+        assert!((scaled[1] - 5.0 / 6.0).abs() < 1e-12);
+        assert!((scaled[2] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(scaled[0], 0.0);
+        assert_eq!(scaled[3], 0.0);
+    }
+
+    #[test]
+    fn converges_to_exact_bc() {
+        let g = generators::barbell(6, 2);
+        let r = 6;
+        let exact = exact_betweenness_of(&g, r);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let est = LinearScalingSampler::new(&g, r).run(20_000, &mut rng);
+        assert!((est.bc - exact).abs() < 0.02, "est {} vs exact {exact}", est.bc);
+    }
+
+    #[test]
+    fn unbiased_over_many_short_runs() {
+        let g = generators::lollipop(6, 3);
+        let r = 7;
+        let exact = exact_betweenness_of(&g, r);
+        let mut total = 0.0;
+        let runs = 3_000;
+        for seed in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            total += LinearScalingSampler::new(&g, r).run(10, &mut rng).bc;
+        }
+        let mean = total / runs as f64;
+        assert!((mean - exact).abs() < 0.01, "mean {mean} vs exact {exact}");
+    }
+
+    #[test]
+    fn zero_probe_estimates_zero() {
+        let g = generators::star(9);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(LinearScalingSampler::new(&g, 4).run(200, &mut rng).bc, 0.0);
+    }
+}

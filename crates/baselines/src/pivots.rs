@@ -1,0 +1,187 @@
+//! Brandes–Pich pivot selection strategies \[9\].
+
+use mhbc_graph::{algo, CsrGraph, Vertex};
+use mhbc_spd::DependencyCalculator;
+use rand::{Rng, RngExt};
+
+/// How pivots (source vertices) are chosen \[9\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotStrategy {
+    /// Uniformly at random (the \[2\]-style default).
+    Random,
+    /// Greedy k-center: each new pivot maximises the minimum BFS distance
+    /// to the pivots chosen so far ("MaxMin" in \[9\]).
+    MaxMin,
+    /// Greedy sum-coverage: each new pivot maximises the *sum* of BFS
+    /// distances to the pivots chosen so far ("MaxSum" in \[9\]).
+    MaxSum,
+}
+
+/// The Brandes–Pich pivot estimator: choose `k` pivots by a strategy, then
+/// estimate `BC(r)` as the scaled average of their dependency scores,
+/// `B̂C(r) = mean_p δ_{p•}(r) / (n − 1)`.
+///
+/// Random pivots give the unbiased \[2\] estimator; the deterministic
+/// strategies trade bias for spread (their motivation in \[9\]) — the tests
+/// only assert exactness for `Random` and sanity for the others.
+pub struct PivotSampler<'g> {
+    graph: &'g CsrGraph,
+    r: Vertex,
+}
+
+impl<'g> PivotSampler<'g> {
+    /// Estimator for probe `r` on `g` (unweighted; pivot selection uses
+    /// BFS distances).
+    ///
+    /// # Panics
+    /// If `g` is weighted or `r` is out of range.
+    pub fn new(graph: &'g CsrGraph, r: Vertex) -> Self {
+        assert!(!graph.is_weighted(), "pivot strategies implemented for unweighted graphs");
+        assert!((r as usize) < graph.num_vertices(), "probe out of range");
+        PivotSampler { graph, r }
+    }
+
+    /// Chooses `k` pivots by the strategy (the first pivot is always drawn
+    /// from `rng`, which keeps deterministic strategies seedable).
+    pub fn choose_pivots<R: Rng + ?Sized>(
+        &self,
+        strategy: PivotStrategy,
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<Vertex> {
+        let n = self.graph.num_vertices();
+        assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+        match strategy {
+            PivotStrategy::Random => {
+                let mut pivots = Vec::with_capacity(k);
+                while pivots.len() < k {
+                    let v = rng.random_range(0..n as Vertex);
+                    if !pivots.contains(&v) {
+                        pivots.push(v);
+                    }
+                }
+                pivots
+            }
+            PivotStrategy::MaxMin | PivotStrategy::MaxSum => {
+                let mut pivots = Vec::with_capacity(k);
+                let first = rng.random_range(0..n as Vertex);
+                pivots.push(first);
+                // score[v]: min (or sum) of distances to chosen pivots.
+                let init = algo::bfs_distances(self.graph, first);
+                let mut score: Vec<u64> =
+                    init.iter().map(|&d| if d == u32::MAX { 0 } else { d as u64 }).collect();
+                while pivots.len() < k {
+                    let next = (0..n as Vertex)
+                        .filter(|v| !pivots.contains(v))
+                        .max_by_key(|&v| score[v as usize])
+                        .expect("k <= n leaves a candidate");
+                    pivots.push(next);
+                    let dist = algo::bfs_distances(self.graph, next);
+                    for v in 0..n {
+                        let d = if dist[v] == u32::MAX { 0 } else { dist[v] as u64 };
+                        score[v] = match strategy {
+                            PivotStrategy::MaxMin => score[v].min(d),
+                            _ => score[v].saturating_add(d),
+                        };
+                    }
+                }
+                pivots
+            }
+        }
+    }
+
+    /// Runs the estimator with `k` pivots chosen by `strategy`.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        strategy: PivotStrategy,
+        k: usize,
+        rng: &mut R,
+    ) -> crate::BaselineEstimate {
+        let pivots = self.choose_pivots(strategy, k, rng);
+        let mut calc = DependencyCalculator::new(self.graph);
+        let sum: f64 =
+            pivots.iter().map(|&p| calc.dependency_on(self.graph, p, self.r)).sum();
+        crate::BaselineEstimate {
+            bc: sum / (pivots.len() as f64 * (self.graph.num_vertices() as f64 - 1.0)),
+            samples: pivots.len() as u64,
+            // Selection BFS passes (k for the greedy strategies) are charged
+            // alongside the k dependency passes.
+            spd_passes: calc.passes()
+                + if strategy == PivotStrategy::Random { 0 } else { pivots.len() as u64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+    use mhbc_spd::exact_betweenness_of;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn random_pivots_converge_to_exact() {
+        let g = generators::barbell(6, 2);
+        let r = 6;
+        let exact = exact_betweenness_of(&g, r);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let est = PivotSampler::new(&g, r).run(PivotStrategy::Random, 13, &mut rng);
+        // k = n - 1 pivots of n=14 vertices: nearly exact.
+        assert!((est.bc - exact).abs() < 0.1 * exact.max(0.01));
+    }
+
+    #[test]
+    fn all_pivots_is_exact() {
+        let g = generators::lollipop(5, 3);
+        let r = 5;
+        let exact = exact_betweenness_of(&g, r);
+        let mut rng = SmallRng::seed_from_u64(32);
+        let est = PivotSampler::new(&g, r).run(PivotStrategy::Random, g.num_vertices(), &mut rng);
+        assert!((est.bc - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxmin_spreads_pivots_on_path() {
+        let g = generators::path(30);
+        let sampler = PivotSampler::new(&g, 15);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let pivots = sampler.choose_pivots(PivotStrategy::MaxMin, 3, &mut rng);
+        // k-center on a path always grabs both endpoints after the seed.
+        assert!(pivots.contains(&0) || pivots.contains(&29), "pivots {pivots:?}");
+        let min_gap = pivots
+            .iter()
+            .flat_map(|&a| pivots.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| a.abs_diff(b))
+            .min()
+            .expect("pairs exist");
+        assert!(min_gap >= 7, "MaxMin pivots should spread out, got {pivots:?}");
+    }
+
+    #[test]
+    fn strategies_produce_distinct_pivots() {
+        let mut rng = SmallRng::seed_from_u64(34);
+        let g = generators::barabasi_albert(200, 3, &mut rng);
+        let sampler = PivotSampler::new(&g, 0);
+        for strat in [PivotStrategy::Random, PivotStrategy::MaxMin, PivotStrategy::MaxSum] {
+            let pivots = sampler.choose_pivots(strat, 10, &mut rng);
+            let mut dedup = pivots.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 10, "{strat:?} produced duplicates");
+        }
+    }
+
+    #[test]
+    fn deterministic_strategies_give_finite_estimates() {
+        let mut rng = SmallRng::seed_from_u64(35);
+        let g = generators::barabasi_albert(300, 3, &mut rng);
+        let exact = exact_betweenness_of(&g, 5);
+        for strat in [PivotStrategy::MaxMin, PivotStrategy::MaxSum] {
+            let est = PivotSampler::new(&g, 5).run(strat, 30, &mut rng);
+            assert!(est.bc.is_finite() && est.bc >= 0.0);
+            // Sanity: within an order of magnitude of the truth.
+            assert!((est.bc - exact).abs() < 0.2, "{strat:?}: {} vs {exact}", est.bc);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The Riondato–Kornaropoulos shortest-path sampler \[30\].
+
+use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_spd::{path_sampler, BfsSpd};
+use rand::{Rng, RngExt};
+
+/// RK's VC-dimension sample size: `T = (c/ε²) (⌊log₂(VD − 2)⌋ + 1 + ln(1/δ))`
+/// with the universal constant `c = 0.5` and `VD` an upper bound on the
+/// vertex diameter (number of vertices on the longest shortest path).
+///
+/// # Panics
+/// If `eps` or `delta` are out of range.
+pub fn rk_sample_size(vertex_diameter: u32, eps: f64, delta: f64) -> u64 {
+    assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0, 1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    let vd = vertex_diameter.max(3) as f64;
+    let t = 0.5 / (eps * eps) * ((vd - 2.0).log2().floor() + 1.0 + (1.0 / delta).ln());
+    t.ceil() as u64
+}
+
+/// Result of an RK run.
+#[derive(Debug, Clone)]
+pub struct RkEstimate {
+    /// Estimated `BC(v)` for every vertex (Eq 1 normalisation).
+    pub bc: Vec<f64>,
+    /// Samples drawn (pairs).
+    pub samples: u64,
+    /// Full BFS passes performed (one per sampled pair).
+    pub spd_passes: u64,
+}
+
+impl RkEstimate {
+    /// The estimate for one probe vertex.
+    pub fn of(&self, r: Vertex) -> f64 {
+        self.bc[r as usize]
+    }
+}
+
+/// The RK estimator: draw `(s, t)` uniformly among ordered distinct pairs,
+/// sample one shortest `s`–`t` path uniformly (σ-weighted backward walk),
+/// and credit `1/T` to each interior vertex. Unbiased for every vertex
+/// simultaneously: `E[credit_v] = E_{s,t}[σ_st(v)/σ_st] = BC(v)`.
+///
+/// Per-sample cost is one full BFS (the \[30\] algorithm truncates at
+/// `d(s,t)`; the full pass is an upper bound on its cost and keeps the
+/// budget comparison against the MH samplers conservative *in RK's favour*
+/// — both pay `O(|E|)`).
+pub struct RkSampler<'g> {
+    graph: &'g CsrGraph,
+    spd: BfsSpd,
+    credits: Vec<f64>,
+    samples: u64,
+}
+
+impl<'g> RkSampler<'g> {
+    /// Sampler over the unweighted connected graph `g`.
+    ///
+    /// # Panics
+    /// If `g` is weighted or has fewer than 2 vertices.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        assert!(!graph.is_weighted(), "RK path sampling implemented for unweighted graphs");
+        let n = graph.num_vertices();
+        assert!(n >= 2, "graph too small");
+        RkSampler { graph, spd: BfsSpd::new(n), credits: vec![0.0; n], samples: 0 }
+    }
+
+    /// Draws one `(s, t)` pair and credits the sampled path's interior.
+    /// Pairs in different components contribute nothing (consistent with
+    /// Eq 1 restricted to connected pairs).
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.graph.num_vertices() as Vertex;
+        let s = rng.random_range(0..n);
+        let mut t = rng.random_range(0..n - 1);
+        if t >= s {
+            t += 1; // uniform over ordered pairs with t != s
+        }
+        self.samples += 1;
+        self.spd.compute(self.graph, s);
+        if let Some(path) = path_sampler::sample_shortest_path(self.graph, &self.spd, t, rng) {
+            for &v in path_sampler::interior(&path) {
+                self.credits[v as usize] += 1.0;
+            }
+        }
+    }
+
+    /// Current estimate for probe `r`.
+    pub fn estimate(&self, r: Vertex) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.credits[r as usize] / self.samples as f64
+        }
+    }
+
+    /// Draws `count` samples and finalises.
+    pub fn run<R: Rng + ?Sized>(mut self, count: u64, rng: &mut R) -> RkEstimate {
+        for _ in 0..count {
+            self.sample(rng);
+        }
+        let t = self.samples.max(1) as f64;
+        RkEstimate {
+            bc: self.credits.iter().map(|c| c / t).collect(),
+            samples: self.samples,
+            spd_passes: self.samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::{algo, generators};
+    use mhbc_spd::exact_betweenness;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn sample_size_formula_behaviour() {
+        // Tighter eps -> more samples; larger diameter -> more samples.
+        let a = rk_sample_size(10, 0.05, 0.1);
+        let b = rk_sample_size(10, 0.025, 0.1);
+        let c = rk_sample_size(100, 0.05, 0.1);
+        assert!(b > 3 * a, "quartering eps should ~quadruple samples");
+        assert!(c > a);
+        // Spot value: vd = 10, eps = 0.1, delta = 0.1:
+        // 50 * (3 + 1 + 2.302) = 315.2 -> 316.
+        assert_eq!(rk_sample_size(10, 0.1, 0.1), 316);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn converges_to_exact_bc_for_all_vertices() {
+        let g = generators::barbell(5, 2);
+        let exact = exact_betweenness(&g);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let est = RkSampler::new(&g).run(40_000, &mut rng);
+        for v in 0..g.num_vertices() {
+            assert!(
+                (est.bc[v] - exact[v]).abs() < 0.02,
+                "vertex {v}: {} vs {}",
+                est.bc[v],
+                exact[v]
+            );
+        }
+    }
+
+    #[test]
+    fn planned_sample_size_achieves_eps_on_path() {
+        let g = generators::path(20);
+        let exact = exact_betweenness(&g);
+        let (_, vd_hi) = algo::vertex_diameter_bounds(&g, 0);
+        let t = rk_sample_size(vd_hi, 0.1, 0.1);
+        let mut failures = 0;
+        for seed in 0..20 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let est = RkSampler::new(&g).run(t, &mut rng);
+            let worst = (0..20)
+                .map(|v| (est.bc[v] - exact[v]).abs())
+                .fold(0.0f64, f64::max);
+            if worst > 0.1 {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 2, "VC bound should hold with margin, {failures}/20 failed");
+    }
+
+    #[test]
+    fn disconnected_pairs_contribute_nothing() {
+        let g = mhbc_graph::CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let est = RkSampler::new(&g).run(2_000, &mut rng);
+        // No interior vertices exist anywhere (all paths have length <= 1).
+        assert!(est.bc.iter().all(|&b| b == 0.0));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the baseline estimators.
+
+use mhbc_baselines::{rk_sample_size, DistanceSampler, RkSampler, UniformSourceSampler};
+use mhbc_graph::{generators, CsrGraph};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn connected_graph(n: usize, p: f64, seed: u64) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::ensure_connected(generators::erdos_renyi_gnp(n, p, &mut rng), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// RK's sample size is monotone in 1/eps, 1/delta, and the diameter.
+    #[test]
+    fn rk_sample_size_monotone(vd in 3u32..10_000, eps in 0.01f64..0.5, delta in 0.01f64..0.5) {
+        let base = rk_sample_size(vd, eps, delta);
+        prop_assert!(rk_sample_size(vd, eps / 2.0, delta) >= base);
+        prop_assert!(rk_sample_size(vd, eps, delta / 2.0) >= base);
+        prop_assert!(rk_sample_size(vd.saturating_mul(4), eps, delta) >= base);
+        prop_assert!(base >= 1);
+    }
+
+    /// Distance-sampler probabilities form a distribution that vanishes
+    /// exactly at the probe.
+    #[test]
+    fn distance_probabilities_valid(n in 4usize..40, seed in any::<u64>(), probe in 0usize..40) {
+        let g = connected_graph(n, 0.2, seed);
+        let r = (probe % n) as u32;
+        let s = DistanceSampler::new(&g, r);
+        let mut total = 0.0;
+        for v in 0..n as u32 {
+            let p = s.probability(v);
+            prop_assert!((0.0..=1.0).contains(&p));
+            if v == r {
+                prop_assert_eq!(p, 0.0);
+            }
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Estimates are always within the normalised range \[0, 1\], and RK's
+    /// per-vertex credits sum to at most the mean interior path length.
+    #[test]
+    fn estimates_in_range(n in 4usize..30, seed in any::<u64>(), probe in 0usize..30) {
+        let g = connected_graph(n, 0.25, seed);
+        let r = (probe % n) as u32;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 1);
+        let uni = UniformSourceSampler::new(&g, r).run(50, &mut rng);
+        prop_assert!(uni.bc.is_finite() && uni.bc >= 0.0);
+
+        let mut rng = SmallRng::seed_from_u64(seed ^ 2);
+        let rk = RkSampler::new(&g).run(50, &mut rng);
+        for v in 0..n {
+            prop_assert!((0.0..=1.0).contains(&rk.bc[v]));
+        }
+    }
+
+    /// Zero-betweenness probes always estimate exactly zero under the
+    /// dependency-based baselines (they only ever see zero dependencies).
+    #[test]
+    fn zero_probe_exact_zero(n in 4usize..25, seed in any::<u64>()) {
+        // A star's leaves all have BC = 0.
+        let g = generators::star(n);
+        let leaf = (n - 1) as u32;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        prop_assert_eq!(UniformSourceSampler::new(&g, leaf).run(30, &mut rng).bc, 0.0);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 3);
+        prop_assert_eq!(DistanceSampler::new(&g, leaf).run(30, &mut rng).bc, 0.0);
+    }
+}

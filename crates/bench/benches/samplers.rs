@@ -1,0 +1,85 @@
+//! Criterion benchmarks of per-sample estimator cost (backs T3): one MH
+//! iteration vs one sample of each baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhbc_baselines::{BbSampler, DistanceSampler, RkSampler, UniformSourceSampler};
+use mhbc_core::{SingleSpaceConfig, SingleSpaceSampler};
+use mhbc_graph::{generators, CsrGraph, Vertex};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+fn test_graph() -> (CsrGraph, Vertex) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let g = generators::barabasi_albert(5_000, 4, &mut rng);
+    let hub = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).expect("non-empty");
+    (g, hub)
+}
+
+fn bench_mh_step(c: &mut Criterion) {
+    let (g, hub) = test_graph();
+    // Cold chain: every step may hit a fresh source (worst case, one BFS).
+    c.bench_function("sampler_step/mh-cold", |b| {
+        let mut sampler = SingleSpaceSampler::new(&g, hub, SingleSpaceConfig::new(u64::MAX, 3))
+            .expect("valid config");
+        b.iter(|| black_box(sampler.step().estimate));
+    });
+    // Warm chain: oracle cache populated, steps are mostly hash lookups.
+    c.bench_function("sampler_step/mh-warm", |b| {
+        let mut sampler = SingleSpaceSampler::new(&g, hub, SingleSpaceConfig::new(u64::MAX, 3))
+            .expect("valid config");
+        for _ in 0..20_000 {
+            sampler.step();
+        }
+        b.iter(|| black_box(sampler.step().estimate));
+    });
+}
+
+fn bench_baseline_samples(c: &mut Criterion) {
+    let (g, hub) = test_graph();
+    c.bench_function("sampler_step/uniform", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut s = UniformSourceSampler::new(&g, hub);
+        b.iter(|| black_box(s.sample(&mut rng)));
+    });
+    c.bench_function("sampler_step/distance", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut s = DistanceSampler::new(&g, hub);
+        b.iter(|| black_box(s.sample(&mut rng)));
+    });
+    c.bench_function("sampler_step/rk", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut s = RkSampler::new(&g);
+        b.iter(|| {
+            s.sample(&mut rng);
+            black_box(s.estimate(hub))
+        });
+    });
+    c.bench_function("sampler_step/bb-bfs", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut s = BbSampler::new(&g, hub);
+        b.iter(|| {
+            s.sample(&mut rng);
+            black_box(s.estimate())
+        });
+    });
+}
+
+fn bench_joint_step(c: &mut Criterion) {
+    let (g, _) = test_graph();
+    let probes: Vec<u32> = vec![5, 17, 100, 1000];
+    c.bench_function("sampler_step/joint-warm", |b| {
+        let mut sampler = mhbc_core::JointSpaceSampler::new(
+            &g,
+            &probes,
+            mhbc_core::JointSpaceConfig::new(u64::MAX, 5),
+        )
+        .expect("valid probes");
+        for _ in 0..20_000 {
+            sampler.step();
+        }
+        b.iter(|| black_box(sampler.step().iteration));
+    });
+}
+
+criterion_group!(samplers, bench_mh_step, bench_baseline_samples, bench_joint_step);
+criterion_main!(samplers);

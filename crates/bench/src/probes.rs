@@ -1,0 +1,57 @@
+//! Probe-vertex selection for the estimation experiments.
+
+use mhbc_graph::Vertex;
+
+/// The three probe classes T2/F1/F2 sweep: the top-betweenness hub, a
+/// median-betweenness vertex, and a low-but-positive one.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeSet {
+    /// Highest exact betweenness.
+    pub hub: Vertex,
+    /// Median among positive-betweenness vertices.
+    pub median: Vertex,
+    /// 90th-percentile rank among positive-betweenness vertices (small but
+    /// non-zero — the hardest regime for dependency-proportional samplers).
+    pub low: Vertex,
+}
+
+/// Selects probes from the exact betweenness vector.
+///
+/// # Panics
+/// If no vertex has positive betweenness.
+pub fn select_probes(exact_bc: &[f64]) -> ProbeSet {
+    let mut positive: Vec<(usize, f64)> = exact_bc
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, b)| b > 0.0)
+        .collect();
+    assert!(!positive.is_empty(), "graph has no positive-betweenness vertex");
+    positive.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite betweenness"));
+    let hub = positive[0].0 as Vertex;
+    let median = positive[positive.len() / 2].0 as Vertex;
+    let low = positive[(positive.len() * 9) / 10].0 as Vertex;
+    ProbeSet { hub, median, low }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_distinct_ranks() {
+        let bc = vec![0.0, 0.9, 0.5, 0.3, 0.2, 0.1, 0.05, 0.01, 0.0, 0.4];
+        let p = select_probes(&bc);
+        assert_eq!(p.hub, 1);
+        assert!(bc[p.median as usize] > 0.0);
+        assert!(bc[p.low as usize] > 0.0);
+        assert!(bc[p.hub as usize] >= bc[p.median as usize]);
+        assert!(bc[p.median as usize] >= bc[p.low as usize]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive-betweenness")]
+    fn rejects_all_zero() {
+        select_probes(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Markdown + CSV result emission.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A result table that renders to markdown (stdout) and CSV (`results/`).
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as github markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("\n### {}\n\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .collect();
+            format!("| {} |\n", body.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", sep.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints markdown to stdout and writes `results/<file_stem>.csv`.
+    pub fn emit(&self, out_dir: &Path, file_stem: &str) -> std::io::Result<PathBuf> {
+        print!("{}", self.to_markdown());
+        fs::create_dir_all(out_dir)?;
+        let path = out_dir.join(format!("{file_stem}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            // Cells are numeric or simple identifiers; quote anything with a comma.
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| if c.contains(',') { format!("\"{c}\"") } else { c.clone() })
+                .collect();
+            writeln!(f, "{}", cells.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Formats a float compactly for tables.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+/// Formats a value in units of 1e-5 (the error scale BC papers report).
+pub fn e5(x: f64) -> String {
+    format!("{:.2}", x * 1e5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("| 1 | 2  |"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_written() {
+        let dir = std::env::temp_dir().join("mhbc_report_test");
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push(vec!["1".into(), "has,comma".into()]);
+        let path = t.emit(&dir, "demo").expect("csv written");
+        let text = std::fs::read_to_string(path).expect("readable");
+        assert!(text.contains("x,y"));
+        assert!(text.contains("\"has,comma\""));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.6), "1235");
+        assert_eq!(f(2.5), "2.500");
+        assert_eq!(f(0.01234), "0.01234");
+        assert_eq!(e5(0.00002), "2.00");
+    }
+}

@@ -1,0 +1,71 @@
+//! Small statistics helpers for multi-run experiments.
+
+/// Mean of a slice (0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 with < 2 points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Maximum (0 when empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Median (0 when empty); averages the middle pair for even lengths.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Interquartile range endpoints `(q1, q3)` by nearest-rank.
+pub fn quartiles(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    (v[v.len() / 4], v[(v.len() * 3) / 4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(max(&xs), 4.0);
+        assert!((std_dev(&xs) - 1.2909944).abs() < 1e-6);
+        assert_eq!(quartiles(&xs), (2.0, 4.0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+}

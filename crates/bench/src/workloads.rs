@@ -1,0 +1,107 @@
+//! Evaluation datasets (synthetic substitutes; see DESIGN.md).
+
+use mhbc_graph::{generators, CsrGraph, Vertex};
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// A named evaluation graph, with the designated separator probe when the
+/// family has one.
+pub struct Dataset {
+    /// Short name used in tables and file names.
+    pub name: &'static str,
+    /// The graph (connected, unweighted).
+    pub graph: CsrGraph,
+    /// The hub vertex for the separator family.
+    pub separator_probe: Option<Vertex>,
+}
+
+/// The standard five-family suite (T1/T2/T3/F1/F2). `quick` shrinks sizes
+/// so the whole harness runs in CI time.
+pub fn standard_suite(quick: bool) -> Vec<Dataset> {
+    let scale = if quick { 1_500 } else { 4_000 };
+    let mut out = Vec::new();
+
+    let mut rng = SmallRng::seed_from_u64(crate::SEED);
+    out.push(Dataset {
+        name: "ba",
+        graph: generators::barabasi_albert(scale, 4, &mut rng),
+        separator_probe: None,
+    });
+
+    let mut rng = SmallRng::seed_from_u64(crate::SEED + 1);
+    let er = generators::erdos_renyi_gnm(scale, scale * 4, &mut rng);
+    out.push(Dataset {
+        name: "er",
+        graph: generators::ensure_connected(er, &mut rng),
+        separator_probe: None,
+    });
+
+    let mut rng = SmallRng::seed_from_u64(crate::SEED + 2);
+    let ws = generators::watts_strogatz(scale, 8, 0.1, &mut rng);
+    out.push(Dataset {
+        name: "ws",
+        graph: generators::ensure_connected(ws, &mut rng),
+        separator_probe: None,
+    });
+
+    let side = (scale as f64).sqrt() as usize;
+    out.push(Dataset {
+        name: "grid",
+        graph: generators::grid(side, side, false),
+        separator_probe: None,
+    });
+
+    let mut rng = SmallRng::seed_from_u64(crate::SEED + 3);
+    let clusters = 4;
+    let hs = generators::hub_separator(clusters, scale / clusters, 8.0 / scale as f64, 3, &mut rng);
+    out.push(Dataset { name: "sep", graph: hs.graph, separator_probe: Some(hs.hub) });
+
+    out
+}
+
+/// Barabási–Albert graphs of increasing size (F7 scaling sweep).
+pub fn ba_size_sweep(quick: bool) -> Vec<(usize, CsrGraph)> {
+    let sizes: &[usize] = if quick {
+        &[1_000, 2_000, 4_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000, 16_000, 32_000]
+    };
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut rng = SmallRng::seed_from_u64(crate::SEED + n as u64);
+            (n, generators::barabasi_albert(n, 4, &mut rng))
+        })
+        .collect()
+}
+
+/// Separator graphs of increasing size (F3: µ(r) flatness vs n).
+pub fn separator_size_sweep(quick: bool, clusters: usize) -> Vec<(usize, CsrGraph, Vertex)> {
+    let sizes: &[usize] = if quick { &[500, 1_000, 2_000] } else { &[1_000, 2_000, 4_000, 8_000] };
+    sizes
+        .iter()
+        .map(|&n| {
+            let per = n / clusters;
+            let mut rng = SmallRng::seed_from_u64(crate::SEED + (clusters * 1000 + n) as u64);
+            let hs = generators::hub_separator(clusters, per, (8.0 / n as f64).min(0.5), 3, &mut rng);
+            (hs.graph.num_vertices(), hs.graph, hs.hub)
+        })
+        .collect()
+}
+
+/// Weighted variants for T5.
+pub fn weighted_suite(quick: bool) -> Vec<Dataset> {
+    let scale = if quick { 1_000 } else { 4_000 };
+    let mut rng = SmallRng::seed_from_u64(crate::SEED + 77);
+    let side = (scale as f64).sqrt() as usize;
+    let grid = generators::assign_uniform_weights(&generators::grid(side, side, false), 1.0, 10.0, &mut rng);
+    let ba = generators::assign_uniform_weights(
+        &generators::barabasi_albert(scale, 4, &mut rng),
+        1.0,
+        10.0,
+        &mut rng,
+    );
+    vec![
+        Dataset { name: "grid-w", graph: grid, separator_probe: None },
+        Dataset { name: "ba-w", graph: ba, separator_probe: None },
+    ]
+}

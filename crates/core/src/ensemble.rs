@@ -1,0 +1,259 @@
+//! Parallel multi-chain ensembles.
+//!
+//! Independence MH chains over the same target are embarrassingly parallel,
+//! and — because the stationary law concentrates on the same
+//! high-dependency sources — they share most of their density evaluations.
+//! This module runs `k` chains across threads over one
+//! [`SharedProbeOracle`], pools their
+//! Eq 7 and corrected estimates, and reports the Gelman–Rubin `R̂`
+//! statistic across chains, the standard multi-chain convergence check that
+//! complements the paper's single-chain guarantee.
+
+use crate::oracle::{OracleStats, SharedProbeOracle};
+use crate::CoreError;
+use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_mcmc::diagnostics::RunningMoments;
+use mhbc_mcmc::{fn_target, MetropolisHastings, UniformProposal};
+use mhbc_spd::DependencyCalculator;
+use parking_lot::Mutex;
+use rand::{rngs::SmallRng, RngExt, SeedableRng};
+
+/// Per-chain accumulators brought back from a worker thread.
+#[derive(Debug, Clone)]
+struct ChainResult {
+    sum_delta: f64,
+    counted: u64,
+    proposals_support: u64,
+    inv_delta_sum: f64,
+    support_counted: u64,
+    accepted: u64,
+    /// Welford moments of the per-step dependency series (for R̂).
+    mean: f64,
+    variance: f64,
+}
+
+/// Result of a parallel ensemble run.
+#[derive(Debug, Clone)]
+pub struct EnsembleEstimate {
+    /// Pooled Eq 7 estimate (average over all chains' counted samples).
+    pub bc: f64,
+    /// Pooled support-corrected estimate (see `SingleSpaceEstimate`).
+    pub bc_corrected: f64,
+    /// Per-chain Eq 7 estimates (for dispersion inspection).
+    pub per_chain: Vec<f64>,
+    /// Gelman–Rubin potential scale reduction factor across chains
+    /// (≈ 1 indicates the chains agree; NaN with < 2 chains or degenerate
+    /// variance).
+    pub r_hat: f64,
+    /// Acceptance rate pooled over chains.
+    pub acceptance_rate: f64,
+    /// Distinct SPD passes across the *shared* cache (the whole point:
+    /// `k` chains cost barely more than one).
+    pub spd_passes: u64,
+    /// Shared-cache statistics.
+    pub oracle_stats: OracleStats,
+}
+
+/// Runs `chains` independent single-space chains of `iterations` steps each
+/// (threads = one per chain, scheduled by the OS), sharing one dependency
+/// cache. Deterministic given `seed` (per-chain seeds are `seed + chain`;
+/// note the *shared-cache* interleaving does not affect any estimate, only
+/// timing).
+pub fn run_parallel_ensemble(
+    g: &CsrGraph,
+    r: Vertex,
+    chains: usize,
+    iterations: u64,
+    seed: u64,
+) -> Result<EnsembleEstimate, CoreError> {
+    let n = g.num_vertices();
+    if n < 3 {
+        return Err(CoreError::GraphTooSmall { num_vertices: n });
+    }
+    if r as usize >= n {
+        return Err(CoreError::ProbeOutOfRange { probe: r, num_vertices: n });
+    }
+    assert!(chains >= 1, "need at least one chain");
+
+    let oracle = SharedProbeOracle::new(g, &[r]);
+    let results: Mutex<Vec<(usize, ChainResult)>> = Mutex::new(Vec::with_capacity(chains));
+
+    crossbeam::thread::scope(|scope| {
+        for c in 0..chains {
+            let oracle = &oracle;
+            let results = &results;
+            scope.spawn(move |_| {
+                let mut calc = DependencyCalculator::new(g);
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(c as u64));
+                let initial = rng.random_range(0..n as Vertex);
+                // The closure makes the shared oracle the chain's density.
+                let target = fn_target(|v: &Vertex| oracle.dep(*v, 0, &mut calc));
+                let mut chain =
+                    MetropolisHastings::new(target, UniformProposal::new(n), initial, rng);
+
+                let mut res = ChainResult {
+                    sum_delta: chain.current_density(),
+                    counted: 1,
+                    proposals_support: 0,
+                    inv_delta_sum: 0.0,
+                    support_counted: 0,
+                    accepted: 0,
+                    mean: 0.0,
+                    variance: 0.0,
+                };
+                let mut moments = RunningMoments::new();
+                moments.push(chain.current_density());
+                if chain.current_density() > 0.0 {
+                    res.inv_delta_sum += 1.0 / chain.current_density();
+                    res.support_counted += 1;
+                }
+                for _ in 0..iterations {
+                    let out = chain.step();
+                    res.sum_delta += out.density;
+                    res.counted += 1;
+                    moments.push(out.density);
+                    if out.accepted {
+                        res.accepted += 1;
+                    }
+                    if out.proposed_density > 0.0 {
+                        res.proposals_support += 1;
+                    }
+                    if out.density > 0.0 {
+                        res.inv_delta_sum += 1.0 / out.density;
+                        res.support_counted += 1;
+                    }
+                }
+                res.mean = moments.mean();
+                res.variance = moments.variance();
+                results.lock().push((c, res));
+            });
+        }
+    })
+    .expect("ensemble threads joined");
+
+    let mut per = results.into_inner();
+    per.sort_by_key(|&(c, _)| c);
+    let per: Vec<ChainResult> = per.into_iter().map(|(_, r)| r).collect();
+
+    let norm = n as f64 - 1.0;
+    let per_chain: Vec<f64> =
+        per.iter().map(|c| c.sum_delta / (c.counted as f64 * norm)).collect();
+
+    let total_counted: u64 = per.iter().map(|c| c.counted).sum();
+    let bc = per.iter().map(|c| c.sum_delta).sum::<f64>() / (total_counted as f64 * norm);
+
+    let total_proposals = chains as u64 * iterations;
+    let support: u64 = per.iter().map(|c| c.proposals_support).sum();
+    let inv_sum: f64 = per.iter().map(|c| c.inv_delta_sum).sum();
+    let support_counted: u64 = per.iter().map(|c| c.support_counted).sum();
+    let bc_corrected = if total_proposals == 0 || support_counted == 0 || inv_sum <= 0.0 {
+        0.0
+    } else {
+        (support as f64 / total_proposals as f64) * support_counted as f64 / (norm * inv_sum)
+    };
+
+    // Gelman-Rubin across chains: W = mean within-chain variance,
+    // B/n = variance of chain means; R^2 = ((m-1)/m W + B/m) / W with
+    // m = samples per chain.
+    let r_hat = if chains >= 2 {
+        let m = (iterations + 1) as f64;
+        let w = per.iter().map(|c| c.variance).sum::<f64>() / chains as f64;
+        let mut mean_moments = RunningMoments::new();
+        for c in &per {
+            mean_moments.push(c.mean);
+        }
+        let b_over_m = mean_moments.variance();
+        if w > 0.0 {
+            (((m - 1.0) / m) * w / w + b_over_m / w).sqrt()
+        } else {
+            f64::NAN
+        }
+    } else {
+        f64::NAN
+    };
+
+    let accepted: u64 = per.iter().map(|c| c.accepted).sum();
+    let stats = oracle.stats();
+    Ok(EnsembleEstimate {
+        bc,
+        bc_corrected,
+        per_chain,
+        r_hat,
+        acceptance_rate: if total_proposals == 0 {
+            0.0
+        } else {
+            accepted as f64 / total_proposals as f64
+        },
+        spd_passes: stats.misses,
+        oracle_stats: stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::eq7_limit;
+    use mhbc_graph::generators;
+
+    #[test]
+    fn pooled_estimate_converges() {
+        let g = generators::barbell(8, 1);
+        let limit = eq7_limit(&mhbc_spd::dependency_profile_par(&g, 8, 0));
+        let est = run_parallel_ensemble(&g, 8, 4, 8_000, 3).expect("valid config");
+        assert!((est.bc - limit).abs() < 0.02, "pooled {} vs limit {limit}", est.bc);
+        assert_eq!(est.per_chain.len(), 4);
+        let exact = mhbc_spd::exact_betweenness_of(&g, 8);
+        assert!((est.bc_corrected - exact).abs() < 0.03);
+    }
+
+    #[test]
+    fn r_hat_near_one_for_converged_chains() {
+        // lollipop(8, 4), probe 9: clique-side sources depend 2 on the
+        // probe, far path vertices depend 9 — a genuinely non-constant
+        // density series, so within-chain variance is positive and R-hat
+        // is defined.
+        let g = generators::lollipop(8, 4);
+        let est = run_parallel_ensemble(&g, 9, 4, 20_000, 5).expect("valid config");
+        assert!(
+            est.r_hat.is_finite() && (est.r_hat - 1.0).abs() < 0.05,
+            "R-hat {} should be near 1",
+            est.r_hat
+        );
+    }
+
+    #[test]
+    fn shared_cache_bounds_total_passes() {
+        let g = generators::barbell(6, 2);
+        let est = run_parallel_ensemble(&g, 6, 6, 3_000, 7).expect("valid config");
+        // 6 chains x 3000 iterations, but the state space has only 16
+        // vertices: the shared cache caps the SPD passes (small slack for
+        // concurrent duplicate computations).
+        assert!(
+            est.spd_passes <= 2 * g.num_vertices() as u64,
+            "passes {} should be ~n",
+            est.spd_passes
+        );
+        assert!(est.oracle_stats.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn single_chain_has_nan_r_hat() {
+        let g = generators::barbell(4, 1);
+        let est = run_parallel_ensemble(&g, 4, 1, 200, 1).expect("valid config");
+        assert!(est.r_hat.is_nan());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = generators::path(10);
+        assert!(matches!(
+            run_parallel_ensemble(&g, 99, 2, 10, 0),
+            Err(CoreError::ProbeOutOfRange { .. })
+        ));
+        let tiny = generators::path(2);
+        assert!(matches!(
+            run_parallel_ensemble(&tiny, 0, 2, 10, 0),
+            Err(CoreError::GraphTooSmall { .. })
+        ));
+    }
+}

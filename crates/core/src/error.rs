@@ -1,0 +1,36 @@
+//! Error type for sampler construction.
+
+use mhbc_graph::Vertex;
+
+/// Errors raised when configuring the samplers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A probe vertex id is `>= n`.
+    ProbeOutOfRange { probe: Vertex, num_vertices: usize },
+    /// The joint sampler needs at least two probe vertices.
+    ProbeSetTooSmall { len: usize },
+    /// Probe vertices must be pairwise distinct.
+    DuplicateProbe { probe: Vertex },
+    /// The graph has fewer than 3 vertices; betweenness is identically zero
+    /// and the samplers' estimator denominators degenerate.
+    GraphTooSmall { num_vertices: usize },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::ProbeOutOfRange { probe, num_vertices } => {
+                write!(f, "probe vertex {probe} out of range (n = {num_vertices})")
+            }
+            CoreError::ProbeSetTooSmall { len } => {
+                write!(f, "joint sampler needs |R| >= 2, got {len}")
+            }
+            CoreError::DuplicateProbe { probe } => write!(f, "duplicate probe vertex {probe}"),
+            CoreError::GraphTooSmall { num_vertices } => {
+                write!(f, "graph with {num_vertices} vertices has no betweenness to estimate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

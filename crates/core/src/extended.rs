@@ -1,0 +1,233 @@
+//! Sampled estimator for the *extended* relative betweenness of the
+//! paper's footnote 2 (§4.3).
+//!
+//! The footnote generalises Eq 23 from source-level to pair-level
+//! dependencies:
+//!
+//! `BC^ext_{rj}(ri) = (1/(n(n−1))) Σ_v Σ_{t≠v} min{1, δ_vt(ri) / δ_vt(rj)}`
+//!
+//! with `δ_vt(x) = σ_vt(x)/σ_vt`. The paper leaves this as a remark; here it
+//! is realised as a sampler: an independence MH chain over sources `v` with
+//! stationary law `∝ δ_{v•}(rj)` (the same chain as §4.2 targeted at `rj`),
+//! where each visited source contributes
+//! `f_ext(v) = (1/(n−1)) Σ_t min{1, δ_vt(ri)/δ_vt(rj)}`, computable from one
+//! SPD pass at `v` plus two precomputed SPDs rooted at the probes
+//! (`δ_vt(x) = [d(v,x) + d(x,t) = d(v,t)] · σ_vx σ_xt / σ_vt`).
+//!
+//! Like the paper's own estimators, the chain average converges to the
+//! `P_rj`-weighted mean of `f_ext`, not the uniform one (see
+//! [`crate::optimal`]'s soundness note); [`stationary_extended_limit`]
+//! computes that true limit for validation. Unweighted graphs only.
+
+use crate::optimal::min_dependency_ratio;
+use crate::oracle::ProbeOracle;
+use crate::CoreError;
+use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_mcmc::{MetropolisHastings, TargetDensity, UniformProposal};
+use mhbc_spd::BfsSpd;
+use rand::{rngs::SmallRng, RngExt, SeedableRng};
+
+const UNREACHED: u32 = u32::MAX;
+
+/// Precomputed SPDs rooted at the two probes, plus a working SPD for the
+/// chain's source states.
+struct PairDependencyKernel<'g> {
+    graph: &'g CsrGraph,
+    ri: Vertex,
+    rj: Vertex,
+    spd_i: BfsSpd,
+    spd_j: BfsSpd,
+    spd_v: BfsSpd,
+}
+
+impl<'g> PairDependencyKernel<'g> {
+    fn new(graph: &'g CsrGraph, ri: Vertex, rj: Vertex) -> Self {
+        let n = graph.num_vertices();
+        let mut spd_i = BfsSpd::new(n);
+        spd_i.compute(graph, ri);
+        let mut spd_j = BfsSpd::new(n);
+        spd_j.compute(graph, rj);
+        PairDependencyKernel { graph, ri, rj, spd_i, spd_j, spd_v: BfsSpd::new(n) }
+    }
+
+    /// `f_ext(v) = (1/(n−1)) Σ_{t≠v} min{1, δ_vt(ri)/δ_vt(rj)}`.
+    ///
+    /// One BFS from `v` plus an `O(n)` scan over targets.
+    fn f_ext(&mut self, v: Vertex) -> f64 {
+        let n = self.graph.num_vertices();
+        self.spd_v.compute(self.graph, v);
+        let pair_dep = |spd_x: &BfsSpd, x: Vertex, t: usize| -> f64 {
+            // delta_vt(x) = sigma_vx * sigma_xt / sigma_vt if x is interior
+            // to a shortest v-t path.
+            if x as usize == t || x == v {
+                return 0.0;
+            }
+            let (dvx, dxt, dvt) = (
+                self.spd_v.dist[x as usize],
+                spd_x.dist[t],
+                self.spd_v.dist[t],
+            );
+            if dvx == UNREACHED || dxt == UNREACHED || dvt == UNREACHED || dvx + dxt != dvt {
+                return 0.0;
+            }
+            self.spd_v.sigma[x as usize] * spd_x.sigma[t] / self.spd_v.sigma[t]
+        };
+        let mut sum = 0.0;
+        for t in 0..n {
+            if t == v as usize || self.spd_v.dist[t] == UNREACHED {
+                continue;
+            }
+            let di = pair_dep(&self.spd_i, self.ri, t);
+            let dj = pair_dep(&self.spd_j, self.rj, t);
+            sum += min_dependency_ratio(di, dj);
+        }
+        sum / (n as f64 - 1.0)
+    }
+}
+
+/// Result of an extended-relative run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtendedEstimate {
+    /// The estimated extended relative score of `ri` with respect to `rj`.
+    pub score: f64,
+    /// Iterations performed.
+    pub iterations: u64,
+    /// Fraction of proposals accepted.
+    pub acceptance_rate: f64,
+}
+
+/// Chain target: `δ_{v•}(rj)` (the §4.2 density pointed at `rj`).
+struct ExtTarget<'g> {
+    oracle: ProbeOracle<'g>,
+}
+
+impl TargetDensity for ExtTarget<'_> {
+    type State = Vertex;
+
+    fn density(&mut self, v: &Vertex) -> f64 {
+        self.oracle.dep(*v, 0)
+    }
+}
+
+/// Runs the footnote-2 extended-relative sampler for `iterations` steps.
+///
+/// Costs up to two SPD passes per iteration (one for the acceptance density
+/// — memoised across revisits — and one for `f_ext` of the occupied state).
+pub fn extended_relative_sampled(
+    g: &CsrGraph,
+    ri: Vertex,
+    rj: Vertex,
+    iterations: u64,
+    seed: u64,
+) -> Result<ExtendedEstimate, CoreError> {
+    let n = g.num_vertices();
+    if n < 3 {
+        return Err(CoreError::GraphTooSmall { num_vertices: n });
+    }
+    for p in [ri, rj] {
+        if p as usize >= n {
+            return Err(CoreError::ProbeOutOfRange { probe: p, num_vertices: n });
+        }
+    }
+    assert!(!g.is_weighted(), "extended relative scores are defined for unweighted graphs");
+
+    let mut kernel = PairDependencyKernel::new(g, ri, rj);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let initial = rng.random_range(0..n as Vertex);
+    let target = ExtTarget { oracle: ProbeOracle::new(g, &[rj]) };
+    let mut chain = MetropolisHastings::new(target, UniformProposal::new(n), initial, rng);
+
+    // f_ext of the occupied state, lazily recomputed only on moves.
+    let mut current_f = kernel.f_ext(*chain.state());
+    let mut sum = current_f;
+    for _ in 0..iterations {
+        let out = chain.step();
+        if out.accepted {
+            current_f = kernel.f_ext(*chain.state());
+        }
+        sum += current_f;
+    }
+    Ok(ExtendedEstimate {
+        score: sum / (iterations + 1) as f64,
+        iterations,
+        acceptance_rate: chain.stats().acceptance_rate(),
+    })
+}
+
+/// The true limit of [`extended_relative_sampled`]: the `P_rj`-weighted mean
+/// of `f_ext` (exact, `O(n)` SPD passes — validation only).
+pub fn stationary_extended_limit(g: &CsrGraph, ri: Vertex, rj: Vertex) -> f64 {
+    let n = g.num_vertices();
+    let profile_j = mhbc_spd::dependency_profile_par(g, rj, 0);
+    let total = profile_j.total();
+    if total <= 0.0 {
+        return f64::NAN;
+    }
+    let mut kernel = PairDependencyKernel::new(g, ri, rj);
+    let mut acc = 0.0;
+    for v in 0..n as Vertex {
+        let w = profile_j.profile[v as usize];
+        if w > 0.0 {
+            acc += w / total * kernel.f_ext(v);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::extended_relative_betweenness;
+    use mhbc_graph::generators;
+
+    #[test]
+    fn diagonal_extended_score_is_one_for_separator() {
+        // f_ext(v) with ri = rj is 1 wherever any pair-dependency is
+        // positive and 1 by the 0/0 convention elsewhere.
+        let g = generators::barbell(5, 1);
+        let est = extended_relative_sampled(&g, 5, 5, 2_000, 3).expect("valid probes");
+        assert!((est.score - 1.0).abs() < 1e-9, "score {}", est.score);
+    }
+
+    #[test]
+    fn converges_to_stationary_extended_limit() {
+        let g = generators::barbell(5, 3);
+        let (ri, rj) = (5u32, 6u32);
+        let limit = stationary_extended_limit(&g, ri, rj);
+        let est = extended_relative_sampled(&g, ri, rj, 40_000, 11).expect("valid probes");
+        assert!(
+            (est.score - limit).abs() < 0.02,
+            "sampled {} vs limit {limit}",
+            est.score
+        );
+    }
+
+    #[test]
+    fn extended_and_simple_orders_agree_on_path() {
+        // On a path the centre dominates: both the simple (Eq 23) and the
+        // extended (footnote 2) relative scores must rank it above an
+        // off-centre vertex.
+        let g = generators::path(11);
+        let (centre, off) = (5u32, 8u32);
+        let simple_c = crate::optimal::exact_relative_betweenness(&g, centre, off, 1);
+        let simple_o = crate::optimal::exact_relative_betweenness(&g, off, centre, 1);
+        let ext_c = extended_relative_betweenness(&g, centre, off);
+        let ext_o = extended_relative_betweenness(&g, off, centre);
+        assert!(simple_c > simple_o);
+        assert!(ext_c > ext_o, "extended: {ext_c} vs {ext_o}");
+    }
+
+    #[test]
+    fn rejects_bad_probes() {
+        let g = generators::path(5);
+        assert!(matches!(
+            extended_relative_sampled(&g, 99, 1, 10, 0),
+            Err(CoreError::ProbeOutOfRange { .. })
+        ));
+        let tiny = generators::path(2);
+        assert!(matches!(
+            extended_relative_sampled(&tiny, 0, 1, 10, 0),
+            Err(CoreError::GraphTooSmall { .. })
+        ));
+    }
+}

@@ -1,0 +1,431 @@
+//! The joint-space MCMC sampler (§4.3).
+
+use crate::optimal::min_dependency_ratio;
+use crate::oracle::{OracleStats, ProbeOracle};
+use crate::CoreError;
+use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_mcmc::{MetropolisHastings, Proposal, TargetDensity};
+use rand::{rngs::SmallRng, Rng, RngExt, SeedableRng};
+
+/// Chain state: `(probe index into R, source vertex)` — the pair `⟨r, v⟩`
+/// of §4.3.
+type JointState = (u32, Vertex);
+
+/// Uniform independence proposal over `R × V(G)` (both coordinates drawn
+/// uniformly, as in the paper).
+struct JointProposal {
+    k: u32,
+    n: u32,
+}
+
+impl Proposal<JointState> for JointProposal {
+    fn propose<R: Rng + ?Sized>(&mut self, _current: &JointState, rng: &mut R) -> JointState {
+        (rng.random_range(0..self.k), rng.random_range(0..self.n))
+    }
+
+    fn ratio(&self, _current: &JointState, _proposed: &JointState) -> f64 {
+        1.0
+    }
+}
+
+/// Target density `f(⟨r, v⟩) = δ_{v•}(r)` — unnormalised Eq 18.
+struct JointTarget<'g> {
+    oracle: ProbeOracle<'g>,
+}
+
+impl TargetDensity for JointTarget<'_> {
+    type State = JointState;
+
+    fn density(&mut self, s: &JointState) -> f64 {
+        self.oracle.dep(s.1, s.0 as usize)
+    }
+}
+
+/// Configuration for [`JointSpaceSampler`].
+#[derive(Debug, Clone)]
+pub struct JointSpaceConfig {
+    /// Number of MH iterations `T`.
+    pub iterations: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Initial state `⟨r, v⟩` as (probe index, vertex); `None` = uniform.
+    pub initial: Option<(usize, Vertex)>,
+    /// Record, after every iteration, the running estimate of
+    /// `BC_{r_j}(r_i)` for the pair `(i, j) = trace_pair` (F4 convergence
+    /// curves).
+    pub trace_pair: Option<(usize, usize)>,
+}
+
+impl JointSpaceConfig {
+    /// Defaults: uniform initial state, no trace.
+    pub fn new(iterations: u64, seed: u64) -> Self {
+        JointSpaceConfig { iterations, seed, initial: None, trace_pair: None }
+    }
+
+    /// Sets the initial state (probe index, vertex).
+    pub fn with_initial(mut self, probe_idx: usize, v: Vertex) -> Self {
+        self.initial = Some((probe_idx, v));
+        self
+    }
+
+    /// Enables convergence tracing for the relative score `BC_{r_j}(r_i)`.
+    pub fn with_trace_pair(mut self, i: usize, j: usize) -> Self {
+        self.trace_pair = Some((i, j));
+        self
+    }
+}
+
+/// Per-step report from the streaming API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointStepInfo {
+    /// Iterations done so far.
+    pub iteration: u64,
+    /// Whether the proposal was accepted.
+    pub accepted: bool,
+    /// The probe index occupied after the step.
+    pub probe_index: u32,
+}
+
+/// Result of a joint-space run.
+#[derive(Debug, Clone)]
+pub struct JointSpaceEstimate {
+    /// The probe set `R` (in the order supplied).
+    pub probes: Vec<Vertex>,
+    /// `counts[i] = |M(i)|`: samples whose `r` component was `r_i`.
+    pub counts: Vec<u64>,
+    /// `relative[i][j]` = estimated `BC_{r_j}(r_i)` (Eq 23): the mean of
+    /// `min{1, δ_{v•}(r_i)/δ_{v•}(r_j)}` over `M(j)`. `NaN` when
+    /// `M(j)` is empty.
+    pub relative: Vec<Vec<f64>>,
+    /// Iterations performed.
+    pub iterations: u64,
+    /// Fraction of proposals accepted.
+    pub acceptance_rate: f64,
+    /// SPD passes spent (distinct source vertices evaluated).
+    pub spd_passes: u64,
+    /// Oracle cache statistics.
+    pub oracle_stats: OracleStats,
+    /// Running trace of the configured pair's relative score.
+    pub trace: Option<Vec<f64>>,
+}
+
+impl JointSpaceEstimate {
+    /// Estimated betweenness ratio `BC(r_i) / BC(r_j)` via Eq 22:
+    /// `B̂C_{r_j}(r_i) / B̂C_{r_i}(r_j)`. `NaN` if either multiset is empty.
+    pub fn ratio(&self, i: usize, j: usize) -> f64 {
+        self.relative[i][j] / self.relative[j][i]
+    }
+
+    /// Whether both multisets backing `ratio(i, j)` are non-trivial.
+    pub fn ratio_reliable(&self, i: usize, j: usize, min_samples: u64) -> bool {
+        self.counts[i] >= min_samples && self.counts[j] >= min_samples
+    }
+}
+
+/// The paper's joint-space Metropolis–Hastings sampler (§4.3).
+///
+/// States are pairs `⟨r, v⟩ ∈ R × V(G)`; both coordinates are re-proposed
+/// uniformly and independently each step, and moves are accepted with
+/// probability `min{1, δ_{v'•}(r') / δ_{v•}(r)}` (Eq 17), giving the
+/// stationary law `P[r, v] ∝ δ_{v•}(r)` (Eq 18). Samples with `r`-component
+/// `r_j` form the multiset `M(j)`; relative scores and ratios follow
+/// Eq 22/23. One SPD pass per *distinct* source vertex covers all probes
+/// simultaneously (the backward accumulation yields the whole dependency
+/// vector).
+pub struct JointSpaceSampler<'g> {
+    chain: MetropolisHastings<JointTarget<'g>, JointProposal, SmallRng>,
+    probes: Vec<Vertex>,
+    config: JointSpaceConfig,
+    iteration: u64,
+    /// `acc[i * k + j]` accumulates `min{1, δ(r_i)/δ(r_j)}` over `M(j)`.
+    acc: Vec<f64>,
+    counts: Vec<u64>,
+    trace: Vec<f64>,
+}
+
+impl<'g> JointSpaceSampler<'g> {
+    /// Builds a sampler for probe set `probes` on `g`.
+    pub fn new(g: &'g CsrGraph, probes: &[Vertex], config: JointSpaceConfig) -> Result<Self, CoreError> {
+        let n = g.num_vertices();
+        if n < 3 {
+            return Err(CoreError::GraphTooSmall { num_vertices: n });
+        }
+        if probes.len() < 2 {
+            return Err(CoreError::ProbeSetTooSmall { len: probes.len() });
+        }
+        for (i, &p) in probes.iter().enumerate() {
+            if p as usize >= n {
+                return Err(CoreError::ProbeOutOfRange { probe: p, num_vertices: n });
+            }
+            if probes[..i].contains(&p) {
+                return Err(CoreError::DuplicateProbe { probe: p });
+            }
+        }
+        if let Some((i, v)) = config.initial {
+            if i >= probes.len() {
+                return Err(CoreError::ProbeOutOfRange {
+                    probe: i as Vertex,
+                    num_vertices: probes.len(),
+                });
+            }
+            if v as usize >= n {
+                return Err(CoreError::ProbeOutOfRange { probe: v, num_vertices: n });
+            }
+        }
+        if let Some((i, j)) = config.trace_pair {
+            if i >= probes.len() || j >= probes.len() {
+                return Err(CoreError::ProbeOutOfRange {
+                    probe: i.max(j) as Vertex,
+                    num_vertices: probes.len(),
+                });
+            }
+        }
+
+        let k = probes.len();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let initial: JointState = match config.initial {
+            Some((i, v)) => (i as u32, v),
+            None => (rng.random_range(0..k as u32), rng.random_range(0..n as Vertex)),
+        };
+        let target = JointTarget { oracle: ProbeOracle::new(g, probes) };
+        let chain =
+            MetropolisHastings::new(target, JointProposal { k: k as u32, n: n as u32 }, initial, rng);
+
+        let mut sampler = JointSpaceSampler {
+            chain,
+            probes: probes.to_vec(),
+            config,
+            iteration: 0,
+            acc: vec![0.0; k * k],
+            counts: vec![0; k],
+            trace: Vec::new(),
+        };
+        sampler.absorb_current_state();
+        Ok(sampler)
+    }
+
+    /// The probe set.
+    pub fn probes(&self) -> &[Vertex] {
+        &self.probes
+    }
+
+    /// Adds the chain's current state to the estimator multisets.
+    fn absorb_current_state(&mut self) {
+        let (j, v) = *self.chain.state();
+        let j = j as usize;
+        let k = self.probes.len();
+        // One cached lookup returns delta_v on every probe.
+        let deps = self.chain.target_mut().oracle.deps(v).to_vec();
+        let den = deps[j];
+        for (i, &dep) in deps.iter().enumerate() {
+            self.acc[i * k + j] += min_dependency_ratio(dep, den);
+        }
+        self.counts[j] += 1;
+        if let Some((ti, tj)) = self.config.trace_pair {
+            self.trace.push(self.relative_estimate(ti, tj));
+        }
+    }
+
+    /// Current estimate of `BC_{r_j}(r_i)`; `NaN` while `M(j)` is empty.
+    pub fn relative_estimate(&self, i: usize, j: usize) -> f64 {
+        let k = self.probes.len();
+        if self.counts[j] == 0 {
+            return f64::NAN;
+        }
+        self.acc[i * k + j] / self.counts[j] as f64
+    }
+
+    /// Performs one MH iteration.
+    pub fn step(&mut self) -> JointStepInfo {
+        let out = self.chain.step();
+        self.iteration += 1;
+        self.absorb_current_state();
+        JointStepInfo {
+            iteration: self.iteration,
+            accepted: out.accepted,
+            probe_index: self.chain.state().0,
+        }
+    }
+
+    /// Runs the configured number of iterations and finalises.
+    pub fn run(mut self) -> JointSpaceEstimate {
+        for _ in self.iteration..self.config.iterations {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Finalises early.
+    pub fn finish(self) -> JointSpaceEstimate {
+        let k = self.probes.len();
+        let mut relative = vec![vec![f64::NAN; k]; k];
+        for (i, row) in relative.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if self.counts[j] > 0 {
+                    *cell = self.acc[i * k + j] / self.counts[j] as f64;
+                }
+            }
+        }
+        let stats = self.chain.stats().clone();
+        let target = self.chain.into_target();
+        JointSpaceEstimate {
+            probes: self.probes,
+            counts: self.counts,
+            relative,
+            iterations: self.iteration,
+            acceptance_rate: stats.acceptance_rate(),
+            spd_passes: target.oracle.spd_passes(),
+            oracle_stats: target.oracle.stats(),
+            trace: if self.config.trace_pair.is_some() { Some(self.trace) } else { None },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::exact_relative_matrix;
+    use mhbc_graph::generators;
+    use mhbc_spd::exact_betweenness;
+
+    #[test]
+    fn relative_scores_converge_to_stationary_limits() {
+        let g = generators::barbell(6, 3);
+        // Probes: the three path vertices (distinct positive BC).
+        let probes = [6u32, 7, 8];
+        // The sampler's M(j)-averages converge to the P_rj-weighted scores
+        // (see crate::optimal soundness note), which on this near-flat
+        // family are also close to the Eq 23 uniform scores.
+        let stationary = crate::optimal::stationary_relative_matrix(&g, &probes, 2);
+        let uniform = exact_relative_matrix(&g, &probes, 2);
+        let est = JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(60_000, 21))
+            .unwrap()
+            .run();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (est.relative[i][j] - stationary[i][j]).abs() < 0.05,
+                    "({i},{j}): est {} vs stationary limit {}",
+                    est.relative[i][j],
+                    stationary[i][j]
+                );
+                assert!(
+                    (est.relative[i][j] - uniform[i][j]).abs() < 0.1,
+                    "({i},{j}): est {} vs Eq 23 {}",
+                    est.relative[i][j],
+                    uniform[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_estimates_betweenness_ratio() {
+        // Theorem 3: the ratio of relative scores equals BC(ri)/BC(rj).
+        let g = generators::barbell(6, 3);
+        let probes = [6u32, 7];
+        let bc = exact_betweenness(&g);
+        let truth = bc[6] / bc[7];
+        let est = JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(80_000, 5))
+            .unwrap()
+            .run();
+        let ratio = est.ratio(0, 1);
+        assert!(
+            (ratio - truth).abs() / truth < 0.1,
+            "ratio {ratio} vs truth {truth}"
+        );
+        assert!(est.ratio_reliable(0, 1, 100));
+    }
+
+    #[test]
+    fn diagonal_relative_scores_are_one() {
+        let g = generators::barbell(4, 2);
+        let est = JointSpaceSampler::new(&g, &[4, 5], JointSpaceConfig::new(2_000, 9))
+            .unwrap()
+            .run();
+        for i in 0..2 {
+            if est.counts[i] > 0 {
+                assert!((est.relative[i][i] - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_samples() {
+        let g = generators::barbell(4, 2);
+        let t = 3_000;
+        let est =
+            JointSpaceSampler::new(&g, &[4, 5, 0], JointSpaceConfig::new(t, 2)).unwrap().run();
+        // T iterations + the initial state.
+        assert_eq!(est.counts.iter().sum::<u64>(), t + 1);
+    }
+
+    #[test]
+    fn stationary_marginal_over_probes_proportional_to_bc() {
+        // Eq 18: P[r] = BC-mass of r, so |M(i)|/|M(j)| -> BC(ri)/BC(rj).
+        let g = generators::barbell(6, 3);
+        let probes = [6u32, 7];
+        let bc = exact_betweenness(&g);
+        let est = JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(80_000, 13))
+            .unwrap()
+            .run();
+        let emp = est.counts[0] as f64 / est.counts[1] as f64;
+        let truth = bc[6] / bc[7];
+        assert!((emp - truth).abs() / truth < 0.1, "empirical {emp} vs {truth}");
+    }
+
+    #[test]
+    fn trace_records_convergence() {
+        let g = generators::barbell(4, 2);
+        let cfg = JointSpaceConfig::new(500, 3).with_trace_pair(0, 1);
+        let est = JointSpaceSampler::new(&g, &[4, 5], cfg).unwrap().run();
+        let trace = est.trace.unwrap();
+        assert_eq!(trace.len(), 501);
+        let last = *trace.last().unwrap();
+        assert!((last - est.relative[0][1]).abs() < 1e-12 || (last.is_nan() && est.relative[0][1].is_nan()));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::barbell(4, 2);
+        let run = |seed| {
+            JointSpaceSampler::new(&g, &[4, 5], JointSpaceConfig::new(1_000, seed))
+                .unwrap()
+                .run()
+                .relative
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = generators::path(10);
+        assert!(matches!(
+            JointSpaceSampler::new(&g, &[1], JointSpaceConfig::new(10, 0)),
+            Err(CoreError::ProbeSetTooSmall { len: 1 })
+        ));
+        assert!(matches!(
+            JointSpaceSampler::new(&g, &[1, 1], JointSpaceConfig::new(10, 0)),
+            Err(CoreError::DuplicateProbe { probe: 1 })
+        ));
+        assert!(matches!(
+            JointSpaceSampler::new(&g, &[1, 99], JointSpaceConfig::new(10, 0)),
+            Err(CoreError::ProbeOutOfRange { probe: 99, .. })
+        ));
+        assert!(matches!(
+            JointSpaceSampler::new(&g, &[1, 2], JointSpaceConfig::new(10, 0).with_trace_pair(0, 5)),
+            Err(CoreError::ProbeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_graphs_supported() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = generators::assign_uniform_weights(&generators::barbell(5, 2), 1.0, 2.0, &mut rng);
+        let est = JointSpaceSampler::new(&g, &[5, 6], JointSpaceConfig::new(5_000, 1))
+            .unwrap()
+            .run();
+        assert!(est.relative[0][1].is_finite());
+    }
+}

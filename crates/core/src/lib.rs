@@ -1,0 +1,70 @@
+//! # mhbc-core
+//!
+//! The paper's contribution: Metropolis–Hastings samplers for betweenness
+//! centrality (Chehreghani, Abdessalem, Bifet — EDBT 2019 /
+//! arXiv:1704.07351).
+//!
+//! Two samplers are provided:
+//!
+//! - [`SingleSpaceSampler`] (§4.2) estimates `BC(r)` for a single probe
+//!   vertex `r`. It runs an independence Metropolis–Hastings chain on
+//!   `V(G)` with uniform proposals and acceptance ratio
+//!   `min{1, δ_{v'•}(r) / δ_{v•}(r)}` (Eq 6), whose stationary distribution
+//!   is the *optimal* source-sampling distribution `P_r[v] ∝ δ_{v•}(r)`
+//!   of Chehreghani \[13\] (Eq 5). The estimate is the chain average of
+//!   `f(v) = δ_{v•}(r) / (|V| − 1)` (Eq 7).
+//! - [`JointSpaceSampler`] (§4.3) estimates *relative* betweenness scores
+//!   `BC_{r_j}(r_i)` (Eq 23) and betweenness ratios `BC(r_i)/BC(r_j)`
+//!   (Eq 22) for every pair in a probe set `R ⊂ V(G)`, by running a chain
+//!   on the joint space `R × V(G)` (acceptance Eq 17, stationary Eq 18).
+//!
+//! Supporting modules:
+//!
+//! - [`oracle`] — memoised dependency-score evaluation (the chain revisits
+//!   states; re-evaluating `δ_{v•}(r)` would waste SPD passes);
+//! - [`optimal`] — exact ground-truth quantities: the optimal distribution,
+//!   `µ(r)`, exact relative scores, and the Theorem 2 separator checker;
+//! - [`planner`] — the (ε, δ) sample-size planner built on Ineq 14/27.
+//!
+//! Both samplers work unchanged on weighted graphs (the kernel switches to
+//! Dijkstra SPDs, §2.1).
+//!
+//! ## Reproduction soundness note
+//!
+//! Theorem 1's claim that Eq 7 approximates `BC(r)` does not hold in
+//! general: the chain average converges to the stationary mean
+//! [`optimal::eq7_limit`], which upper-bounds `BC(r)` and matches it only
+//! for near-flat dependency profiles (the Theorem 2 regime the paper
+//! emphasises). The ratio identity of Theorem 3 *is* exact. Both samplers
+//! reproduce the paper's estimators faithfully; [`SingleSpaceEstimate`]
+//! additionally reports an unbiased `bc_corrected`. See `optimal`'s module
+//! docs and experiment F9.
+//!
+//! ```
+//! use mhbc_core::{SingleSpaceConfig, SingleSpaceSampler};
+//! use mhbc_graph::generators;
+//!
+//! // Bridge vertex of a barbell graph: the canonical high-BC probe.
+//! let g = generators::barbell(8, 1);
+//! let r = 8;
+//! let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(6000, 7))
+//!     .unwrap()
+//!     .run();
+//! let exact = mhbc_spd::exact_betweenness_of(&g, r);
+//! assert!((est.bc_corrected - exact).abs() < 0.05);
+//! ```
+
+pub mod ensemble;
+mod error;
+pub mod extended;
+mod joint;
+pub mod optimal;
+pub mod oracle;
+pub mod planner;
+mod single;
+
+pub use ensemble::{run_parallel_ensemble, EnsembleEstimate};
+pub use error::CoreError;
+pub use extended::{extended_relative_sampled, ExtendedEstimate};
+pub use joint::{JointSpaceConfig, JointSpaceEstimate, JointSpaceSampler, JointStepInfo};
+pub use single::{SingleSpaceConfig, SingleSpaceEstimate, SingleSpaceSampler, SingleStepInfo};

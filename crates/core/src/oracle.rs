@@ -1,0 +1,284 @@
+//! Memoised dependency-score evaluation.
+//!
+//! The Metropolis–Hastings chains revisit states: on a graph with `n`
+//! vertices, a `T`-step chain proposes at most `T + 1` distinct sources but
+//! typically far fewer (the stationary distribution concentrates on
+//! high-dependency sources). Each distinct source costs one SPD pass
+//! (`O(|E|)`); caching the result turns revisits into hash lookups.
+//!
+//! For the joint-space sampler the oracle stores the dependency of a source
+//! on *all* probe vertices at once — a single backward accumulation already
+//! produces `δ_{v•}(x)` for every `x` (Eq 4), so the per-probe marginal cost
+//! is zero.
+
+use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_spd::DependencyCalculator;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Evaluations answered from the cache.
+    pub hits: u64,
+    /// Evaluations that required an SPD pass.
+    pub misses: u64,
+}
+
+impl OracleStats {
+    /// Fraction of evaluations served from cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoises `δ_{source•}(r)` for a fixed probe set, keyed by source vertex.
+pub struct ProbeOracle<'g> {
+    graph: &'g CsrGraph,
+    probes: Vec<Vertex>,
+    calc: DependencyCalculator,
+    cache: HashMap<Vertex, Box<[f64]>>,
+    stats: OracleStats,
+    capacity: usize,
+}
+
+impl<'g> ProbeOracle<'g> {
+    /// Oracle for the given probe set (panics on empty probes or
+    /// out-of-range ids — the samplers validate beforehand).
+    pub fn new(graph: &'g CsrGraph, probes: &[Vertex]) -> Self {
+        assert!(!probes.is_empty(), "probe set must be non-empty");
+        for &p in probes {
+            assert!((p as usize) < graph.num_vertices(), "probe {p} out of range");
+        }
+        ProbeOracle {
+            graph,
+            probes: probes.to_vec(),
+            calc: DependencyCalculator::new(graph),
+            cache: HashMap::new(),
+            stats: OracleStats::default(),
+            capacity: usize::MAX,
+        }
+    }
+
+    /// Bounds the cache to `entries` sources; when exceeded the cache is
+    /// flushed wholesale (random-replacement would keep no more useful a
+    /// working set for an independence chain, and flushing is branch-free).
+    pub fn with_capacity_limit(mut self, entries: usize) -> Self {
+        self.capacity = entries.max(1);
+        self
+    }
+
+    /// The probe set.
+    pub fn probes(&self) -> &[Vertex] {
+        &self.probes
+    }
+
+    /// `δ_{source•}(r)` for every probe `r`, cached.
+    pub fn deps(&mut self, source: Vertex) -> &[f64] {
+        if self.cache.contains_key(&source) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            if self.cache.len() >= self.capacity {
+                self.cache.clear();
+            }
+            let mut row = Vec::with_capacity(self.probes.len());
+            self.calc.dependency_on_many(self.graph, source, &self.probes, &mut row);
+            self.cache.insert(source, row.into_boxed_slice());
+        }
+        self.cache.get(&source).expect("just inserted")
+    }
+
+    /// `δ_{source•}(probes[idx])`, cached.
+    pub fn dep(&mut self, source: Vertex, idx: usize) -> f64 {
+        self.deps(source)[idx]
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    /// Number of SPD passes performed (equals `stats().misses`).
+    pub fn spd_passes(&self) -> u64 {
+        self.calc.passes()
+    }
+
+    /// Number of distinct sources currently cached.
+    pub fn cached_sources(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Thread-safe memoised dependency oracle for *parallel chain ensembles*
+/// (see [`crate::ensemble`]): many chains over the same probe set share one
+/// cache, so a source evaluated by any chain is free for all others.
+///
+/// Lookups take a read lock; misses compute the SPD pass *outside* any lock
+/// (each caller thread supplies its own [`DependencyCalculator`]) and then
+/// insert under a short write lock. Duplicate concurrent computations of
+/// the same source are possible but harmless (last write wins with equal
+/// values).
+pub struct SharedProbeOracle<'g> {
+    graph: &'g CsrGraph,
+    probes: Vec<Vertex>,
+    cache: RwLock<HashMap<Vertex, Box<[f64]>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'g> SharedProbeOracle<'g> {
+    /// Shared oracle for the given probe set.
+    pub fn new(graph: &'g CsrGraph, probes: &[Vertex]) -> Self {
+        assert!(!probes.is_empty(), "probe set must be non-empty");
+        for &p in probes {
+            assert!((p as usize) < graph.num_vertices(), "probe {p} out of range");
+        }
+        SharedProbeOracle {
+            graph,
+            probes: probes.to_vec(),
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// `δ_{source•}(r)` for every probe, using `calc` for cache misses.
+    pub fn deps(&self, source: Vertex, calc: &mut DependencyCalculator) -> Vec<f64> {
+        if let Some(row) = self.cache.read().get(&source) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return row.to_vec();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut row = Vec::with_capacity(self.probes.len());
+        calc.dependency_on_many(self.graph, source, &self.probes, &mut row);
+        self.cache.write().insert(source, row.clone().into_boxed_slice());
+        row
+    }
+
+    /// Single-probe convenience.
+    pub fn dep(&self, source: Vertex, idx: usize, calc: &mut DependencyCalculator) -> f64 {
+        self.deps(source, calc)[idx]
+    }
+
+    /// Cache statistics (aggregated over all threads).
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct sources cached.
+    pub fn cached_sources(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+
+    #[test]
+    fn caches_repeat_evaluations() {
+        let g = generators::barbell(4, 2);
+        let mut o = ProbeOracle::new(&g, &[4]);
+        let first = o.dep(0, 0);
+        let second = o.dep(0, 0);
+        assert_eq!(first, second);
+        assert_eq!(o.stats(), OracleStats { hits: 1, misses: 1 });
+        assert_eq!(o.spd_passes(), 1);
+    }
+
+    #[test]
+    fn values_match_direct_kernel() {
+        let g = generators::barbell(4, 2);
+        let probes = [0u32, 4, 5, 9];
+        let mut o = ProbeOracle::new(&g, &probes);
+        let mut calc = DependencyCalculator::new(&g);
+        for src in 0..g.num_vertices() as Vertex {
+            let row = o.deps(src).to_vec();
+            for (i, &p) in probes.iter().enumerate() {
+                assert_eq!(row[i], calc.dependency_on(&g, src, p), "src {src} probe {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_limit_flushes() {
+        let g = generators::cycle(10);
+        let mut o = ProbeOracle::new(&g, &[0]).with_capacity_limit(3);
+        for v in 0..9u32 {
+            let _ = o.dep(v, 0);
+        }
+        assert!(o.cached_sources() <= 3);
+        // Values still correct after flushes.
+        let mut calc = DependencyCalculator::new(&g);
+        assert_eq!(o.dep(7, 0), calc.dependency_on(&g, 7, 0));
+    }
+
+    #[test]
+    fn shared_oracle_matches_direct_kernel() {
+        let g = generators::barbell(4, 2);
+        let probes = [0u32, 4, 9];
+        let shared = SharedProbeOracle::new(&g, &probes);
+        let mut calc = DependencyCalculator::new(&g);
+        let mut reference = DependencyCalculator::new(&g);
+        for src in 0..g.num_vertices() as Vertex {
+            let row = shared.deps(src, &mut calc);
+            for (i, &p) in probes.iter().enumerate() {
+                assert_eq!(row[i], reference.dependency_on(&g, src, p));
+            }
+        }
+        // Second sweep is pure cache hits.
+        for src in 0..g.num_vertices() as Vertex {
+            let _ = shared.deps(src, &mut calc);
+        }
+        let stats = shared.stats();
+        assert_eq!(stats.misses, g.num_vertices() as u64);
+        assert_eq!(stats.hits, g.num_vertices() as u64);
+        assert_eq!(shared.cached_sources(), g.num_vertices());
+    }
+
+    #[test]
+    fn shared_oracle_concurrent_consistency() {
+        let g = generators::barbell(6, 2);
+        let shared = SharedProbeOracle::new(&g, &[6]);
+        let n = g.num_vertices() as Vertex;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..4 {
+                let shared = &shared;
+                let g = &g;
+                scope.spawn(move |_| {
+                    let mut calc = DependencyCalculator::new(g);
+                    let mut reference = DependencyCalculator::new(g);
+                    for i in 0..n {
+                        let v = (i + t * 3) % n;
+                        let got = shared.dep(v, 0, &mut calc);
+                        assert_eq!(got, reference.dependency_on(g, v, 6));
+                    }
+                });
+            }
+        })
+        .expect("threads joined");
+        assert_eq!(shared.cached_sources(), g.num_vertices());
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let g = generators::path(5);
+        let mut o = ProbeOracle::new(&g, &[2]);
+        assert_eq!(o.stats().hit_rate(), 0.0);
+        let _ = o.dep(0, 0);
+        let _ = o.dep(0, 0);
+        let _ = o.dep(0, 0);
+        assert!((o.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

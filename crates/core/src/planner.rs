@@ -1,0 +1,198 @@
+//! (ε, δ) sample-size planning (Ineq 14 / 27).
+//!
+//! The number of iterations the paper's guarantee requires depends on the
+//! concentration constant `µ(r)` (Ineq 11). Three ways to obtain it:
+//!
+//! - **exactly**, from the dependency profile (`n` SPD passes — only
+//!   sensible when the plan is reused across many runs or in experiments);
+//! - from the **Theorem 2 bound** `1 + 1/K` when `r` is a balanced vertex
+//!   separator (a cheap `O(n + m)` component scan — the paper's "in several
+//!   cases µ(r) is a constant" scenario);
+//! - **supplied** by the caller from domain knowledge.
+
+use crate::optimal::theorem2_report;
+use crate::CoreError;
+use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_mcmc::bounds;
+use mhbc_spd::dependency_profile_par;
+
+/// How to obtain `µ(r)` for planning.
+#[derive(Debug, Clone, Copy)]
+pub enum MuSource {
+    /// Compute the exact value from the dependency profile (`n` SPD passes,
+    /// parallelised over the given number of threads; 0 = all cores).
+    Exact { threads: usize },
+    /// Use Theorem 2's bound `1 + 1/K` (requires `r` to be a separator).
+    TheoremTwo,
+    /// Use a caller-supplied value (must be ≥ 1).
+    Provided(f64),
+}
+
+/// A concrete sampling plan.
+#[derive(Debug, Clone, Copy)]
+pub struct Plan {
+    /// The `µ(r)` value used.
+    pub mu: f64,
+    /// Iterations guaranteeing `P[|B̂C(r) − BC(r)| > ε] ≤ δ` (Ineq 14).
+    pub iterations: u64,
+    /// The requested additive error.
+    pub epsilon: f64,
+    /// The requested failure probability.
+    pub delta: f64,
+}
+
+/// Errors from planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Sampler-level validation failed.
+    Core(CoreError),
+    /// `r` has zero betweenness: µ(r) is undefined and no sampling is
+    /// needed (the estimate is exactly 0).
+    ZeroBetweenness,
+    /// Theorem 2 requires `r` to be a vertex separator.
+    NotASeparator,
+    /// A provided µ was < 1 or non-finite.
+    InvalidMu(f64),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Core(e) => write!(f, "{e}"),
+            PlanError::ZeroBetweenness => {
+                write!(f, "probe has zero betweenness; nothing to sample")
+            }
+            PlanError::NotASeparator => {
+                write!(f, "Theorem 2 bound needs the probe to be a vertex separator")
+            }
+            PlanError::InvalidMu(mu) => write!(f, "invalid mu {mu} (must be finite and >= 1)"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Produces the iteration budget for estimating `BC(r)` within `epsilon`
+/// with probability `1 − delta` (Theorem 1 / Ineq 14).
+pub fn plan_single(
+    g: &CsrGraph,
+    r: Vertex,
+    epsilon: f64,
+    delta: f64,
+    mu_source: MuSource,
+) -> Result<Plan, PlanError> {
+    if r as usize >= g.num_vertices() {
+        return Err(PlanError::Core(CoreError::ProbeOutOfRange {
+            probe: r,
+            num_vertices: g.num_vertices(),
+        }));
+    }
+    let mu = match mu_source {
+        MuSource::Exact { threads } => dependency_profile_par(g, r, threads)
+            .mu()
+            .ok_or(PlanError::ZeroBetweenness)?,
+        MuSource::TheoremTwo => theorem2_report(g, r, 0.0)
+            .mu_bound
+            .ok_or(PlanError::NotASeparator)?,
+        MuSource::Provided(mu) => mu,
+    };
+    if !(mu.is_finite() && mu >= 1.0) {
+        return Err(PlanError::InvalidMu(mu));
+    }
+    Ok(Plan { mu, iterations: bounds::required_samples(mu, epsilon, delta), epsilon, delta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+
+    #[test]
+    fn exact_plan_on_balanced_separator_is_size_independent() {
+        // Theorem 2 regime: iteration budgets barely move as n grows.
+        let budgets: Vec<u64> = [6usize, 12, 24]
+            .iter()
+            .map(|&k| {
+                let g = generators::barbell(k, 1);
+                plan_single(&g, k as u32, 0.05, 0.05, MuSource::Exact { threads: 1 })
+                    .unwrap()
+                    .iterations
+            })
+            .collect();
+        let (min, max) = (budgets.iter().min().unwrap(), budgets.iter().max().unwrap());
+        assert!(
+            *max as f64 / *min as f64 <= 1.6,
+            "budgets should be near-constant, got {budgets:?}"
+        );
+    }
+
+    #[test]
+    fn theorem2_plan_dominates_exact_plan() {
+        let g = generators::barbell(10, 1);
+        let exact = plan_single(&g, 10, 0.05, 0.05, MuSource::Exact { threads: 1 }).unwrap();
+        let bound = plan_single(&g, 10, 0.05, 0.05, MuSource::TheoremTwo).unwrap();
+        assert!(bound.mu >= exact.mu);
+        assert!(bound.iterations >= exact.iterations);
+    }
+
+    #[test]
+    fn provided_mu_is_used_verbatim() {
+        let g = generators::barbell(5, 1);
+        let p = plan_single(&g, 5, 0.1, 0.1, MuSource::Provided(3.0)).unwrap();
+        assert_eq!(p.mu, 3.0);
+        assert_eq!(p.iterations, mhbc_mcmc::bounds::required_samples(3.0, 0.1, 0.1));
+    }
+
+    #[test]
+    fn error_paths() {
+        let g = generators::star(8);
+        // A leaf has zero betweenness.
+        assert_eq!(
+            plan_single(&g, 3, 0.1, 0.1, MuSource::Exact { threads: 1 }).unwrap_err(),
+            PlanError::ZeroBetweenness
+        );
+        // The centre of a complete graph is not a separator.
+        let k = generators::complete(5);
+        assert_eq!(
+            plan_single(&k, 0, 0.1, 0.1, MuSource::TheoremTwo).unwrap_err(),
+            PlanError::NotASeparator
+        );
+        assert_eq!(
+            plan_single(&g, 0, 0.1, 0.1, MuSource::Provided(0.2)).unwrap_err(),
+            PlanError::InvalidMu(0.2)
+        );
+        assert!(matches!(
+            plan_single(&g, 99, 0.1, 0.1, MuSource::Provided(2.0)).unwrap_err(),
+            PlanError::Core(CoreError::ProbeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn planned_budget_actually_achieves_epsilon() {
+        // End-to-end (eps, delta) check on a small graph: run the planned
+        // budget repeatedly; the failure fraction must respect delta (with
+        // slack for the bound's conservativeness — it overshoots).
+        let g = generators::barbell(6, 1);
+        let r = 6;
+        let plan = plan_single(&g, r, 0.08, 0.2, MuSource::Exact { threads: 1 }).unwrap();
+        let exact = mhbc_spd::exact_betweenness_of(&g, r);
+        let runs = 20;
+        let mut failures = 0;
+        for seed in 0..runs {
+            let est = crate::SingleSpaceSampler::new(
+                &g,
+                r,
+                crate::SingleSpaceConfig::new(plan.iterations, seed),
+            )
+            .unwrap()
+            .run();
+            if (est.bc - exact).abs() > plan.epsilon {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures <= 2,
+            "failures {failures}/{runs} exceed the planned delta with margin"
+        );
+    }
+}

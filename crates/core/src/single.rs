@@ -1,0 +1,452 @@
+//! The single-space MCMC sampler (§4.2).
+
+use crate::oracle::{OracleStats, ProbeOracle};
+use crate::CoreError;
+use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_mcmc::{MetropolisHastings, TargetDensity, UniformProposal};
+use rand::{rngs::SmallRng, RngExt, SeedableRng};
+
+/// Target density of the single-space chain: `f(v) = δ_{v•}(r)` — the
+/// unnormalised form of the optimal distribution `P_r[v]` (Eq 5).
+struct SingleTarget<'g> {
+    oracle: ProbeOracle<'g>,
+}
+
+impl TargetDensity for SingleTarget<'_> {
+    type State = Vertex;
+
+    fn density(&mut self, v: &Vertex) -> f64 {
+        self.oracle.dep(*v, 0)
+    }
+}
+
+/// Configuration for [`SingleSpaceSampler`].
+#[derive(Debug, Clone)]
+pub struct SingleSpaceConfig {
+    /// Number of MH iterations `T` (the chain visits `T + 1` states).
+    pub iterations: u64,
+    /// RNG seed; every run is deterministic given the seed.
+    pub seed: u64,
+    /// Initial state; `None` draws it uniformly at random (the paper's
+    /// default). Theorem 1 holds from *any* initial state.
+    pub initial: Option<Vertex>,
+    /// Iterations to discard before accumulating. The paper proves no
+    /// burn-in is needed (remark after Theorem 1); nonzero values exist for
+    /// the F6 ablation.
+    pub burn_in: u64,
+    /// `true` (default, and the reading consistent with Theorem 1): a
+    /// rejected proposal re-counts the current state in the estimator
+    /// multiset `M`. `false` reproduces the literal "accepted samples only"
+    /// reading of Eq 7, which experiment F5 shows is biased.
+    pub count_rejections: bool,
+    /// Record the running estimate and per-step dependency after every
+    /// iteration (costs two `Vec<f64>` of length `T`).
+    pub record_trace: bool,
+}
+
+impl SingleSpaceConfig {
+    /// Defaults: uniform initial state, no burn-in, rejections counted,
+    /// no trace.
+    pub fn new(iterations: u64, seed: u64) -> Self {
+        SingleSpaceConfig {
+            iterations,
+            seed,
+            initial: None,
+            burn_in: 0,
+            count_rejections: true,
+            record_trace: false,
+        }
+    }
+
+    /// Sets the initial state.
+    pub fn with_initial(mut self, v: Vertex) -> Self {
+        self.initial = Some(v);
+        self
+    }
+
+    /// Sets a burn-in period (F6 ablation).
+    pub fn with_burn_in(mut self, burn_in: u64) -> Self {
+        self.burn_in = burn_in;
+        self
+    }
+
+    /// Switches to the literal accepted-only multiset (F5 ablation).
+    pub fn accepted_only(mut self) -> Self {
+        self.count_rejections = false;
+        self
+    }
+
+    /// Enables trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// Result of a single-space run.
+#[derive(Debug, Clone)]
+pub struct SingleSpaceEstimate {
+    /// The estimated betweenness `B̂C(r)` — the paper's Eq 7 estimator,
+    /// reproduced faithfully. **Caveat (see [`crate::optimal`])**: its true
+    /// limit is the stationary mean [`crate::optimal::eq7_limit`], which
+    /// upper-bounds `BC(r)` and coincides with it only for near-flat
+    /// dependency profiles (the paper's Theorem 2 regime).
+    pub bc: f64,
+    /// Support-corrected unbiased estimate of `BC(r)` (reproduction
+    /// extension): `BC(r) = Σδ/(n(n−1))` is recovered as
+    /// `p̂ · |support-steps| / ((n−1) · Σ_t 1/δ_t)`, where `p̂` is the
+    /// fraction of (uniform, i.i.d.) *proposals* with positive dependency
+    /// — estimating `|supp δ|/n` — and the harmonic term estimates
+    /// `E_{P_r}[1/δ] = |supp δ|/Σδ`. Unbiased in the limit but with heavier
+    /// tails than Eq 7 when tiny positive dependencies exist.
+    pub bc_corrected: f64,
+    /// The probe vertex.
+    pub r: Vertex,
+    /// Iterations performed (`T`).
+    pub iterations: u64,
+    /// Fraction of proposals accepted.
+    pub acceptance_rate: f64,
+    /// SPD passes spent (distinct sources evaluated) — the true cost.
+    pub spd_passes: u64,
+    /// Oracle cache statistics.
+    pub oracle_stats: OracleStats,
+    /// Running estimate after each counted iteration (when traced).
+    pub trace: Option<Vec<f64>>,
+    /// Per-iteration dependency `δ_{v_t•}(r)` of the occupied state (when
+    /// traced) — the series fed to the mixing diagnostics (F2).
+    pub density_series: Option<Vec<f64>>,
+}
+
+/// Per-step report from the streaming API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleStepInfo {
+    /// Iterations done so far.
+    pub iteration: u64,
+    /// Whether this step's proposal was accepted.
+    pub accepted: bool,
+    /// Running estimate `B̂C(r)` including this step.
+    pub estimate: f64,
+}
+
+/// The paper's single-space Metropolis–Hastings sampler (§4.2).
+///
+/// State space `V(G)`; proposal uniform over `V(G)` (independence MH);
+/// acceptance `min{1, δ_{v'•}(r)/δ_{v•}(r)}` (Eq 6); estimator the chain
+/// average of `δ_{v•}(r)/(|V|−1)` (Eq 7). Provides an `(ε, δ)`-guarantee
+/// with `T ≥ µ(r)²/(2ε²) ln(2/δ)` iterations (Theorem 1 / Ineq 14); see
+/// [`crate::planner`].
+pub struct SingleSpaceSampler<'g> {
+    chain: MetropolisHastings<SingleTarget<'g>, UniformProposal, SmallRng>,
+    r: Vertex,
+    n: usize,
+    config: SingleSpaceConfig,
+    iteration: u64,
+    sum_delta: f64,
+    counted: u64,
+    // Support-corrected estimator accumulators (see SingleSpaceEstimate).
+    proposals_support: u64,
+    inv_delta_sum: f64,
+    support_counted: u64,
+    trace: Vec<f64>,
+    density_series: Vec<f64>,
+}
+
+impl<'g> SingleSpaceSampler<'g> {
+    /// Builds a sampler for probe vertex `r` on `g` (weighted or not).
+    pub fn new(g: &'g CsrGraph, r: Vertex, config: SingleSpaceConfig) -> Result<Self, CoreError> {
+        let n = g.num_vertices();
+        if n < 3 {
+            return Err(CoreError::GraphTooSmall { num_vertices: n });
+        }
+        if r as usize >= n {
+            return Err(CoreError::ProbeOutOfRange { probe: r, num_vertices: n });
+        }
+        if let Some(v0) = config.initial {
+            if v0 as usize >= n {
+                return Err(CoreError::ProbeOutOfRange { probe: v0, num_vertices: n });
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let initial = config.initial.unwrap_or_else(|| rng.random_range(0..n as Vertex));
+        let target = SingleTarget { oracle: ProbeOracle::new(g, &[r]) };
+        let chain = MetropolisHastings::new(target, UniformProposal::new(n), initial, rng);
+
+        let mut sampler = SingleSpaceSampler {
+            chain,
+            r,
+            n,
+            config,
+            iteration: 0,
+            sum_delta: 0.0,
+            counted: 0,
+            proposals_support: 0,
+            inv_delta_sum: 0.0,
+            support_counted: 0,
+            trace: Vec::new(),
+            density_series: Vec::new(),
+        };
+        // The initial state is sample 0 of the multiset (unless burnt in).
+        if sampler.config.burn_in == 0 {
+            let d0 = sampler.chain.current_density();
+            sampler.sum_delta += d0;
+            sampler.counted = 1;
+            if d0 > 0.0 {
+                sampler.inv_delta_sum += 1.0 / d0;
+                sampler.support_counted += 1;
+            }
+            if sampler.config.record_trace {
+                sampler.density_series.push(d0);
+                sampler.trace.push(sampler.estimate());
+            }
+        }
+        Ok(sampler)
+    }
+
+    /// The probe vertex.
+    pub fn probe(&self) -> Vertex {
+        self.r
+    }
+
+    /// Current estimate `B̂C(r)` from the samples counted so far.
+    pub fn estimate(&self) -> f64 {
+        if self.counted == 0 {
+            return 0.0;
+        }
+        self.sum_delta / (self.counted as f64 * (self.n as f64 - 1.0))
+    }
+
+    /// Current support-corrected estimate (see
+    /// [`SingleSpaceEstimate::bc_corrected`]); 0 until proposals exist.
+    pub fn estimate_corrected(&self) -> f64 {
+        if self.iteration == 0 || self.support_counted == 0 || self.inv_delta_sum <= 0.0 {
+            return 0.0;
+        }
+        let p_hat = self.proposals_support as f64 / self.iteration as f64;
+        p_hat * self.support_counted as f64 / ((self.n as f64 - 1.0) * self.inv_delta_sum)
+    }
+
+    /// Performs one MH iteration and updates the estimator.
+    pub fn step(&mut self) -> SingleStepInfo {
+        let out = self.chain.step();
+        self.iteration += 1;
+        if out.proposed_density > 0.0 {
+            self.proposals_support += 1;
+        }
+        if self.iteration > self.config.burn_in {
+            if self.config.count_rejections || out.accepted {
+                self.sum_delta += out.density;
+            }
+            self.counted += 1;
+            if out.density > 0.0 {
+                self.inv_delta_sum += 1.0 / out.density;
+                self.support_counted += 1;
+            }
+            if self.config.record_trace {
+                self.density_series.push(out.density);
+                self.trace.push(self.estimate());
+            }
+        }
+        SingleStepInfo { iteration: self.iteration, accepted: out.accepted, estimate: self.estimate() }
+    }
+
+    /// Runs the configured number of iterations and finalises.
+    pub fn run(mut self) -> SingleSpaceEstimate {
+        for _ in self.iteration..self.config.iterations {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Finalises early (fewer than `config.iterations` steps).
+    pub fn finish(self) -> SingleSpaceEstimate {
+        let bc_corrected = self.estimate_corrected();
+        let stats = self.chain.stats().clone();
+        let target = self.chain.into_target();
+        SingleSpaceEstimate {
+            bc: if self.counted == 0 {
+                0.0
+            } else {
+                self.sum_delta / (self.counted as f64 * (self.n as f64 - 1.0))
+            },
+            bc_corrected,
+            r: self.r,
+            iterations: self.iteration,
+            acceptance_rate: stats.acceptance_rate(),
+            spd_passes: target.oracle.spd_passes(),
+            oracle_stats: target.oracle.stats(),
+            trace: if self.config.record_trace { Some(self.trace) } else { None },
+            density_series: if self.config.record_trace { Some(self.density_series) } else { None },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+    use mhbc_spd::exact_betweenness_of;
+
+    #[test]
+    fn eq7_converges_to_its_stationary_limit_on_barbell_bridge() {
+        let g = generators::barbell(8, 1);
+        let r = 8; // the path vertex between the cliques
+        let profile = mhbc_spd::dependency_profile_par(&g, r, 1);
+        let limit = crate::optimal::eq7_limit(&profile);
+        let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(30_000, 42))
+            .unwrap()
+            .run();
+        assert!(
+            (est.bc - limit).abs() < 0.02,
+            "estimate {} vs Eq 7 limit {limit}",
+            est.bc
+        );
+        // In the balanced-separator regime the limit is close to BC(r), so
+        // the paper's estimator is also close to the truth here.
+        let exact = profile.betweenness();
+        assert!((est.bc - exact).abs() < 0.05, "estimate {} vs exact {exact}", est.bc);
+        assert_eq!(est.iterations, 30_000);
+        assert!(est.acceptance_rate > 0.0 && est.acceptance_rate < 1.0);
+    }
+
+    #[test]
+    fn eq7_converges_to_limit_and_correction_to_bc_on_star() {
+        // Star n = 30: Eq 7 limit = 28/29, true BC = 28/30 — the cleanest
+        // demonstration of the estimator's structural bias.
+        let g = generators::star(30);
+        let est = SingleSpaceSampler::new(&g, 0, SingleSpaceConfig::new(20_000, 7)).unwrap().run();
+        assert!(
+            (est.bc - 28.0 / 29.0).abs() < 0.01,
+            "Eq 7 estimate {} should approach 28/29",
+            est.bc
+        );
+        assert!(
+            (est.bc_corrected - 28.0 / 30.0).abs() < 0.01,
+            "corrected estimate {} should approach 28/30",
+            est.bc_corrected
+        );
+    }
+
+    #[test]
+    fn corrected_estimator_unbiased_on_skewed_profile() {
+        // Lollipop path vertex: skewed profile, so Eq 7 is visibly biased
+        // while the corrected estimator recovers BC(r).
+        let g = generators::lollipop(8, 4);
+        let r = 8;
+        let exact = exact_betweenness_of(&g, r);
+        let profile = mhbc_spd::dependency_profile_par(&g, r, 1);
+        let limit = crate::optimal::eq7_limit(&profile);
+        assert!(limit - exact > 0.01, "test premise: visible bias");
+        let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(60_000, 19))
+            .unwrap()
+            .run();
+        assert!((est.bc - limit).abs() < 0.03, "Eq 7 {} vs limit {limit}", est.bc);
+        assert!(
+            (est.bc_corrected - exact).abs() < 0.03,
+            "corrected {} vs exact {exact}",
+            est.bc_corrected
+        );
+    }
+
+    #[test]
+    fn zero_betweenness_probe_estimates_zero() {
+        let g = generators::star(10);
+        // A leaf has BC = 0; every dependency is 0, so the estimate is 0.
+        let est = SingleSpaceSampler::new(&g, 3, SingleSpaceConfig::new(500, 3)).unwrap().run();
+        assert_eq!(est.bc, 0.0);
+        assert_eq!(est.bc_corrected, 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::barbell(5, 2);
+        let run = |seed| {
+            SingleSpaceSampler::new(&g, 5, SingleSpaceConfig::new(2_000, seed)).unwrap().run().bc
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn weighted_graph_supported() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = generators::assign_uniform_weights(&generators::barbell(6, 1), 1.0, 3.0, &mut rng);
+        let r = 6;
+        let exact = exact_betweenness_of(&g, r);
+        let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(20_000, 11)).unwrap().run();
+        assert!((est.bc - exact).abs() < 0.05, "estimate {} vs exact {exact}", est.bc);
+    }
+
+    #[test]
+    fn trace_has_one_entry_per_counted_sample() {
+        let g = generators::barbell(4, 1);
+        let est = SingleSpaceSampler::new(&g, 4, SingleSpaceConfig::new(100, 1).with_trace())
+            .unwrap()
+            .run();
+        // Initial state + 100 iterations.
+        assert_eq!(est.trace.as_ref().unwrap().len(), 101);
+        assert_eq!(est.density_series.as_ref().unwrap().len(), 101);
+        // Final trace entry equals the reported estimate.
+        assert_eq!(*est.trace.unwrap().last().unwrap(), est.bc);
+    }
+
+    #[test]
+    fn burn_in_discards_early_samples() {
+        let g = generators::barbell(4, 1);
+        let cfg = SingleSpaceConfig::new(200, 2).with_burn_in(50).with_trace();
+        let est = SingleSpaceSampler::new(&g, 4, cfg).unwrap().run();
+        assert_eq!(est.trace.unwrap().len(), 150);
+    }
+
+    #[test]
+    fn accepted_only_mode_differs() {
+        let g = generators::barbell(8, 1);
+        let standard =
+            SingleSpaceSampler::new(&g, 8, SingleSpaceConfig::new(5_000, 3)).unwrap().run();
+        let literal = SingleSpaceSampler::new(&g, 8, SingleSpaceConfig::new(5_000, 3).accepted_only())
+            .unwrap()
+            .run();
+        // Same chain path (same seed), but the literal reading drops
+        // rejected re-counts, deflating the estimate.
+        assert!(literal.bc < standard.bc);
+    }
+
+    #[test]
+    fn oracle_cache_bounds_spd_passes() {
+        let g = generators::barbell(6, 1);
+        let est = SingleSpaceSampler::new(&g, 6, SingleSpaceConfig::new(5_000, 4)).unwrap().run();
+        // At most one pass per vertex: the state space has 13 vertices.
+        assert!(est.spd_passes <= 13, "passes = {}", est.spd_passes);
+        assert!(est.oracle_stats.hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let g = generators::path(10);
+        assert!(matches!(
+            SingleSpaceSampler::new(&g, 99, SingleSpaceConfig::new(10, 0)),
+            Err(CoreError::ProbeOutOfRange { .. })
+        ));
+        let tiny = generators::path(2);
+        assert!(matches!(
+            SingleSpaceSampler::new(&tiny, 0, SingleSpaceConfig::new(10, 0)),
+            Err(CoreError::GraphTooSmall { .. })
+        ));
+        assert!(matches!(
+            SingleSpaceSampler::new(&g, 0, SingleSpaceConfig::new(10, 0).with_initial(99)),
+            Err(CoreError::ProbeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn initial_state_is_respected_and_counted() {
+        let g = generators::path(10);
+        let cfg = SingleSpaceConfig::new(0, 0).with_initial(5).with_trace();
+        let sampler = SingleSpaceSampler::new(&g, 5, cfg).unwrap();
+        // delta_5(5) = 0, so with zero iterations the estimate is 0.
+        assert_eq!(sampler.estimate(), 0.0);
+        let est = sampler.run();
+        assert_eq!(est.iterations, 0);
+        assert_eq!(est.trace.unwrap().len(), 1);
+    }
+}

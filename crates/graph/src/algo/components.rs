@@ -1,0 +1,199 @@
+//! Connected components and vertex-removal component analysis.
+
+use crate::{CsrGraph, GraphBuilder, Vertex};
+use std::collections::VecDeque;
+
+/// Result of [`connected_components`].
+#[derive(Debug, Clone)]
+pub struct ComponentLabels {
+    /// Number of connected components.
+    pub count: usize,
+    /// `labels[v]` is the component id of `v`, in `0..count`, assigned in
+    /// order of discovery from vertex 0 upward.
+    pub labels: Vec<u32>,
+}
+
+impl ComponentLabels {
+    /// Sizes of each component, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Labels connected components by BFS in `O(n + m)`.
+pub fn connected_components(g: &CsrGraph) -> ComponentLabels {
+    let n = g.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if labels[s] != u32::MAX {
+            continue;
+        }
+        labels[s] = count;
+        queue.push_back(s as Vertex);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    ComponentLabels { count: count as usize, labels }
+}
+
+/// Whether `g` is connected (the paper's standing assumption). Empty graphs
+/// count as connected.
+pub fn is_connected(g: &CsrGraph) -> bool {
+    connected_components(g).count <= 1
+}
+
+/// Extracts the largest connected component as a new graph.
+///
+/// Returns the subgraph and a mapping `new_id -> old_id`. Weights are
+/// preserved. Standard preprocessing step for generated graphs that came out
+/// disconnected.
+pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<Vertex>) {
+    let comps = connected_components(g);
+    if comps.count <= 1 {
+        return (g.clone(), (0..g.num_vertices() as Vertex).collect());
+    }
+    let sizes = comps.sizes();
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .expect("at least one component exists");
+
+    let mut new_of_old = vec![u32::MAX; g.num_vertices()];
+    let mut old_of_new = Vec::new();
+    for (v, slot) in new_of_old.iter_mut().enumerate() {
+        if comps.labels[v] == best {
+            *slot = old_of_new.len() as u32;
+            old_of_new.push(v as Vertex);
+        }
+    }
+    let mut b = GraphBuilder::new(old_of_new.len());
+    for (u, v, w) in g.edges() {
+        let (nu, nv) = (new_of_old[u as usize], new_of_old[v as usize]);
+        if nu == u32::MAX || nv == u32::MAX {
+            continue;
+        }
+        if g.is_weighted() {
+            b.add_weighted_edge(nu, nv, w).expect("subgraph edge valid");
+        } else {
+            b.add_edge(nu, nv).expect("subgraph edge valid");
+        }
+    }
+    (b.build().expect("subgraph is valid"), old_of_new)
+}
+
+/// Sizes of the connected components of `G \ r` (the paper's notation for
+/// the graphs obtained by removing `r`), sorted descending.
+///
+/// This is the quantity Theorem 2 reasons about: `r` is a *balanced vertex
+/// separator* when at least two of these components have `Θ(n)` vertices.
+pub fn components_after_removal(g: &CsrGraph, r: Vertex) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    labels[r as usize] = u32::MAX - 1; // mark removed
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if labels[s] != u32::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        labels[s] = sizes.len() as u32;
+        queue.push_back(s as Vertex);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if v != r && labels[v as usize] == u32::MAX {
+                    labels[v as usize] = sizes.len() as u32;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn single_component() {
+        let g = generators::cycle(6);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn multiple_components_and_sizes() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2, 3]);
+    }
+
+    #[test]
+    fn largest_component_extraction_preserves_structure() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        let mut old: Vec<_> = map.clone();
+        old.sort_unstable();
+        assert_eq!(old, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_component_weighted() {
+        let g =
+            CsrGraph::from_weighted_edges(5, &[(0, 1, 2.0), (1, 2, 3.0), (3, 4, 1.0)]).unwrap();
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 3);
+        assert!(sub.is_weighted());
+        // Find the new ids of old 0 and 1 via the map.
+        let new_of = |old: Vertex| map.iter().position(|&o| o == old).unwrap() as Vertex;
+        assert_eq!(sub.edge_weight(new_of(0), new_of(1)), Some(2.0));
+    }
+
+    #[test]
+    fn removal_of_cut_vertex() {
+        let g = generators::barbell(3, 0); // two triangles joined by an edge
+        // Vertex 2 is in clique A and on the bridge (2-3).
+        let sizes = components_after_removal(&g, 2);
+        assert_eq!(sizes, vec![3, 2]);
+    }
+
+    #[test]
+    fn removal_of_non_cut_vertex() {
+        let g = generators::complete(5);
+        let sizes = components_after_removal(&g, 0);
+        assert_eq!(sizes, vec![4]);
+    }
+
+    #[test]
+    fn removal_from_star_shatters() {
+        let g = generators::star(6);
+        let sizes = components_after_removal(&g, 0);
+        assert_eq!(sizes, vec![1, 1, 1, 1, 1]);
+    }
+}

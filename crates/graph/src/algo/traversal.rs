@@ -1,0 +1,129 @@
+//! Breadth- and depth-first traversal primitives.
+
+use crate::{CsrGraph, Vertex};
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS distances from `src`; unreachable vertices get [`UNREACHED`].
+pub fn bfs_distances(g: &CsrGraph, src: Vertex) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; g.num_vertices()];
+    bfs_distances_into(g, src, &mut dist);
+    dist
+}
+
+/// BFS distances written into a caller-provided buffer (resized to `n`),
+/// avoiding per-call allocation in hot loops.
+pub fn bfs_distances_into(g: &CsrGraph, src: Vertex, dist: &mut Vec<u32>) {
+    let n = g.num_vertices();
+    dist.clear();
+    dist.resize(n, UNREACHED);
+    if n == 0 {
+        return;
+    }
+    let mut queue = VecDeque::with_capacity(n.min(1024));
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+/// Vertices in BFS visitation order from `src` (only the reachable ones).
+pub fn bfs_order(g: &CsrGraph, src: Vertex) -> Vec<Vertex> {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    seen[src as usize] = true;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Vertices in DFS preorder from `src` (iterative; only reachable ones).
+pub fn dfs_preorder(g: &CsrGraph, src: Vertex) -> Vec<Vertex> {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![src];
+    while let Some(u) = stack.pop() {
+        if seen[u as usize] {
+            continue;
+        }
+        seen[u as usize] = true;
+        order.push(u);
+        // Push in reverse so that the smallest neighbour is visited first.
+        for &v in g.neighbors(u).iter().rev() {
+            if !seen[v as usize] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_distances() {
+        let g = generators::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = crate::CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn buffer_reuse_resets_state() {
+        let g = generators::path(4);
+        let mut buf = Vec::new();
+        bfs_distances_into(&g, 0, &mut buf);
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        bfs_distances_into(&g, 3, &mut buf);
+        assert_eq!(buf, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn bfs_order_is_level_consistent() {
+        let g = generators::star(5);
+        let order = bfs_order(&g, 0);
+        assert_eq!(order[0], 0);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn dfs_preorder_visits_all_reachable() {
+        let g = generators::balanced_tree(2, 3);
+        let order = dfs_preorder(&g, 0);
+        assert_eq!(order.len(), g.num_vertices());
+        assert_eq!(order[0], 0);
+        // Preorder on the left-first tree: root then leftmost child.
+        assert_eq!(order[1], 1);
+    }
+}

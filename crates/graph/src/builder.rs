@@ -1,0 +1,269 @@
+//! Validating graph construction.
+
+use crate::{CsrGraph, GraphError, Vertex};
+
+/// Incremental, validating builder for [`CsrGraph`].
+///
+/// Enforces the structural assumptions of the paper (§2): no self-loops, no
+/// multi-edges (identical duplicates are silently merged; duplicates with
+/// different weights are an error), and strictly positive finite weights.
+/// A single builder is either entirely weighted or entirely unweighted.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+    weights: Vec<f64>,
+    weighted: Option<bool>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), weights: Vec::new(), weighted: None }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+            weights: Vec::new(),
+            weighted: None,
+        }
+    }
+
+    /// Number of vertices this builder targets.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn num_edges_added(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn check_endpoints(&self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        for x in [u, v] {
+            if x as usize >= self.n {
+                return Err(GraphError::VertexOutOfRange { vertex: x, num_vertices: self.n });
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds an undirected, unweighted edge `{u, v}`.
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> Result<&mut Self, GraphError> {
+        self.check_endpoints(u, v)?;
+        match self.weighted {
+            Some(true) => return Err(GraphError::MixedWeightedness),
+            Some(false) => {}
+            None => self.weighted = Some(false),
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(self)
+    }
+
+    /// Adds an undirected edge `{u, v}` with strictly positive weight `w`.
+    pub fn add_weighted_edge(&mut self, u: Vertex, v: Vertex, w: f64) -> Result<&mut Self, GraphError> {
+        self.check_endpoints(u, v)?;
+        if !(w.is_finite() && w > 0.0) {
+            return Err(GraphError::InvalidWeight { u, v, weight: w });
+        }
+        match self.weighted {
+            Some(false) => return Err(GraphError::MixedWeightedness),
+            Some(true) => {}
+            None => self.weighted = Some(true),
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        self.weights.push(w);
+        Ok(self)
+    }
+
+    /// Finalises into CSR form.
+    ///
+    /// Runs in `O(n + m log m)`: normalised edges are sorted, identical
+    /// duplicates merged, and the doubled adjacency arrays filled by prefix
+    /// sums. Duplicate edges with differing weights produce
+    /// [`GraphError::InconsistentDuplicate`].
+    pub fn build(self) -> Result<CsrGraph, GraphError> {
+        if self.n >= u32::MAX as usize {
+            return Err(GraphError::TooManyVertices { requested: self.n });
+        }
+        let weighted = self.weighted == Some(true);
+
+        // Sort (edge, weight) jointly, then merge duplicates.
+        let mut order: Vec<u32> = (0..self.edges.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| self.edges[i as usize]);
+
+        let mut dedup: Vec<(Vertex, Vertex)> = Vec::with_capacity(self.edges.len());
+        let mut dedup_w: Vec<f64> = Vec::with_capacity(if weighted { self.edges.len() } else { 0 });
+        for &i in &order {
+            let e = self.edges[i as usize];
+            if dedup.last() == Some(&e) {
+                if weighted {
+                    let w_new = self.weights[i as usize];
+                    let w_old = *dedup_w.last().unwrap();
+                    if w_new != w_old {
+                        return Err(GraphError::InconsistentDuplicate {
+                            u: e.0,
+                            v: e.1,
+                            w1: w_old,
+                            w2: w_new,
+                        });
+                    }
+                }
+                continue;
+            }
+            dedup.push(e);
+            if weighted {
+                dedup_w.push(self.weights[i as usize]);
+            }
+        }
+
+        let m = dedup.len();
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, v) in &dedup {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+
+        let mut targets = vec![0 as Vertex; 2 * m];
+        let mut weights = if weighted { vec![0.0f64; 2 * m] } else { Vec::new() };
+        let mut cursor = offsets.clone();
+        for (k, &(u, v)) in dedup.iter().enumerate() {
+            let (cu, cv) = (cursor[u as usize], cursor[v as usize]);
+            targets[cu] = v;
+            targets[cv] = u;
+            if weighted {
+                weights[cu] = dedup_w[k];
+                weights[cv] = dedup_w[k];
+            }
+            cursor[u as usize] += 1;
+            cursor[v as usize] += 1;
+        }
+
+        // Edges were inserted in sorted order of (min, max); each adjacency
+        // slice receives its targets in increasing order of the *other*
+        // endpoint only for the `u < v` direction. Sort each slice (cheap:
+        // slices are typically short and nearly sorted).
+        if weighted {
+            for v in 0..self.n {
+                let (s, e) = (offsets[v], offsets[v + 1]);
+                let mut idx: Vec<usize> = (s..e).collect();
+                idx.sort_unstable_by_key(|&i| targets[i]);
+                let t_sorted: Vec<Vertex> = idx.iter().map(|&i| targets[i]).collect();
+                let w_sorted: Vec<f64> = idx.iter().map(|&i| weights[i]).collect();
+                targets[s..e].copy_from_slice(&t_sorted);
+                weights[s..e].copy_from_slice(&w_sorted);
+            }
+        } else {
+            for v in 0..self.n {
+                let (s, e) = (offsets[v], offsets[v + 1]);
+                targets[s..e].sort_unstable();
+            }
+        }
+
+        Ok(CsrGraph {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+            weights: if weighted { Some(weights.into_boxed_slice()) } else { None },
+            num_edges: m,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1).unwrap_err(), GraphError::SelfLoop { vertex: 1 });
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.add_edge(0, 2).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 2, num_vertices: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_mixed_weightedness() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        assert_eq!(b.add_weighted_edge(1, 2, 1.0).unwrap_err(), GraphError::MixedWeightedness);
+
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 1.0).unwrap();
+        assert_eq!(b.add_edge(1, 2).unwrap_err(), GraphError::MixedWeightedness);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut b = GraphBuilder::new(2);
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                b.add_weighted_edge(0, 1, w).unwrap_err(),
+                GraphError::InvalidWeight { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn merges_identical_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn merges_identical_weighted_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 2.0).unwrap();
+        b.add_weighted_edge(1, 0, 2.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_inconsistent_duplicate_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 2.0).unwrap();
+        b.add_weighted_edge(1, 0, 3.0).unwrap();
+        assert!(matches!(b.build().unwrap_err(), GraphError::InconsistentDuplicate { .. }));
+    }
+
+    #[test]
+    fn builds_isolated_vertices() {
+        let g = GraphBuilder::new(4).build().unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn weighted_adjacency_stays_aligned_after_sorting() {
+        // Insert edges in an order that forces per-slice sorting.
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(3, 1, 3.0).unwrap();
+        b.add_weighted_edge(1, 0, 1.0).unwrap();
+        b.add_weighted_edge(2, 1, 2.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.neighbor_weights(1).unwrap(), &[1.0, 2.0, 3.0]);
+    }
+}

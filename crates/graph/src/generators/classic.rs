@@ -1,0 +1,234 @@
+//! Classic deterministic graphs with analytically known betweenness.
+//!
+//! These are used throughout the test suites as ground truth: the exact
+//! betweenness of paths, stars, barbells, etc. has closed forms against which
+//! both the exact Brandes implementation and the samplers are checked.
+
+use crate::{CsrGraph, GraphBuilder, Vertex};
+
+/// Path graph `0 - 1 - ... - n-1`.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as Vertex {
+        b.add_edge(v - 1, v).expect("path edge valid");
+    }
+    b.build().expect("path is valid")
+}
+
+/// Cycle graph on `n >= 3` vertices.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 1..n as Vertex {
+        b.add_edge(v - 1, v).expect("cycle edge valid");
+    }
+    b.add_edge(n as Vertex - 1, 0).expect("closing edge valid");
+    b.build().expect("cycle is valid")
+}
+
+/// Star with centre `0` and `n - 1` leaves.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1, "star needs at least 1 vertex");
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as Vertex {
+        b.add_edge(0, v).expect("star edge valid");
+    }
+    b.build().expect("star is valid")
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n as Vertex {
+        for v in (u + 1)..n as Vertex {
+            b.add_edge(u, v).expect("complete edge valid");
+        }
+    }
+    b.build().expect("complete graph is valid")
+}
+
+/// Complete bipartite graph `K_{a,b}`: part A is `0..a`, part B is `a..a+b`.
+pub fn complete_bipartite(a: usize, b_size: usize) -> CsrGraph {
+    let n = a + b_size;
+    let mut b = GraphBuilder::with_capacity(n, a * b_size);
+    for u in 0..a as Vertex {
+        for v in a as Vertex..n as Vertex {
+            b.add_edge(u, v).expect("bipartite edge valid");
+        }
+    }
+    b.build().expect("bipartite graph is valid")
+}
+
+/// Wheel: cycle on vertices `1..n` plus hub `0` adjacent to all of them.
+pub fn wheel(n: usize) -> CsrGraph {
+    assert!(n >= 4, "wheel needs at least 4 vertices");
+    let mut b = GraphBuilder::with_capacity(n, 2 * (n - 1));
+    for v in 1..n as Vertex {
+        b.add_edge(0, v).expect("spoke valid");
+    }
+    for v in 2..n as Vertex {
+        b.add_edge(v - 1, v).expect("rim valid");
+    }
+    b.add_edge(n as Vertex - 1, 1).expect("rim closing edge valid");
+    b.build().expect("wheel is valid")
+}
+
+/// Perfectly balanced rooted tree with branching factor `r` and height `h`
+/// (height 0 is a single root). Vertices are numbered level by level.
+pub fn balanced_tree(r: usize, h: usize) -> CsrGraph {
+    assert!(r >= 1, "branching factor must be at least 1");
+    // n = 1 + r + r^2 + ... + r^h
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..h {
+        level *= r;
+        n += level;
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    // Parent of vertex v (v >= 1) is (v - 1) / r.
+    for v in 1..n as Vertex {
+        b.add_edge((v - 1) / r as Vertex, v).expect("tree edge valid");
+    }
+    b.build().expect("tree is valid")
+}
+
+/// Barbell: two `K_k` cliques joined by a path of `path_len` intermediate
+/// vertices. `path_len = 0` joins the cliques by a single edge.
+///
+/// The path vertices are the canonical high-µ(r) probe: every inter-clique
+/// shortest path crosses them, and removing one splits the graph into two
+/// Θ(n) components — exactly the balanced-separator situation of Theorem 2.
+pub fn barbell(k: usize, path_len: usize) -> CsrGraph {
+    assert!(k >= 2, "cliques need at least 2 vertices");
+    let n = 2 * k + path_len;
+    let mut b = GraphBuilder::with_capacity(n, k * (k - 1) + path_len + 1);
+    // Clique A: 0..k, clique B: k + path_len .. n, path: k .. k + path_len.
+    for u in 0..k as Vertex {
+        for v in (u + 1)..k as Vertex {
+            b.add_edge(u, v).expect("clique A edge valid");
+        }
+    }
+    let b_start = (k + path_len) as Vertex;
+    for u in b_start..n as Vertex {
+        for v in (u + 1)..n as Vertex {
+            b.add_edge(u, v).expect("clique B edge valid");
+        }
+    }
+    // Chain: last clique-A vertex -> path -> first clique-B vertex.
+    let mut prev = (k - 1) as Vertex;
+    for p in 0..path_len {
+        let cur = (k + p) as Vertex;
+        b.add_edge(prev, cur).expect("path edge valid");
+        prev = cur;
+    }
+    b.add_edge(prev, b_start).expect("bridge edge valid");
+    b.build().expect("barbell is valid")
+}
+
+/// Lollipop: a `K_k` clique with a pendant path of `path_len` vertices.
+pub fn lollipop(k: usize, path_len: usize) -> CsrGraph {
+    assert!(k >= 2, "clique needs at least 2 vertices");
+    let n = k + path_len;
+    let mut b = GraphBuilder::with_capacity(n, k * (k - 1) / 2 + path_len);
+    for u in 0..k as Vertex {
+        for v in (u + 1)..k as Vertex {
+            b.add_edge(u, v).expect("clique edge valid");
+        }
+    }
+    let mut prev = (k - 1) as Vertex;
+    for p in 0..path_len {
+        let cur = (k + p) as Vertex;
+        b.add_edge(prev, cur).expect("path edge valid");
+        prev = cur;
+    }
+    b.build().expect("lollipop is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_is_two_regular() {
+        let g = cycle(7);
+        assert_eq!(g.num_edges(), 7);
+        for v in 0..7u32 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        for v in 1..6u32 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        for v in 0..6u32 {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.num_edges(), 6);
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 3));
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let g = wheel(6);
+        assert_eq!(g.degree(0), 5);
+        for v in 1..6u32 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn balanced_tree_sizes() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.degree(0), 2);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 2);
+        assert_eq!(g.num_vertices(), 10);
+        // 2 * C(4,2) cliques + 3 chain edges.
+        assert_eq!(g.num_edges(), 12 + 3);
+        assert!(algo::is_connected(&g));
+        // Removing a path vertex disconnects the graph.
+        let comps = algo::components_after_removal(&g, 4);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(5, 3);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 10 + 3);
+        assert_eq!(g.degree(7), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Planted-partition (stochastic block) graphs.
+
+use crate::{generators::ensure_connected, CsrGraph, GraphBuilder, Vertex};
+use rand::{Rng, RngExt};
+
+/// Planted-partition graph: `blocks` groups of `per_block` vertices; each
+/// intra-block pair is an edge with probability `p_in`, each inter-block
+/// pair with probability `p_out`.
+///
+/// Models the community structure motivating the Girvan–Newman use case in
+/// the paper's introduction (community "core" vertices are natural probe
+/// vertices `r`). The result is post-processed to be connected (bridging
+/// random components; see [`ensure_connected`]).
+pub fn planted_partition<R: Rng + ?Sized>(
+    blocks: usize,
+    per_block: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n = blocks * per_block;
+    let block_of = |v: usize| v / per_block;
+    let mut b = GraphBuilder::new(n);
+    // n is experiment-scale (tens of thousands at most); the O(n^2) pair scan
+    // is acceptable here because p_out pairs dominate and the generator runs
+    // once per experiment. A skip-sampling variant (as in `erdos_renyi_gnp`)
+    // is used for the heavy inter-block region.
+    for u in 0..n {
+        // Intra-block pairs: dense, scan directly.
+        let start = block_of(u) * per_block;
+        for v in (u + 1)..(start + per_block).min(n) {
+            if rng.random_bool(p_in) {
+                b.add_edge(u as Vertex, v as Vertex).expect("intra edge valid");
+            }
+        }
+    }
+    // Inter-block pairs via geometric skipping over the (u, v) cells with
+    // block(u) != block(v), u < v.
+    if p_out > 0.0 {
+        let log_q = (1.0 - p_out).ln();
+        let mut cell: usize = 0; // linear index over all u < v pairs
+        let total = n * (n - 1) / 2;
+        // Map linear index -> (u, v) pair, skipping intra-block cells lazily.
+        let unrank = |mut k: usize| -> (usize, usize) {
+            // Row lengths are n-1, n-2, ...; find row u.
+            let mut u = 0usize;
+            let mut row = n - 1;
+            while k >= row {
+                k -= row;
+                u += 1;
+                row -= 1;
+            }
+            (u, u + 1 + k)
+        };
+        loop {
+            if p_out >= 1.0 {
+                break; // handled by the dense fallback below
+            }
+            let r: f64 = rng.random();
+            let skip = ((1.0 - r).ln() / log_q).floor() as usize;
+            cell = cell.saturating_add(skip).saturating_add(1);
+            if cell > total {
+                break;
+            }
+            let (u, v) = unrank(cell - 1);
+            if block_of(u) != block_of(v) {
+                b.add_edge(u as Vertex, v as Vertex).expect("inter edge valid");
+            }
+        }
+        if p_out >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if block_of(u) != block_of(v) {
+                        b.add_edge(u as Vertex, v as Vertex).expect("inter edge valid");
+                    }
+                }
+            }
+        }
+    }
+    let g = b.build().expect("planted-partition edge list is valid");
+    ensure_connected(g, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn communities_are_denser_inside() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let (blocks, per_block) = (4, 50);
+        let g = planted_partition(blocks, per_block, 0.3, 0.01, &mut rng);
+        let n = blocks * per_block;
+        assert_eq!(g.num_vertices(), n);
+        assert!(algo::is_connected(&g));
+
+        let block_of = |v: Vertex| (v as usize) / per_block;
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v, _) in g.edges() {
+            if block_of(u) == block_of(v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        // Expected intra ~ 4 * C(50,2) * 0.3 = 1470, inter ~ C(200,2)*0.75*0.01 ~ 149.
+        assert!(intra > inter * 3, "intra {intra} should dominate inter {inter}");
+    }
+
+    #[test]
+    fn zero_p_out_still_connected_via_bridges() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let g = planted_partition(3, 30, 0.5, 0.0, &mut rng);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn full_p_out_links_all_blocks() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let g = planted_partition(2, 5, 1.0, 1.0, &mut rng);
+        assert_eq!(g.num_edges(), 45); // K_10
+    }
+}

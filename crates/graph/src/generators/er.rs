@@ -1,0 +1,125 @@
+//! Erdős–Rényi random graphs.
+
+use crate::{CsrGraph, GraphBuilder, Vertex};
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// `G(n, p)`: each of the `n(n-1)/2` possible edges appears independently
+/// with probability `p`.
+///
+/// Uses geometric skipping (Batagelj–Brandes) so the running time is
+/// `O(n + m)` rather than `O(n^2)`, which matters for the sparse graphs the
+/// evaluation uses. May be disconnected; pass through
+/// [`super::ensure_connected`] when the experiment requires connectivity.
+pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build().expect("empty graph is valid");
+    }
+    if p >= 1.0 {
+        for u in 0..n as Vertex {
+            for v in (u + 1)..n as Vertex {
+                b.add_edge(u, v).expect("complete-graph edges are valid");
+            }
+        }
+        return b.build().expect("complete graph is valid");
+    }
+
+    // Iterate over the strictly-upper-triangular cells in row-major order,
+    // jumping geometrically between successes.
+    let log_q = (1.0 - p).ln();
+    let (mut u, mut v) = (0usize, 0usize); // v is the column; v > u invariant kept below
+    loop {
+        let r: f64 = rng.random();
+        // Number of cells skipped; r in [0,1): floor(ln(1-r')/ln(1-p)).
+        let skip = ((1.0 - r).ln() / log_q).floor() as usize;
+        v += skip + 1;
+        while v >= n {
+            u += 1;
+            if u >= n - 1 {
+                return b.build().expect("sampled edges are valid");
+            }
+            v = u + 1 + (v - n);
+        }
+        b.add_edge(u as Vertex, v as Vertex).expect("sampled edge in range");
+    }
+}
+
+/// `G(n, m)`: exactly `m` distinct edges chosen uniformly among all pairs.
+///
+/// Rejection-samples pairs, which is efficient whenever `m` is at most a
+/// constant fraction of `n(n-1)/2` (always true in our sparse workloads).
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_m, "m = {m} exceeds the {max_m} possible edges");
+    let mut seen: HashSet<(Vertex, Vertex)> = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.random_range(0..n) as Vertex;
+        let v = rng.random_range(0..n) as Vertex;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1).expect("sampled edge in range");
+        }
+    }
+    b.build().expect("sampled edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let empty = erdos_renyi_gnp(10, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi_gnp(10, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (n, p) = (400, 0.05);
+        let g = erdos_renyi_gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 6.0 * sd,
+            "edge count {got} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnm_exact_edge_count_and_simple() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = erdos_renyi_gnm(50, 200, &mut rng);
+        assert_eq!(g.num_edges(), 200);
+        // Simplicity is guaranteed by the builder; spot-check no self-loop.
+        for (u, v, _) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn gnm_can_fill_complete_graph() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = erdos_renyi_gnm(8, 28, &mut rng);
+        assert_eq!(g.num_edges(), 28);
+    }
+
+    #[test]
+    fn tiny_n_does_not_panic() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(erdos_renyi_gnp(0, 0.5, &mut rng).num_vertices(), 0);
+        assert_eq!(erdos_renyi_gnp(1, 0.5, &mut rng).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnm(1, 0, &mut rng).num_edges(), 0);
+    }
+}

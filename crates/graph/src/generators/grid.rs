@@ -1,0 +1,72 @@
+//! Rectangular lattices (road-network stand-ins).
+
+use crate::{CsrGraph, GraphBuilder, Vertex};
+
+/// `rows x cols` 4-neighbour lattice; with `periodic = true` the lattice
+/// wraps into a torus.
+///
+/// Vertex `(r, c)` has id `r * cols + c`. Grids approximate road networks —
+/// the second application domain the paper's introduction motivates (Daly &
+/// Haahr routing, traffic networks) — with large diameter and flat degree
+/// distribution, the opposite regime from Barabási–Albert.
+pub fn grid(rows: usize, cols: usize, periodic: bool) -> CsrGraph {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as Vertex;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1)).expect("grid edge valid");
+            } else if periodic && cols > 2 {
+                b.add_edge(id(r, c), id(r, 0)).expect("torus edge valid");
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c)).expect("grid edge valid");
+            } else if periodic && rows > 2 {
+                b.add_edge(id(r, c), id(0, c)).expect("torus edge valid");
+            }
+        }
+    }
+    b.build().expect("grid edge list is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn open_grid_edge_count() {
+        let g = grid(4, 5, false);
+        assert_eq!(g.num_vertices(), 20);
+        // Horizontal: 4 * 4, vertical: 3 * 5.
+        assert_eq!(g.num_edges(), 16 + 15);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn corner_and_interior_degrees() {
+        let g = grid(3, 3, false);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge midpoint
+        assert_eq!(g.degree(4), 4); // centre
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = grid(4, 5, true);
+        for v in 0..20u32 {
+            assert_eq!(g.degree(v), 4, "torus vertex {v} should have degree 4");
+        }
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn degenerate_line() {
+        let g = grid(1, 6, false);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(3), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Synthetic graph families used by the evaluation harness.
+//!
+//! Real-world SNAP datasets are not available offline, so the experiments
+//! substitute generated families whose shortest-path structure matches the
+//! regimes the paper discusses (see DESIGN.md "Substitutions"):
+//!
+//! - [`barabasi_albert`] — scale-free graphs with power-law betweenness
+//!   (the paper cites Barabási–Albert \[3\] and Barthelemy \[4\]);
+//! - [`erdos_renyi_gnp`] / [`erdos_renyi_gnm`] — homogeneous random graphs;
+//! - [`watts_strogatz`] — small-world ring lattices;
+//! - [`grid`] — road-network-like lattices;
+//! - classic graphs ([`path`], [`star`], [`barbell`], …) with analytically
+//!   known betweenness, used heavily in tests;
+//! - [`planted_partition`] — community structure (Girvan–Newman motivation);
+//! - [`hub_separator`] — the balanced-vertex-separator family realising the
+//!   hypothesis of Theorem 2 (µ(r) constant).
+//!
+//! Every generator takes a caller-supplied RNG; experiments derive all graphs
+//! from fixed seeds.
+
+mod ba;
+mod classic;
+mod community;
+mod er;
+mod grid;
+mod separator;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use classic::{
+    balanced_tree, barbell, complete, complete_bipartite, cycle, lollipop, path, star, wheel,
+};
+pub use community::planted_partition;
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use grid::grid;
+pub use separator::{hub_separator, HubSeparator};
+pub use ws::watts_strogatz;
+
+use crate::{algo, CsrGraph, GraphBuilder, Vertex};
+use rand::{Rng, RngExt};
+
+/// Attaches independent `Uniform(lo, hi)` weights to every edge of `g`
+/// (same weight in both directions). Used by the weighted experiments (T5).
+pub fn assign_uniform_weights<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> CsrGraph {
+    assert!(lo > 0.0 && hi >= lo, "weights must be positive with lo <= hi");
+    g.map_weights(|_, _| rng.random_range(lo..=hi))
+        .expect("uniform weights in (0, inf) are always valid")
+}
+
+/// Makes `g` connected by linking consecutive components with a random edge.
+///
+/// The paper assumes connected graphs; sparse ER/WS draws occasionally come
+/// out disconnected. Augmenting with `c - 1` bridge edges (for `c`
+/// components) perturbs the degree distribution negligibly and is standard
+/// practice in BC evaluation setups. Returns `g` unchanged when already
+/// connected.
+pub fn ensure_connected<R: Rng + ?Sized>(g: CsrGraph, rng: &mut R) -> CsrGraph {
+    let comps = algo::connected_components(&g);
+    if comps.count <= 1 {
+        return g;
+    }
+    // Collect one random representative list per component.
+    let n = g.num_vertices();
+    let mut members: Vec<Vec<Vertex>> = vec![Vec::new(); comps.count];
+    for v in 0..n {
+        members[comps.labels[v] as usize].push(v as Vertex);
+    }
+    let mut b = GraphBuilder::with_capacity(n, g.num_edges() + comps.count - 1);
+    for (u, v, _) in g.edges() {
+        b.add_edge(u, v).expect("existing edges are valid");
+    }
+    for i in 1..comps.count {
+        let a = members[i - 1][rng.random_range(0..members[i - 1].len())];
+        let c = members[i][rng.random_range(0..members[i].len())];
+        b.add_edge(a, c).expect("bridge endpoints are valid");
+    }
+    b.build().expect("augmented edge list is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn ensure_connected_adds_bridges() {
+        // Two disjoint triangles.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        assert!(!algo::is_connected(&g));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g2 = ensure_connected(g, &mut rng);
+        assert!(algo::is_connected(&g2));
+        assert_eq!(g2.num_edges(), 7);
+    }
+
+    #[test]
+    fn ensure_connected_noop_when_connected() {
+        let g = path(5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g2 = ensure_connected(g.clone(), &mut rng);
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn uniform_weights_in_range() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = assign_uniform_weights(&complete(10), 1.0, 10.0, &mut rng);
+        assert!(g.is_weighted());
+        for (_, _, w) in g.edges() {
+            assert!((1.0..=10.0).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The balanced-separator family realising Theorem 2's hypothesis.
+
+use crate::{CsrGraph, GraphBuilder, Vertex};
+use rand::{Rng, RngExt};
+
+/// A graph built by [`hub_separator`] together with its distinguished hub.
+#[derive(Debug, Clone)]
+pub struct HubSeparator {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// The hub vertex `r`; removing it splits the graph into exactly
+    /// `clusters` components.
+    pub hub: Vertex,
+    /// Vertex ranges (start, end) of each cluster, hub excluded.
+    pub cluster_ranges: Vec<(Vertex, Vertex)>,
+}
+
+/// Builds the *balanced vertex separator* family of Theorem 2: `clusters`
+/// internally connected ER(`cluster_size`, `p_in`) clusters whose only
+/// inter-cluster connection is a single hub vertex `r` (the last vertex id),
+/// attached to `links_per_cluster` distinct vertices inside each cluster.
+///
+/// Removing the hub leaves exactly `clusters` components of `cluster_size`
+/// vertices each, so every `V_i = (clusters - 1) * cluster_size = Θ(n)`,
+/// which is precisely the hypothesis under which the paper proves `µ(r)` is
+/// a constant (≤ 1 + 1/K with K = 1 for equal sizes, i.e. µ(r) ≤ 2).
+///
+/// Cluster-internal connectivity is guaranteed by overlaying a Hamiltonian
+/// path on each cluster before the ER edges.
+pub fn hub_separator<R: Rng + ?Sized>(
+    clusters: usize,
+    cluster_size: usize,
+    p_in: f64,
+    links_per_cluster: usize,
+    rng: &mut R,
+) -> HubSeparator {
+    assert!(clusters >= 2, "need at least 2 clusters");
+    assert!(cluster_size >= 1, "clusters must be non-empty");
+    assert!(
+        links_per_cluster >= 1 && links_per_cluster <= cluster_size,
+        "links_per_cluster must be in 1..=cluster_size"
+    );
+    let n = clusters * cluster_size + 1;
+    let hub = (n - 1) as Vertex;
+    let mut b = GraphBuilder::new(n);
+    let mut ranges = Vec::with_capacity(clusters);
+    for c in 0..clusters {
+        let start = (c * cluster_size) as Vertex;
+        let end = start + cluster_size as Vertex;
+        ranges.push((start, end));
+        // Hamiltonian path keeps the cluster connected.
+        for v in (start + 1)..end {
+            b.add_edge(v - 1, v).expect("cluster path edge valid");
+        }
+        // ER overlay inside the cluster.
+        for u in start..end {
+            for v in (u + 1)..end {
+                if v == u + 1 {
+                    continue; // already in the path
+                }
+                if rng.random_bool(p_in) {
+                    b.add_edge(u, v).expect("cluster ER edge valid");
+                }
+            }
+        }
+        // Hub attachments: `links_per_cluster` distinct cluster vertices.
+        let mut chosen: Vec<Vertex> = Vec::with_capacity(links_per_cluster);
+        while chosen.len() < links_per_cluster {
+            let v = start + rng.random_range(0..cluster_size) as Vertex;
+            if !chosen.contains(&v) {
+                chosen.push(v);
+                b.add_edge(hub, v).expect("hub link valid");
+            }
+        }
+    }
+    HubSeparator { graph: b.build().expect("separator edge list is valid"), hub, cluster_ranges: ranges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn removing_hub_splits_into_clusters() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let hs = hub_separator(4, 25, 0.1, 2, &mut rng);
+        assert!(algo::is_connected(&hs.graph));
+        let sizes = algo::components_after_removal(&hs.graph, hs.hub);
+        assert_eq!(sizes.len(), 4);
+        for s in sizes {
+            assert_eq!(s, 25);
+        }
+    }
+
+    #[test]
+    fn hub_degree_matches_links() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let hs = hub_separator(3, 10, 0.0, 4, &mut rng);
+        assert_eq!(hs.graph.degree(hs.hub), 12);
+    }
+
+    #[test]
+    fn cluster_ranges_partition_vertices() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let hs = hub_separator(5, 8, 0.2, 1, &mut rng);
+        let mut covered = vec![false; hs.graph.num_vertices()];
+        for &(s, e) in &hs.cluster_ranges {
+            for v in s..e {
+                assert!(!covered[v as usize]);
+                covered[v as usize] = true;
+            }
+        }
+        covered[hs.hub as usize] = true;
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn no_direct_inter_cluster_edges() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let hs = hub_separator(3, 20, 0.3, 3, &mut rng);
+        let cluster_of = |v: Vertex| -> Option<usize> {
+            hs.cluster_ranges.iter().position(|&(s, e)| (s..e).contains(&v))
+        };
+        for (u, v, _) in hs.graph.edges() {
+            if u == hs.hub || v == hs.hub {
+                continue;
+            }
+            assert_eq!(cluster_of(u), cluster_of(v), "edge ({u},{v}) crosses clusters");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::{CsrGraph, GraphBuilder, Vertex};
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex links
+/// to its `k / 2` nearest neighbours on each side, with every edge rewired
+/// (its far endpoint resampled uniformly) independently with probability
+/// `beta`.
+///
+/// Rewiring never creates self-loops or duplicate edges; an edge whose
+/// rewire target would collide keeps resampling (and is left in place if the
+/// vertex is saturated). `beta = 0` yields the pure lattice, `beta = 1` an
+/// ER-like graph with the same degree sum. May be disconnected for large
+/// `beta`; combine with [`super::ensure_connected`] if needed.
+///
+/// # Panics
+/// If `k` is odd, `k < 2`, or `k >= n`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> CsrGraph {
+    assert!(k.is_multiple_of(2), "k must be even");
+    assert!(k >= 2 && k < n, "need 2 <= k < n (got k = {k}, n = {n})");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+
+    let mut edges: HashSet<(Vertex, Vertex)> = HashSet::with_capacity(n * k / 2 * 2);
+    let norm = |u: Vertex, v: Vertex| if u < v { (u, v) } else { (v, u) };
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            edges.insert(norm(u as Vertex, v as Vertex));
+        }
+    }
+
+    // Rewire in a deterministic sweep over the original lattice edges.
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = ((u + j) % n) as Vertex;
+            let u = u as Vertex;
+            if !rng.random_bool(beta) {
+                continue;
+            }
+            let key = norm(u, v);
+            if !edges.contains(&key) {
+                continue; // already rewired away by an earlier sweep step
+            }
+            // Try a bounded number of times to find a fresh endpoint; a
+            // saturated vertex keeps its lattice edge.
+            for _ in 0..32 {
+                let w = rng.random_range(0..n) as Vertex;
+                if w == u || edges.contains(&norm(u, w)) {
+                    continue;
+                }
+                edges.remove(&key);
+                edges.insert(norm(u, w));
+                break;
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v).expect("rewired edges are valid");
+    }
+    b.build().expect("WS edge list is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for v in 0..20u32 {
+            assert_eq!(g.degree(v), 4);
+            assert!(g.has_edge(v, (v + 1) % 20));
+            assert!(g.has_edge(v, (v + 2) % 20));
+        }
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let g = watts_strogatz(100, 6, 0.3, &mut rng);
+        assert_eq!(g.num_edges(), 100 * 3);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let lattice = watts_strogatz(400, 4, 0.0, &mut rng);
+        let small_world = watts_strogatz(400, 4, 0.2, &mut rng);
+        let d0 = algo::double_sweep_lower_bound(&lattice, 0);
+        let d1 = algo::double_sweep_lower_bound(&small_world, 0);
+        assert!(
+            d1 < d0,
+            "rewiring should shorten paths (lattice {d0}, small-world {d1})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn rejects_odd_k() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        let _ = watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+}

@@ -1,0 +1,91 @@
+//! Degree statistics used by the dataset-summary table (T1).
+
+use crate::CsrGraph;
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (`2m / n`).
+    pub mean: f64,
+    /// Sample standard deviation of degrees.
+    pub std_dev: f64,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics for `g`. Returns all-zero stats for the
+    /// empty graph.
+    pub fn of(g: &CsrGraph) -> DegreeStats {
+        let n = g.num_vertices();
+        if n == 0 {
+            return DegreeStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0 };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut sum_sq = 0f64;
+        for v in 0..n as u32 {
+            let d = g.degree(v);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            sum_sq += (d * d) as f64;
+        }
+        let mean = sum as f64 / n as f64;
+        let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+        DegreeStats { min, max, mean, std_dev: var.sqrt() }
+    }
+}
+
+/// Histogram of degrees: `hist[d]` is the number of vertices with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let n = g.num_vertices();
+    let max_d = (0..n as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max_d + 1];
+    for v in 0..n as u32 {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_star() {
+        let s = DegreeStats::of(&generators::star(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_regular_graph_have_zero_std() {
+        let s = DegreeStats::of(&generators::cycle(9));
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = generators::barbell(4, 2);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.num_vertices());
+        // Path interior vertices have degree 2.
+        assert!(h[2] >= 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::CsrGraph::from_edges(0, &[]).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0 });
+        assert_eq!(degree_histogram(&g), vec![0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the graph substrate.
+
+use mhbc_graph::{algo, generators, CsrGraph, GraphBuilder, Vertex};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Strategy: arbitrary simple edge list over `n` vertices.
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(Vertex, Vertex)>)> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        let edge = (0..n as Vertex, 0..n as Vertex)
+            .prop_filter("no self-loop", |(u, v)| u != v);
+        (Just(n), proptest::collection::vec(edge, 0..=max_m))
+    })
+}
+
+proptest! {
+    /// CSR invariants hold for arbitrary edge lists: sorted adjacency,
+    /// symmetric edges, degree sum = 2m, no self-loops or duplicates.
+    #[test]
+    fn csr_invariants((n, edges) in arb_edges(40, 200)) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build().unwrap();
+
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert_eq!(g.degree_sum(), 2 * g.num_edges());
+        for v in 0..n as Vertex {
+            let nbrs = g.neighbors(v);
+            // Sorted strictly (no duplicates), no self-loop.
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &u in nbrs {
+                prop_assert_ne!(u, v);
+                prop_assert!(g.has_edge(u, v), "symmetry violated for ({}, {})", u, v);
+            }
+        }
+    }
+
+    /// Every edge added is present, and nothing else is.
+    #[test]
+    fn membership_matches_input((n, edges) in arb_edges(25, 80)) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build().unwrap();
+        use std::collections::HashSet;
+        let set: HashSet<(Vertex, Vertex)> =
+            edges.iter().map(|&(u, v)| if u < v { (u, v) } else { (v, u) }).collect();
+        prop_assert_eq!(g.num_edges(), set.len());
+        for u in 0..n as Vertex {
+            for v in 0..n as Vertex {
+                let expect = u != v && set.contains(&if u < v { (u, v) } else { (v, u) });
+                prop_assert_eq!(g.has_edge(u, v), expect);
+            }
+        }
+    }
+
+    /// Connected components partition the vertex set and are edge-closed.
+    #[test]
+    fn components_partition((n, edges) in arb_edges(30, 60)) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let comps = algo::connected_components(&g);
+        prop_assert_eq!(comps.labels.len(), n);
+        prop_assert!(comps.labels.iter().all(|&l| (l as usize) < comps.count));
+        prop_assert_eq!(comps.sizes().iter().sum::<usize>(), n);
+        for (u, v, _) in g.edges() {
+            prop_assert_eq!(comps.labels[u as usize], comps.labels[v as usize]);
+        }
+    }
+
+    /// `ensure_connected` always yields a connected graph containing the
+    /// original edges.
+    #[test]
+    fn ensure_connected_connects((n, edges) in arb_edges(30, 40), seed in any::<u64>()) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let m_before = g.num_edges();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g2 = generators::ensure_connected(g.clone(), &mut rng);
+        prop_assert!(algo::is_connected(&g2));
+        prop_assert!(g2.num_edges() >= m_before);
+        for (u, v, _) in g.edges() {
+            prop_assert!(g2.has_edge(u, v));
+        }
+    }
+
+    /// BFS distances satisfy the edge-relaxation (triangle) property and the
+    /// source has distance zero.
+    #[test]
+    fn bfs_distance_triangle((n, edges) in arb_edges(30, 120), src_raw in 0u32..30) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let src = src_raw % n as u32;
+        let d = algo::bfs_distances(&g, src);
+        prop_assert_eq!(d[src as usize], 0);
+        for (u, v, _) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != u32::MAX {
+                prop_assert!(dv != u32::MAX && dv <= du + 1, "edge ({}, {})", u, v);
+            }
+            if dv != u32::MAX {
+                prop_assert!(du != u32::MAX && du <= dv + 1);
+            }
+        }
+    }
+
+    /// Generators produce the promised vertex counts and connectivity.
+    #[test]
+    fn ba_generator_invariants(n in 5usize..60, m in 1usize..4, seed in any::<u64>()) {
+        prop_assume!(n > m);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(n, m, &mut rng);
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert_eq!(g.num_edges(), m + (n - m - 1) * m);
+        prop_assert!(algo::is_connected(&g));
+    }
+
+    /// Separator family: hub removal gives exactly `clusters` equal parts.
+    #[test]
+    fn separator_invariants(clusters in 2usize..5, size in 1usize..12, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let links = 1 + seed as usize % size.min(3);
+        let hs = generators::hub_separator(clusters, size, 0.2, links, &mut rng);
+        prop_assert!(algo::is_connected(&hs.graph));
+        let sizes = algo::components_after_removal(&hs.graph, hs.hub);
+        prop_assert_eq!(sizes.len(), clusters);
+        prop_assert!(sizes.iter().all(|&s| s == size));
+    }
+
+    /// Edge-list IO roundtrips arbitrary graphs.
+    #[test]
+    fn io_roundtrip((n, edges) in arb_edges(20, 50)) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let mut buf = Vec::new();
+        mhbc_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = mhbc_graph::io::read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v, _) in g.edges() {
+            prop_assert!(g2.has_edge(u, v));
+        }
+    }
+
+    /// Union-find agrees with BFS connectivity.
+    #[test]
+    fn union_find_matches_bfs((n, edges) in arb_edges(25, 60)) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let mut uf = algo::UnionFind::new(n);
+        for (u, v, _) in g.edges() {
+            uf.union(u, v);
+        }
+        let comps = algo::connected_components(&g);
+        prop_assert_eq!(uf.num_components(), comps.count);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                prop_assert_eq!(
+                    uf.connected(u, v),
+                    comps.labels[u as usize] == comps.labels[v as usize]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's non-asymptotic (ε, δ) machinery.
+//!
+//! Three pieces, used verbatim by Theorems 1 and 4:
+//!
+//! 1. [`mcmc_hoeffding_tail`] — the Łatuszyński–Miasojedow–Niemiro
+//!    Hoeffding-type tail for uniformly ergodic chains (Ineq 9):
+//!    `P[|θ̂ − θ| > ε] ≤ 2 exp{ −(n−1)/2 · (2λε/‖f‖sp − 3/(n−1))² }`.
+//! 2. [`required_samples`] — the paper's sample-size rule (Ineq 14 / 27):
+//!    `T ≥ µ(r)²/(2ε²) · ln(2/δ)` (obtained from (1) with `λ = 1/µ(r)`,
+//!    `‖f‖sp = 1` and the `3/T ≈ 0` simplification the paper makes).
+//! 3. [`achievable_epsilon`] — the inverse of (2): the additive error
+//!    guaranteed with probability `1 − δ` after `T` samples.
+
+/// Tail probability bound of Ineq 9 for an `n`-sample MCMC average with
+/// minorisation constant `lambda` (`q(·|x) ≥ λ φ(·)`), function span
+/// `f_span = sup f − inf f`, and deviation `eps`.
+///
+/// The bound is only a *deviation* bound when the inner term is positive;
+/// when `2λε/‖f‖sp ≤ 3/(n−1)` the stated expression is vacuous and this
+/// function returns 1.0 (the trivial bound). The returned value is always
+/// clamped to `[0, 1]`.
+///
+/// # Panics
+/// If any argument is non-positive, `n < 2`, or not finite.
+pub fn mcmc_hoeffding_tail(n: u64, lambda: f64, f_span: f64, eps: f64) -> f64 {
+    assert!(n >= 2, "need at least two samples");
+    assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+    assert!(f_span > 0.0 && f_span.is_finite(), "span must be positive");
+    assert!(eps > 0.0 && eps.is_finite(), "eps must be positive");
+    let m = (n - 1) as f64;
+    let term = 2.0 * lambda * eps / f_span - 3.0 / m;
+    if term <= 0.0 {
+        return 1.0;
+    }
+    (2.0 * (-0.5 * m * term * term).exp()).clamp(0.0, 1.0)
+}
+
+/// Ineq 14 / 27: iterations `T` such that the sampler estimates within
+/// additive error `eps` with probability at least `1 − delta`, given the
+/// concentration constant `µ(r)` (Ineq 11).
+///
+/// # Panics
+/// If `mu < 1`, `eps <= 0`, or `delta ∉ (0, 1)`.
+pub fn required_samples(mu: f64, eps: f64, delta: f64) -> u64 {
+    assert!(mu >= 1.0 && mu.is_finite(), "mu must be >= 1 (it bounds max/mean)");
+    assert!(eps > 0.0 && eps.is_finite(), "eps must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    let t = mu * mu / (2.0 * eps * eps) * (2.0 / delta).ln();
+    t.ceil() as u64
+}
+
+/// Inverse of [`required_samples`]: the additive error achievable with
+/// probability `1 − delta` after `t` iterations.
+///
+/// # Panics
+/// If `t == 0`, `mu < 1`, or `delta ∉ (0, 1)`.
+pub fn achievable_epsilon(t: u64, mu: f64, delta: f64) -> f64 {
+    assert!(t > 0, "need at least one sample");
+    assert!(mu >= 1.0 && mu.is_finite(), "mu must be >= 1");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    mu * ((2.0 / delta).ln() / (2.0 * t as f64)).sqrt()
+}
+
+/// The exact (un-simplified) tail of Ineq 12 for the paper's samplers:
+/// [`mcmc_hoeffding_tail`] specialised to `λ = 1/µ(r)` and `‖f‖sp = 1`,
+/// keeping the `3/T` term the paper drops. Useful for checking how much the
+/// simplification matters at small `T` (experiment F3).
+pub fn single_sampler_tail(t: u64, mu: f64, eps: f64) -> f64 {
+    assert!(mu >= 1.0 && mu.is_finite(), "mu must be >= 1");
+    // Ineq 12 uses T as the iteration count with n = T + 1 samples.
+    mcmc_hoeffding_tail(t + 1, 1.0 / mu, 1.0, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_decreases_with_samples_and_eps() {
+        let t1 = mcmc_hoeffding_tail(1_000, 0.5, 1.0, 0.05);
+        let t2 = mcmc_hoeffding_tail(10_000, 0.5, 1.0, 0.05);
+        assert!(t2 < t1, "more samples must tighten the bound");
+        let t3 = mcmc_hoeffding_tail(10_000, 0.5, 1.0, 0.1);
+        assert!(t3 < t2, "larger eps must tighten the bound");
+    }
+
+    #[test]
+    fn tail_is_trivial_when_term_nonpositive() {
+        // Tiny eps with few samples: 2λε/span <= 3/(n-1).
+        assert_eq!(mcmc_hoeffding_tail(4, 1.0, 1.0, 1e-9), 1.0);
+    }
+
+    #[test]
+    fn tail_clamped_to_unit_interval() {
+        let t = mcmc_hoeffding_tail(10, 1.0, 1.0, 0.4);
+        assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn planner_roundtrips_with_inverse() {
+        for &(mu, eps, delta) in
+            &[(1.0, 0.01, 0.05), (2.0, 0.005, 0.1), (10.0, 0.02, 0.01)]
+        {
+            let t = required_samples(mu, eps, delta);
+            let eps_back = achievable_epsilon(t, mu, delta);
+            assert!(
+                eps_back <= eps * 1.0001,
+                "eps from T={t} should be <= requested: {eps_back} vs {eps}"
+            );
+            // One fewer sample should no longer achieve eps.
+            if t > 1 {
+                let eps_less = achievable_epsilon(t - 1, mu, delta);
+                assert!(eps_less > eps * 0.999);
+            }
+        }
+    }
+
+    #[test]
+    fn planner_scales_quadratically_in_mu_over_eps() {
+        let base = required_samples(1.0, 0.01, 0.05);
+        let double_mu = required_samples(2.0, 0.01, 0.05);
+        let half_eps = required_samples(1.0, 0.005, 0.05);
+        // Allow ±1 from ceiling.
+        assert!((double_mu as i64 - 4 * base as i64).abs() <= 4);
+        assert!((half_eps as i64 - 4 * base as i64).abs() <= 4);
+    }
+
+    #[test]
+    fn constant_mu_means_constant_samples() {
+        // The paper's headline: when mu(r) is a constant, T(eps, delta) does
+        // not depend on the graph size at all.
+        let t = required_samples(2.0, 0.05, 0.05);
+        assert_eq!(t, required_samples(2.0, 0.05, 0.05));
+        assert!(t < 10_000, "constant-mu budget should be laptop-trivial, got {t}");
+    }
+
+    #[test]
+    fn single_sampler_tail_approaches_simplified_form() {
+        // At large T the kept 3/T term is negligible: tail(T) should be close
+        // to the delta recovered from the simplified planner.
+        let (mu, eps) = (2.0, 0.05);
+        let t = 200_000u64;
+        let tail = single_sampler_tail(t, mu, eps);
+        let simplified = 2.0 * (-(t as f64) * eps * eps * 2.0 / (2.0 * mu * mu)).exp();
+        assert!(
+            (tail - simplified).abs() < simplified * 0.1 + 1e-12,
+            "exact {tail} vs simplified {simplified}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must lie in (0, 1)")]
+    fn planner_rejects_bad_delta() {
+        let _ = required_samples(1.0, 0.1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be >= 1")]
+    fn planner_rejects_mu_below_one() {
+        let _ = required_samples(0.5, 0.1, 0.1);
+    }
+}

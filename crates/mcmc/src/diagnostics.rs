@@ -1,0 +1,249 @@
+//! Chain-quality diagnostics.
+//!
+//! The paper's guarantees (Theorems 1 and 4) rest on uniform ergodicity of
+//! the independence sampler; these diagnostics provide the empirical
+//! counterpart for experiment F2 — how fast the chains actually mix on each
+//! graph family.
+
+/// Welford online mean/variance accumulator (numerically stable; no stored
+/// series needed).
+#[derive(Debug, Clone, Default)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Normalised autocorrelation function `ρ(0..=max_lag)` of `series`
+/// (`ρ(0) = 1`). Returns an empty vector for constant or too-short series.
+pub fn autocorrelation(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return Vec::new();
+    }
+    let max_lag = max_lag.min(n - 1);
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let cov: f64 = (0..n - lag)
+            .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+            .sum::<f64>()
+            / n as f64;
+        acf.push(cov / var);
+    }
+    acf
+}
+
+/// Integrated autocorrelation time `τ = 1 + 2 Σ_k ρ(k)`, truncating the sum
+/// at the first non-positive autocorrelation (Geyer's initial positive
+/// sequence, the standard practical estimator). Constant series get `τ = 1`.
+pub fn integrated_autocorrelation_time(series: &[f64]) -> f64 {
+    let acf = autocorrelation(series, series.len().saturating_sub(1).min(1000));
+    if acf.is_empty() {
+        return 1.0;
+    }
+    let mut tau = 1.0;
+    for &rho in acf.iter().skip(1) {
+        if rho <= 0.0 {
+            break;
+        }
+        tau += 2.0 * rho;
+    }
+    tau
+}
+
+/// Effective sample size `n / τ`.
+pub fn effective_sample_size(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.len() as f64 / integrated_autocorrelation_time(series)
+}
+
+/// Geweke convergence z-score comparing the mean of the first
+/// `first_frac` of the series against the last `last_frac` (classically 0.1
+/// and 0.5). |z| ≲ 2 is consistent with stationarity.
+pub fn geweke_z(series: &[f64], first_frac: f64, last_frac: f64) -> f64 {
+    assert!(first_frac > 0.0 && last_frac > 0.0 && first_frac + last_frac <= 1.0);
+    let n = series.len();
+    if n < 10 {
+        return 0.0;
+    }
+    let na = ((n as f64 * first_frac) as usize).max(2);
+    let nb = ((n as f64 * last_frac) as usize).max(2);
+    let a = &series[..na];
+    let b = &series[n - nb..];
+    let (mut ma, mut mb) = (RunningMoments::new(), RunningMoments::new());
+    for &x in a {
+        ma.push(x);
+    }
+    for &x in b {
+        mb.push(x);
+    }
+    let se = (ma.variance() / na as f64 + mb.variance() / nb as f64).sqrt();
+    if se == 0.0 {
+        0.0
+    } else {
+        (ma.mean() - mb.mean()) / se
+    }
+}
+
+/// Batch-means standard error of the series mean using `batches` equal
+/// batches — a robust MCMC standard error that accounts for autocorrelation.
+pub fn batch_means_stderr(series: &[f64], batches: usize) -> f64 {
+    let n = series.len();
+    assert!(batches >= 2, "need at least two batches");
+    if n < 2 * batches {
+        return f64::NAN;
+    }
+    let bs = n / batches;
+    let mut means = RunningMoments::new();
+    for b in 0..batches {
+        let chunk = &series[b * bs..(b + 1) * bs];
+        means.push(chunk.iter().sum::<f64>() / bs as f64);
+    }
+    (means.variance() / batches as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, RngExt, SeedableRng};
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = RunningMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+        assert_eq!(m.count(), 8);
+    }
+
+    #[test]
+    fn empty_and_single_moments() {
+        let mut m = RunningMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        m.push(3.0);
+        assert_eq!(m.mean(), 3.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn acf_of_iid_noise_decays() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let series: Vec<f64> = (0..20_000).map(|_| rng.random::<f64>()).collect();
+        let acf = autocorrelation(&series, 5);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        for &rho in &acf[1..] {
+            assert!(rho.abs() < 0.05, "iid noise should be uncorrelated, got {rho}");
+        }
+    }
+
+    #[test]
+    fn acf_of_constant_series_is_empty() {
+        assert!(autocorrelation(&[2.0; 100], 10).is_empty());
+        assert_eq!(integrated_autocorrelation_time(&[2.0; 100]), 1.0);
+    }
+
+    #[test]
+    fn ess_near_n_for_iid_and_small_for_correlated() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let iid: Vec<f64> = (0..5_000).map(|_| rng.random::<f64>()).collect();
+        let ess_iid = effective_sample_size(&iid);
+        assert!(ess_iid > 3_500.0, "iid ESS should be near n, got {ess_iid}");
+
+        // AR(1) with phi = 0.95: tau ~ (1 + phi) / (1 - phi) = 39.
+        let mut x = 0.0;
+        let ar: Vec<f64> = (0..5_000)
+            .map(|_| {
+                x = 0.95 * x + rng.random::<f64>() - 0.5;
+                x
+            })
+            .collect();
+        let ess_ar = effective_sample_size(&ar);
+        assert!(
+            ess_ar < ess_iid / 5.0,
+            "correlated ESS {ess_ar} should be far below iid {ess_iid}"
+        );
+    }
+
+    #[test]
+    fn geweke_flags_drifting_series() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let stationary: Vec<f64> = (0..5_000).map(|_| rng.random::<f64>()).collect();
+        let z = geweke_z(&stationary, 0.1, 0.5);
+        assert!(z.abs() < 3.5, "stationary series should pass, z = {z}");
+
+        let drifting: Vec<f64> =
+            (0..5_000).map(|i| i as f64 / 5_000.0 + rng.random::<f64>() * 0.01).collect();
+        let z = geweke_z(&drifting, 0.1, 0.5);
+        assert!(z.abs() > 10.0, "drifting series should fail, z = {z}");
+    }
+
+    #[test]
+    fn batch_means_close_to_classic_se_for_iid() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        let series: Vec<f64> = (0..40_000).map(|_| rng.random::<f64>()).collect();
+        let se = batch_means_stderr(&series, 20);
+        // Classic SE of the mean of U(0,1): sqrt(1/12 / n) ~ 0.00144.
+        let classic = (1.0f64 / 12.0 / series.len() as f64).sqrt();
+        assert!(
+            se > classic * 0.5 && se < classic * 2.0,
+            "batch-means {se} vs classic {classic}"
+        );
+    }
+
+    #[test]
+    fn batch_means_needs_enough_data() {
+        assert!(batch_means_stderr(&[1.0, 2.0, 3.0], 2).is_nan());
+    }
+}

@@ -1,0 +1,32 @@
+//! # mhbc-mcmc
+//!
+//! Generic Metropolis–Hastings machinery (§2.2 of the paper), chain
+//! diagnostics, and the paper's non-asymptotic error bounds.
+//!
+//! The crate is deliberately independent of graphs: states are any `Clone`
+//! type, targets are *unnormalised densities* (the whole point of MH is that
+//! the normalisation constant — here `Σ_v δ_{v•}(r)`, i.e. the betweenness
+//! itself — is unknown), and proposals are pluggable. `mhbc-core`
+//! instantiates this framework with dependency-score densities to obtain the
+//! paper's two samplers, and the F8 ablation swaps proposals without
+//! touching the chain.
+//!
+//! - [`MetropolisHastings`] — the chain runner; caches the current state's
+//!   density so each step costs exactly one density evaluation.
+//! - [`Proposal`] — proposal distributions: [`UniformProposal`] (the paper's
+//!   choice: independence MH with `q = 1/|V|`), [`WeightedProposal`]
+//!   (independence with arbitrary weights, e.g. degree-biased), and
+//!   graph-random-walk proposals defined downstream.
+//! - [`diagnostics`] — acceptance statistics, running moments,
+//!   autocorrelation / integrated autocorrelation time, effective sample
+//!   size, Geweke z-scores, batch-means standard errors.
+//! - [`bounds`] — the MCMC Hoeffding tail of Łatuszyński et al. (Ineq 9),
+//!   the sample-size planner (Ineq 14 / 27), and its inverse.
+
+pub mod bounds;
+mod chain;
+pub mod diagnostics;
+mod proposal;
+
+pub use chain::{fn_target, ChainStats, FnTarget, MetropolisHastings, StepOutcome, TargetDensity};
+pub use proposal::{Proposal, UniformProposal, WeightedProposal};

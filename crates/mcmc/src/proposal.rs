@@ -1,0 +1,168 @@
+//! Proposal distributions.
+
+use rand::{Rng, RngExt};
+
+/// A Markov-chain proposal `q(x' | x)`.
+///
+/// `ratio(current, proposed)` must return `q(current | proposed) /
+/// q(proposed | current)` — the Hastings correction. Symmetric and
+/// independence-with-uniform proposals return 1; weighted independence
+/// proposals return `g(current) / g(proposed)`.
+pub trait Proposal<S> {
+    /// Draws a candidate state given the current one.
+    fn propose<R: Rng + ?Sized>(&mut self, current: &S, rng: &mut R) -> S;
+
+    /// Hastings ratio `q(current | proposed) / q(proposed | current)`.
+    fn ratio(&self, current: &S, proposed: &S) -> f64;
+}
+
+/// Independence proposal, uniform over `0..n` — the paper's proposal for
+/// both samplers (`q(· | x) = 1 / |V(G)|`, §4.2).
+#[derive(Debug, Clone)]
+pub struct UniformProposal {
+    n: u32,
+}
+
+impl UniformProposal {
+    /// Uniform over `0..n`.
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cannot propose from an empty state space");
+        UniformProposal { n: n as u32 }
+    }
+
+    /// Size of the state space.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Always false (the constructor rejects emptiness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Proposal<u32> for UniformProposal {
+    fn propose<R: Rng + ?Sized>(&mut self, _current: &u32, rng: &mut R) -> u32 {
+        rng.random_range(0..self.n)
+    }
+
+    fn ratio(&self, _current: &u32, _proposed: &u32) -> f64 {
+        1.0
+    }
+}
+
+/// Independence proposal over `0..n` with probabilities proportional to a
+/// fixed weight vector (e.g. vertex degrees — the F8 ablation).
+///
+/// Sampling is `O(log n)` by binary search on the cumulative weights.
+#[derive(Debug, Clone)]
+pub struct WeightedProposal {
+    cumulative: Vec<f64>,
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedProposal {
+    /// Builds from non-negative weights, at least one positive.
+    ///
+    /// # Panics
+    /// If `weights` is empty, contains a negative/non-finite value, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "weight {i} = {w} invalid");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights sum to zero");
+        WeightedProposal { cumulative, weights: weights.to_vec(), total: acc }
+    }
+
+    /// Proposal probability of state `x` (normalised).
+    pub fn probability(&self, x: u32) -> f64 {
+        self.weights[x as usize] / self.total
+    }
+}
+
+impl Proposal<u32> for WeightedProposal {
+    fn propose<R: Rng + ?Sized>(&mut self, _current: &u32, rng: &mut R) -> u32 {
+        let u = rng.random::<f64>() * self.total;
+        // partition_point returns the first index with cumulative > u.
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        idx.min(self.cumulative.len() - 1) as u32
+    }
+
+    fn ratio(&self, current: &u32, proposed: &u32) -> f64 {
+        // q(current)/q(proposed) for an independence proposal.
+        self.weights[*current as usize] / self.weights[*proposed as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut p = UniformProposal::new(10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[p.propose(&0, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(p.ratio(&3, &7), 1.0);
+    }
+
+    #[test]
+    fn uniform_is_approximately_uniform() {
+        let mut p = UniformProposal::new(4);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        let trials = 40_000;
+        for _ in 0..trials {
+            counts[p.propose(&0, &mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let dev = (c as f64 - trials as f64 / 4.0).abs() / (trials as f64 / 4.0);
+            assert!(dev < 0.05, "count {c}");
+        }
+    }
+
+    #[test]
+    fn weighted_matches_weights() {
+        let mut p = WeightedProposal::new(&[1.0, 3.0, 0.0, 4.0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        let trials = 80_000;
+        for _ in 0..trials {
+            counts[p.propose(&0, &mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight state must never be proposed");
+        for (i, expect) in [(0usize, 1.0 / 8.0), (1, 3.0 / 8.0), (3, 4.0 / 8.0)] {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!((freq - expect).abs() < 0.01, "state {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn weighted_hastings_ratio() {
+        let p = WeightedProposal::new(&[1.0, 2.0]);
+        assert_eq!(p.ratio(&0, &1), 0.5);
+        assert_eq!(p.ratio(&1, &0), 2.0);
+        assert!((p.probability(1) - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn rejects_all_zero_weights() {
+        let _ = WeightedProposal::new(&[0.0, 0.0]);
+    }
+}

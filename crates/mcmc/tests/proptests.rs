@@ -1,0 +1,106 @@
+//! Property-based tests for the MCMC machinery.
+
+use mhbc_mcmc::{bounds, diagnostics, fn_target, MetropolisHastings, Proposal, UniformProposal, WeightedProposal};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+proptest! {
+    /// The Hoeffding-MCMC tail is monotone: more samples or larger eps
+    /// never loosen the bound.
+    #[test]
+    fn tail_monotone(n in 10u64..100_000, lambda in 0.01f64..1.0, eps in 0.001f64..0.5) {
+        let t1 = bounds::mcmc_hoeffding_tail(n, lambda, 1.0, eps);
+        let t2 = bounds::mcmc_hoeffding_tail(n * 2, lambda, 1.0, eps);
+        let t3 = bounds::mcmc_hoeffding_tail(n, lambda, 1.0, eps * 1.5);
+        prop_assert!(t2 <= t1 + 1e-12);
+        prop_assert!(t3 <= t1 + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&t1));
+    }
+
+    /// Planner/inverse consistency for arbitrary valid parameters.
+    #[test]
+    fn planner_inverse_consistent(mu in 1.0f64..50.0, eps in 0.001f64..0.5, delta in 0.001f64..0.5) {
+        let t = bounds::required_samples(mu, eps, delta);
+        prop_assert!(t >= 1);
+        let eps_back = bounds::achievable_epsilon(t, mu, delta);
+        prop_assert!(eps_back <= eps * (1.0 + 1e-9));
+    }
+
+    /// A weighted independence proposal never proposes zero-weight states
+    /// and its Hastings ratio is the exact weight ratio.
+    #[test]
+    fn weighted_proposal_support(weights in proptest::collection::vec(0.0f64..10.0, 2..20), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut p = WeightedProposal::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let s = p.propose(&0, &mut rng);
+            prop_assert!(weights[s as usize] > 0.0, "proposed zero-weight state {}", s);
+        }
+        // Ratio check on two positive-weight states.
+        let pos: Vec<u32> = (0..weights.len() as u32).filter(|&i| weights[i as usize] > 0.0).collect();
+        if pos.len() >= 2 {
+            let (a, b) = (pos[0], pos[1]);
+            let expect = weights[a as usize] / weights[b as usize];
+            prop_assert!((p.ratio(&a, &b) - expect).abs() < 1e-12);
+        }
+    }
+
+    /// Chains over flat targets accept everything regardless of proposal.
+    #[test]
+    fn flat_target_accepts_all(n in 2usize..50, seed in any::<u64>(), steps in 1u64..200) {
+        let mut chain = MetropolisHastings::new(
+            fn_target(|_: &u32| 1.0),
+            UniformProposal::new(n),
+            0u32,
+            SmallRng::seed_from_u64(seed),
+        );
+        for _ in 0..steps {
+            prop_assert!(chain.step().accepted);
+        }
+        prop_assert_eq!(chain.stats().accepted, steps);
+    }
+
+    /// The chain state always remains inside the proposal's support.
+    #[test]
+    fn chain_stays_in_space(n in 2usize..40, seed in any::<u64>()) {
+        let weights: Vec<f64> = (0..n).map(|i| (i % 5 + 1) as f64).collect();
+        let mut chain = MetropolisHastings::new(
+            fn_target(move |x: &u32| weights[*x as usize]),
+            UniformProposal::new(n),
+            0u32,
+            SmallRng::seed_from_u64(seed),
+        );
+        for _ in 0..300 {
+            chain.step();
+            prop_assert!((*chain.state() as usize) < n);
+        }
+    }
+
+    /// Welford moments agree with direct two-pass computation.
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut m = diagnostics::RunningMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let scale = var.abs().max(1.0);
+        prop_assert!((m.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((m.variance() - var).abs() < 1e-6 * scale);
+    }
+
+    /// ESS never exceeds the series length (up to estimator slack) and the
+    /// autocorrelation function starts at exactly 1.
+    #[test]
+    fn ess_and_acf_sanity(xs in proptest::collection::vec(-100f64..100.0, 10..500)) {
+        let acf = diagnostics::autocorrelation(&xs, 10);
+        if !acf.is_empty() {
+            prop_assert!((acf[0] - 1.0).abs() < 1e-9);
+        }
+        let ess = diagnostics::effective_sample_size(&xs);
+        prop_assert!(ess <= xs.len() as f64 + 1e-9);
+        prop_assert!(ess >= 0.0);
+    }
+}

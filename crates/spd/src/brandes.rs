@@ -1,0 +1,326 @@
+//! Exact betweenness (Brandes \[8\]) and fixed-probe dependency profiles.
+
+use crate::DependencyCalculator;
+use mhbc_graph::{CsrGraph, Vertex};
+
+/// Exact betweenness centrality of every vertex, normalised as in Eq 1
+/// (divide raw dependency sums by `n (n - 1)`).
+///
+/// `O(nm)` unweighted / `O(nm + n² log n)` weighted — the §1 cost that makes
+/// exact computation impractical on large graphs and motivates the paper.
+pub fn exact_betweenness(g: &CsrGraph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut bc = vec![0.0; n];
+    if n < 2 {
+        return bc;
+    }
+    let mut calc = DependencyCalculator::new(g);
+    for s in 0..n as Vertex {
+        let delta = calc.dependencies(g, s);
+        for v in 0..n {
+            bc[v] += delta[v];
+        }
+    }
+    let norm = (n * (n - 1)) as f64;
+    for b in &mut bc {
+        *b /= norm;
+    }
+    bc
+}
+
+/// Parallel exact betweenness: sources are partitioned over `threads`
+/// crossbeam-scoped workers, each with a private SPD workspace, and the
+/// per-thread accumulators are summed at the end.
+///
+/// `threads = 0` means "use available parallelism".
+pub fn exact_betweenness_par(g: &CsrGraph, threads: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    let threads = effective_threads(threads, n);
+    if threads <= 1 {
+        return exact_betweenness(g);
+    }
+
+    let partials: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move |_| {
+                let mut calc = DependencyCalculator::new(g);
+                let mut acc = vec![0.0f64; n];
+                let mut s = t;
+                while s < n {
+                    let delta = calc.dependencies(g, s as Vertex);
+                    for v in 0..n {
+                        acc[v] += delta[v];
+                    }
+                    s += threads;
+                }
+                acc
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked");
+
+    let norm = (n * (n - 1)) as f64;
+    let mut bc = vec![0.0; n];
+    for part in partials {
+        for v in 0..n {
+            bc[v] += part[v];
+        }
+    }
+    for b in &mut bc {
+        *b /= norm;
+    }
+    bc
+}
+
+/// The dependency profile of a probe vertex `r`: `δ_{v•}(r)` for every
+/// source `v`, plus the derived quantities the paper's analysis needs.
+///
+/// The profile is the ground-truth object behind §4.1: its normalised form
+/// is the optimal sampling distribution `P_r[v]` (Eq 5), its sum is
+/// `n (n-1) BC(r)`, and its max/mean ratio is `µ(r)` (Theorem 1).
+#[derive(Debug, Clone)]
+pub struct DependencyProfile {
+    /// `profile[v] = δ_{v•}(r)`.
+    pub profile: Vec<f64>,
+    /// The probe vertex.
+    pub r: Vertex,
+}
+
+impl DependencyProfile {
+    /// Sum `Σ_v δ_{v•}(r)` — the normalisation constant of Eq 5.
+    pub fn total(&self) -> f64 {
+        self.profile.iter().sum()
+    }
+
+    /// Exact `BC(r)` under the Eq 1 normalisation.
+    pub fn betweenness(&self) -> f64 {
+        let n = self.profile.len();
+        if n < 2 {
+            return 0.0;
+        }
+        self.total() / (n * (n - 1)) as f64
+    }
+
+    /// The optimal sampling distribution `P_r[v] = δ_{v•}(r) / Σ δ` (Eq 5).
+    /// Returns `None` when `BC(r) = 0` (the distribution is undefined).
+    pub fn optimal_distribution(&self) -> Option<Vec<f64>> {
+        let total = self.total();
+        if total <= 0.0 {
+            return None;
+        }
+        Some(self.profile.iter().map(|d| d / total).collect())
+    }
+
+    /// `µ(r)`: the smallest constant with `δ_{v•}(r) ≤ µ(r) · δ̄(r)` for all
+    /// `v` (Ineq 11), i.e. `n · max_v δ_{v•}(r) / Σ_v δ_{v•}(r)`.
+    /// Returns `None` when `BC(r) = 0`.
+    pub fn mu(&self) -> Option<f64> {
+        let total = self.total();
+        if total <= 0.0 {
+            return None;
+        }
+        let max = self.profile.iter().cloned().fold(0.0f64, f64::max);
+        Some(self.profile.len() as f64 * max / total)
+    }
+}
+
+/// Computes the dependency profile of `r` by running the kernel from every
+/// source (`n` SPD passes — same asymptotic cost as full Brandes, but only
+/// needed for ground truth and diagnostics, never inside the samplers).
+pub fn dependency_profile(g: &CsrGraph, r: Vertex) -> DependencyProfile {
+    let n = g.num_vertices();
+    let mut calc = DependencyCalculator::new(g);
+    let mut profile = vec![0.0; n];
+    for (v, slot) in profile.iter_mut().enumerate() {
+        *slot = calc.dependency_on(g, v as Vertex, r);
+    }
+    DependencyProfile { profile, r }
+}
+
+/// Parallel [`dependency_profile`]. `threads = 0` uses available parallelism.
+pub fn dependency_profile_par(g: &CsrGraph, r: Vertex, threads: usize) -> DependencyProfile {
+    let n = g.num_vertices();
+    let threads = effective_threads(threads, n);
+    if threads <= 1 {
+        return dependency_profile(g, r);
+    }
+    let chunks: Vec<Vec<(usize, f64)>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move |_| {
+                let mut calc = DependencyCalculator::new(g);
+                let mut out = Vec::with_capacity(n / threads + 1);
+                let mut v = t;
+                while v < n {
+                    out.push((v, calc.dependency_on(g, v as Vertex, r)));
+                    v += threads;
+                }
+                out
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked");
+
+    let mut profile = vec![0.0; n];
+    for chunk in chunks {
+        for (v, d) in chunk {
+            profile[v] = d;
+        }
+    }
+    DependencyProfile { profile, r }
+}
+
+/// Exact `BC(r)` for a single probe vertex (via its dependency profile,
+/// parallelised). Equivalent to `exact_betweenness(g)[r]` but with `O(n)`
+/// memory instead of `O(n)` per-thread accumulators.
+pub fn exact_betweenness_of(g: &CsrGraph, r: Vertex) -> f64 {
+    dependency_profile_par(g, r, 0).betweenness()
+}
+
+fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, work_items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+
+    /// Closed form: on a path of n vertices, the i-th vertex (0-based) lies
+    /// on all s-t pairs with s < i < t, so raw BC = 2 * i * (n - 1 - i) and
+    /// normalised BC = 2 i (n-1-i) / (n (n-1)).
+    fn path_bc(n: usize, i: usize) -> f64 {
+        (2 * i * (n - 1 - i)) as f64 / (n * (n - 1)) as f64
+    }
+
+    #[test]
+    fn path_betweenness_closed_form() {
+        let n = 9;
+        let bc = exact_betweenness(&generators::path(n));
+        for (i, &b) in bc.iter().enumerate() {
+            assert!((b - path_bc(n, i)).abs() < 1e-12, "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn star_centre_betweenness() {
+        // Star K_{1,n-1}: centre lies on all (n-1)(n-2) ordered leaf pairs.
+        let n = 7;
+        let bc = exact_betweenness(&generators::star(n));
+        let expect = ((n - 1) * (n - 2)) as f64 / (n * (n - 1)) as f64;
+        assert!((bc[0] - expect).abs() < 1e-12);
+        for &leaf_bc in &bc[1..] {
+            assert_eq!(leaf_bc, 0.0);
+        }
+    }
+
+    #[test]
+    fn complete_graph_is_all_zero() {
+        let bc = exact_betweenness(&generators::complete(6));
+        assert!(bc.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn cycle_betweenness_uniform() {
+        let bc = exact_betweenness(&generators::cycle(8));
+        for &b in &bc {
+            assert!((b - bc[0]).abs() < 1e-12);
+        }
+        assert!(bc[0] > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = generators::barabasi_albert(150, 3, &mut rng);
+        let serial = exact_betweenness(&g);
+        let parallel = exact_betweenness_par(&g, 4);
+        for v in 0..150 {
+            assert!((serial[v] - parallel[v]).abs() < 1e-12, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn profile_betweenness_matches_full_brandes() {
+        let g = generators::barbell(4, 3);
+        let full = exact_betweenness(&g);
+        for r in 0..g.num_vertices() as Vertex {
+            let p = dependency_profile(&g, r);
+            assert!(
+                (p.betweenness() - full[r as usize]).abs() < 1e-12,
+                "probe {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_parallel_matches_serial() {
+        let g = generators::barbell(5, 2);
+        let r = 5; // a path vertex
+        let a = dependency_profile(&g, r);
+        let b = dependency_profile_par(&g, r, 3);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn optimal_distribution_sums_to_one() {
+        let g = generators::barbell(4, 1);
+        let p = dependency_profile(&g, 4); // the bridge vertex
+        let dist = p.optimal_distribution().expect("bridge has positive BC");
+        let sum: f64 = dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(dist.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn mu_is_at_most_two_for_balanced_separator() {
+        // Barbell bridge vertex with equal cliques: Theorem 2 with K = 1
+        // gives mu(r) <= 1 + 1/K = 2 asymptotically.
+        let g = generators::barbell(20, 1);
+        let p = dependency_profile(&g, 20);
+        let mu = p.mu().unwrap();
+        assert!(mu < 2.2, "mu = {mu} should be near 2 for a balanced separator");
+    }
+
+    #[test]
+    fn zero_betweenness_vertex_has_no_distribution() {
+        let g = generators::star(5);
+        let p = dependency_profile(&g, 3); // a leaf
+        assert_eq!(p.betweenness(), 0.0);
+        assert!(p.optimal_distribution().is_none());
+        assert!(p.mu().is_none());
+    }
+
+    #[test]
+    fn weighted_brandes_respects_weights() {
+        // Triangle where the direct edge 0-2 is more expensive than 0-1-2:
+        // vertex 1 gains betweenness.
+        let g = mhbc_graph::CsrGraph::from_weighted_edges(
+            3,
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)],
+        )
+        .unwrap();
+        let bc = exact_betweenness(&g);
+        assert!(bc[1] > 0.0);
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[2], 0.0);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        assert!(exact_betweenness(&generators::path(1)).iter().all(|&b| b == 0.0));
+        assert_eq!(exact_betweenness(&generators::path(2)), vec![0.0, 0.0]);
+        let empty = mhbc_graph::CsrGraph::from_edges(0, &[]).unwrap();
+        assert!(exact_betweenness(&empty).is_empty());
+        assert!(exact_betweenness_par(&empty, 4).is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! # mhbc-spd
+//!
+//! Shortest-path DAGs (SPDs), Brandes dependency accumulation, exact
+//! betweenness, and shortest-path samplers.
+//!
+//! This crate implements the machinery of §2.1 of the paper:
+//!
+//! - [`BfsSpd`] / [`DijkstraSpd`] — the shortest-path DAG rooted at a source
+//!   `s`, i.e. distances `d(s, ·)`, path counts `σ_{s·}`, and a traversal
+//!   order supporting backward accumulation. `O(|E|)` for unweighted graphs
+//!   and `O(|E| + |V| log |V|)` for positively weighted graphs, exactly the
+//!   per-sample costs quoted in §4.1.
+//! - [`DependencyCalculator`] — the per-sample kernel: dependency scores
+//!   `δ_{s•}(v)` for all `v` via Brandes's recursion (Eq 4), dispatching on
+//!   graph weightedness, with reusable buffers (no per-call allocation).
+//! - [`exact_betweenness`] / [`exact_betweenness_par`] — exact Brandes over
+//!   all sources (ground truth for every experiment).
+//! - [`dependency_profile`] / [`dependency_profile_par`] — `δ_{v•}(r)` for
+//!   **all** sources `v` at a fixed probe vertex `r`: the normalisation
+//!   constant of the optimal distribution (Eq 5), the exact `BC(r)`, and
+//!   `µ(r)` (Theorem 1) all derive from this profile.
+//! - [`path_sampler`] — σ-weighted uniform shortest-path sampling from an
+//!   SPD (the RK baseline's primitive \[30\]).
+//! - [`bidirectional`] — balanced bidirectional BFS `(s, t)` path counting
+//!   and sampling (the KADABRA baseline's primitive \[7\]).
+//! - [`naive`] — independent `O(n³)` reference implementations used by the
+//!   test suites to cross-validate everything above.
+//!
+//! ## Conventions
+//!
+//! Betweenness is normalised as in Eq 1: `BC(v) = (1 / (n (n-1))) Σ_{s,t}
+//! σ_st(v) / σ_st`, with `σ_st(v) = 0` whenever `v ∈ {s, t}`. Path counts σ
+//! are `f64` (ratios stay exact until counts exceed 2^53; see DESIGN.md §3).
+
+pub mod bidirectional;
+mod brandes;
+mod dependency;
+pub mod naive;
+pub mod path_sampler;
+mod unweighted;
+mod weighted;
+
+pub use brandes::{
+    dependency_profile, dependency_profile_par, exact_betweenness, exact_betweenness_of,
+    exact_betweenness_par, DependencyProfile,
+};
+pub use dependency::DependencyCalculator;
+pub use unweighted::{BfsSpd, UNREACHED};
+pub use weighted::DijkstraSpd;
+
+/// Relative tolerance for deciding "equal length" shortest paths on weighted
+/// graphs; see [`DijkstraSpd`] docs.
+pub const WEIGHT_TIE_RELATIVE_EPS: f64 = 1e-12;

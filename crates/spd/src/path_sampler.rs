@@ -1,0 +1,141 @@
+//! σ-weighted uniform shortest-path sampling from an SPD.
+//!
+//! Given the SPD rooted at `s`, a uniformly random shortest `s`–`t` path is
+//! obtained by walking backwards from `t`, choosing each predecessor `u`
+//! with probability `σ_su / Σ_{u' ∈ P_s(t)} σ_su'`. Telescoping gives every
+//! shortest path probability exactly `1 / σ_st` — the primitive behind the
+//! RK estimator \[30\].
+
+use crate::unweighted::UNREACHED;
+use crate::BfsSpd;
+use mhbc_graph::{CsrGraph, Vertex};
+use rand::{Rng, RngExt};
+
+/// Samples a uniformly random shortest path from `spd.source()` to `t`.
+///
+/// Returns the vertex sequence `source, …, t` (inclusive), or `None` if `t`
+/// is unreachable. `t == source` yields the singleton path.
+pub fn sample_shortest_path<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    spd: &BfsSpd,
+    t: Vertex,
+    rng: &mut R,
+) -> Option<Vec<Vertex>> {
+    if spd.dist[t as usize] == UNREACHED {
+        return None;
+    }
+    let len = spd.dist[t as usize] as usize;
+    let mut path = vec![0 as Vertex; len + 1];
+    path[len] = t;
+    let mut cur = t;
+    for slot in (0..len).rev() {
+        cur = pick_parent(g, spd, cur, rng);
+        path[slot] = cur;
+    }
+    debug_assert_eq!(path[0], spd.source());
+    Some(path)
+}
+
+/// Chooses a predecessor of `w` in the SPD with probability proportional to
+/// its σ value.
+fn pick_parent<R: Rng + ?Sized>(g: &CsrGraph, spd: &BfsSpd, w: Vertex, rng: &mut R) -> Vertex {
+    let dw = spd.dist[w as usize];
+    debug_assert!(dw != UNREACHED && dw > 0);
+    // Total parent weight equals sigma[w] by definition of the SPD.
+    let mut remaining = rng.random::<f64>() * spd.sigma[w as usize];
+    let mut last_parent = None;
+    for &u in g.neighbors(w) {
+        if spd.dist[u as usize] != UNREACHED && spd.dist[u as usize] + 1 == dw {
+            last_parent = Some(u);
+            remaining -= spd.sigma[u as usize];
+            if remaining <= 0.0 {
+                return u;
+            }
+        }
+    }
+    // Floating-point slack: fall back to the last parent seen.
+    last_parent.expect("reachable non-source vertex has a parent")
+}
+
+/// The interior vertices of a path (everything strictly between the
+/// endpoints) — the vertices credited by path-sampling estimators.
+pub fn interior(path: &[Vertex]) -> &[Vertex] {
+    if path.len() <= 2 {
+        &[]
+    } else {
+        &path[1..path.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn sampled_paths_are_shortest_paths() {
+        let mut rng = SmallRng::seed_from_u64(81);
+        let g = generators::barabasi_albert(60, 2, &mut rng);
+        let mut spd = BfsSpd::new(60);
+        spd.compute(&g, 0);
+        for t in [5u32, 20, 59] {
+            let path = sample_shortest_path(&g, &spd, t, &mut rng).unwrap();
+            assert_eq!(path[0], 0);
+            assert_eq!(*path.last().unwrap(), t);
+            assert_eq!(path.len() as u32 - 1, spd.dist[t as usize]);
+            for pair in path.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]), "non-edge in sampled path");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let g = mhbc_graph::CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut spd = BfsSpd::new(4);
+        spd.compute(&g, 0);
+        let mut rng = SmallRng::seed_from_u64(82);
+        assert!(sample_shortest_path(&g, &spd, 3, &mut rng).is_none());
+    }
+
+    #[test]
+    fn source_target_gives_singleton() {
+        let g = generators::path(3);
+        let mut spd = BfsSpd::new(3);
+        spd.compute(&g, 1);
+        let mut rng = SmallRng::seed_from_u64(83);
+        assert_eq!(sample_shortest_path(&g, &spd, 1, &mut rng).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn sampling_is_uniform_over_shortest_paths() {
+        // 3x3 grid: from corner 0 to opposite corner 8 there are C(4,2) = 6
+        // shortest paths; check the empirical distribution is uniform.
+        let g = generators::grid(3, 3, false);
+        let mut spd = BfsSpd::new(9);
+        spd.compute(&g, 0);
+        assert_eq!(spd.sigma[8], 6.0);
+        let mut rng = SmallRng::seed_from_u64(84);
+        let mut counts: HashMap<Vec<Vertex>, usize> = HashMap::new();
+        let trials = 60_000;
+        for _ in 0..trials {
+            let p = sample_shortest_path(&g, &spd, 8, &mut rng).unwrap();
+            *counts.entry(p).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 6, "all six paths should appear");
+        let expected = trials as f64 / 6.0;
+        for (path, c) in counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "path {path:?} count {c} deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn interior_extraction() {
+        assert_eq!(interior(&[1]), &[] as &[Vertex]);
+        assert_eq!(interior(&[1, 2]), &[] as &[Vertex]);
+        assert_eq!(interior(&[1, 2, 3, 4]), &[2, 3]);
+    }
+}

@@ -1,0 +1,232 @@
+//! BFS shortest-path DAGs for unweighted graphs.
+
+use mhbc_graph::{CsrGraph, Vertex};
+use std::collections::VecDeque;
+
+/// Sentinel for unreachable vertices in [`BfsSpd::dist`].
+pub const UNREACHED: u32 = u32::MAX;
+
+/// The shortest-path DAG (SPD, §2.1) rooted at a source vertex of an
+/// unweighted graph: distances, shortest-path counts σ, and the BFS
+/// settle order (sources first) used for backward dependency accumulation.
+///
+/// The struct doubles as a reusable workspace: allocate once with
+/// [`BfsSpd::new`] and call [`BfsSpd::compute`] per source. Predecessors are
+/// not materialised; parent tests use the distance criterion
+/// `d(s, u) + 1 == d(s, w)` on demand (saves one `O(m)` array per pass and
+/// keeps the kernel allocation-free, per the perf-book guidance on reusing
+/// workhorse collections).
+#[derive(Debug, Clone)]
+pub struct BfsSpd {
+    /// `dist[v]` = `d(s, v)`, or [`UNREACHED`].
+    pub dist: Vec<u32>,
+    /// `sigma[v]` = number of shortest `s`–`v` paths (`σ_{sv}`).
+    pub sigma: Vec<f64>,
+    /// Vertices in nondecreasing-distance (BFS) order; only reached ones.
+    pub order: Vec<Vertex>,
+    queue: VecDeque<Vertex>,
+    source: Vertex,
+}
+
+impl BfsSpd {
+    /// Workspace for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BfsSpd {
+            dist: vec![UNREACHED; n],
+            sigma: vec![0.0; n],
+            order: Vec::with_capacity(n),
+            queue: VecDeque::new(),
+            source: 0,
+        }
+    }
+
+    /// The source of the last `compute` call.
+    pub fn source(&self) -> Vertex {
+        self.source
+    }
+
+    /// Computes the SPD rooted at `s` in `O(|V| + |E|)`.
+    ///
+    /// # Panics
+    /// If the workspace size does not match `g` or if `s` is out of range.
+    pub fn compute(&mut self, g: &CsrGraph, s: Vertex) {
+        let n = g.num_vertices();
+        assert_eq!(self.dist.len(), n, "workspace sized for a different graph");
+        assert!((s as usize) < n, "source {s} out of range");
+
+        // Reset only what the previous pass touched.
+        for &v in &self.order {
+            self.dist[v as usize] = UNREACHED;
+            self.sigma[v as usize] = 0.0;
+        }
+        self.order.clear();
+        self.queue.clear();
+        self.source = s;
+
+        self.dist[s as usize] = 0;
+        self.sigma[s as usize] = 1.0;
+        self.queue.push_back(s);
+        while let Some(u) = self.queue.pop_front() {
+            self.order.push(u);
+            let du = self.dist[u as usize];
+            let su = self.sigma[u as usize];
+            for &v in g.neighbors(u) {
+                let dv = &mut self.dist[v as usize];
+                if *dv == UNREACHED {
+                    *dv = du + 1;
+                    self.queue.push_back(v);
+                }
+                if self.dist[v as usize] == du + 1 {
+                    self.sigma[v as usize] += su;
+                }
+            }
+        }
+    }
+
+    /// Whether `u` is a predecessor (parent) of `w` in this SPD, i.e.
+    /// `u ∈ P_s(w)` in the paper's notation.
+    #[inline]
+    pub fn is_parent(&self, u: Vertex, w: Vertex) -> bool {
+        let (du, dw) = (self.dist[u as usize], self.dist[w as usize]);
+        du != UNREACHED && dw != UNREACHED && du + 1 == dw
+    }
+
+    /// Number of vertices reached (including the source).
+    pub fn reached(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Accumulates Brandes dependency scores `δ_{s•}(v)` (Eq 2/4) into
+    /// `delta`, which is cleared and resized to `n`.
+    ///
+    /// Runs in `O(|E|)` by scanning `order` backwards and applying
+    /// `δ_{s•}(u) += σ_su / σ_sw · (1 + δ_{s•}(w))` over each SPD edge.
+    pub fn accumulate_dependencies(&self, g: &CsrGraph, delta: &mut Vec<f64>) {
+        delta.clear();
+        delta.resize(self.dist.len(), 0.0);
+        for &w in self.order.iter().rev() {
+            let coeff = (1.0 + delta[w as usize]) / self.sigma[w as usize];
+            let dw = self.dist[w as usize];
+            for &u in g.neighbors(w) {
+                if self.dist[u as usize] != UNREACHED && self.dist[u as usize] + 1 == dw {
+                    delta[u as usize] += self.sigma[u as usize] * coeff;
+                }
+            }
+        }
+        delta[self.source as usize] = 0.0;
+    }
+
+    /// Geisberger–Sanders–Schultes *linear-scaling* accumulation \[17\]:
+    /// computes `g_s(v) = Σ_t δ_st(v) / d(s, t)` via the same backward scan
+    /// with the per-target seed `1` replaced by `1 / d(s, w)`. The
+    /// length-scaled dependency is then `d(s, v) · g_s(v)`, which prevents
+    /// vertices from profiting merely by sitting next to a sampled source.
+    pub fn accumulate_scaled_dependencies(&self, g: &CsrGraph, scaled: &mut Vec<f64>) {
+        scaled.clear();
+        scaled.resize(self.dist.len(), 0.0);
+        for &w in self.order.iter().rev() {
+            let dw = self.dist[w as usize];
+            if dw == 0 {
+                continue; // the source itself seeds nothing
+            }
+            let coeff = (1.0 / dw as f64 + scaled[w as usize]) / self.sigma[w as usize];
+            for &u in g.neighbors(w) {
+                if self.dist[u as usize] != UNREACHED && self.dist[u as usize] + 1 == dw {
+                    scaled[u as usize] += self.sigma[u as usize] * coeff;
+                }
+            }
+        }
+        // Convert g_s(v) to d(s, v) * g_s(v) in place.
+        for (v, s) in scaled.iter_mut().enumerate() {
+            if self.dist[v] != UNREACHED && self.dist[v] > 0 {
+                *s *= self.dist[v] as f64;
+            } else {
+                *s = 0.0;
+            }
+        }
+        scaled[self.source as usize] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+
+    #[test]
+    fn path_graph_sigma_and_dist() {
+        let g = generators::path(5);
+        let mut spd = BfsSpd::new(5);
+        spd.compute(&g, 0);
+        assert_eq!(spd.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(spd.sigma, vec![1.0; 5]);
+        assert_eq!(spd.order.len(), 5);
+    }
+
+    #[test]
+    fn diamond_counts_two_paths() {
+        // 0 - 1, 0 - 2, 1 - 3, 2 - 3: two shortest paths 0 -> 3.
+        let g = CsrGraphFixture::diamond();
+        let mut spd = BfsSpd::new(4);
+        spd.compute(&g, 0);
+        assert_eq!(spd.dist[3], 2);
+        assert_eq!(spd.sigma[3], 2.0);
+        assert!(spd.is_parent(1, 3));
+        assert!(spd.is_parent(2, 3));
+        assert!(!spd.is_parent(0, 3));
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let g = generators::star(6);
+        let mut spd = BfsSpd::new(6);
+        spd.compute(&g, 0);
+        assert_eq!(spd.reached(), 6);
+        spd.compute(&g, 1);
+        assert_eq!(spd.dist[1], 0);
+        assert_eq!(spd.dist[0], 1);
+        assert_eq!(spd.dist[2], 2);
+        assert_eq!(spd.sigma[2], 1.0);
+    }
+
+    #[test]
+    fn disconnected_vertices_unreached() {
+        let g = mhbc_graph::CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut spd = BfsSpd::new(4);
+        spd.compute(&g, 0);
+        assert_eq!(spd.dist[2], UNREACHED);
+        assert_eq!(spd.reached(), 2);
+    }
+
+    #[test]
+    fn dependencies_on_path_match_hand_computation() {
+        // Path 0-1-2-3-4, source 0: delta_0(v) = number of targets beyond v.
+        let g = generators::path(5);
+        let mut spd = BfsSpd::new(5);
+        spd.compute(&g, 0);
+        let mut delta = Vec::new();
+        spd.accumulate_dependencies(&g, &mut delta);
+        assert_eq!(delta, vec![0.0, 3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dependencies_split_across_diamond() {
+        let g = CsrGraphFixture::diamond();
+        let mut spd = BfsSpd::new(4);
+        spd.compute(&g, 0);
+        let mut delta = Vec::new();
+        spd.accumulate_dependencies(&g, &mut delta);
+        // Vertices 1 and 2 each carry half of the single dependent target 3.
+        assert_eq!(delta[1], 0.5);
+        assert_eq!(delta[2], 0.5);
+        assert_eq!(delta[0], 0.0);
+        assert_eq!(delta[3], 0.0);
+    }
+
+    struct CsrGraphFixture;
+    impl CsrGraphFixture {
+        fn diamond() -> mhbc_graph::CsrGraph {
+            mhbc_graph::CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Dijkstra shortest-path DAGs for positively weighted graphs.
+
+use crate::WEIGHT_TIE_RELATIVE_EPS;
+use mhbc_graph::{CsrGraph, Vertex};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by *smallest* distance first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    v: Vertex,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Weights are validated finite and positive, so distances are never
+        // NaN; reverse for a min-heap on BinaryHeap.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are never NaN")
+            .then_with(|| other.v.cmp(&self.v))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The shortest-path DAG rooted at a source of a *positively weighted*
+/// graph, computed by Dijkstra with lazy deletion in
+/// `O(|E| log |V|)` (§2.1 quotes `O(|E| + |V| log |V|)` with Fibonacci
+/// heaps; a binary heap is the standard practical choice).
+///
+/// Two `s`–`v` paths are considered equally short when their lengths agree
+/// to within [`WEIGHT_TIE_RELATIVE_EPS`] relative tolerance; exact float
+/// ties (e.g. integer-valued weights) are handled exactly, and nearly-equal
+/// real-valued sums are merged, which is the conventional treatment of
+/// floating-point path ties.
+#[derive(Debug, Clone)]
+pub struct DijkstraSpd {
+    /// `dist[v]` = weighted `d(s, v)`, `f64::INFINITY` when unreachable.
+    pub dist: Vec<f64>,
+    /// `sigma[v]` = number of shortest `s`–`v` paths.
+    pub sigma: Vec<f64>,
+    /// Vertices in settle order (nondecreasing distance); only reached ones.
+    pub order: Vec<Vertex>,
+    heap: BinaryHeap<HeapItem>,
+    settled: Vec<bool>,
+    source: Vertex,
+}
+
+#[inline]
+fn ties(a: f64, b: f64) -> bool {
+    (a - b).abs() <= WEIGHT_TIE_RELATIVE_EPS * a.abs().max(b.abs()).max(1.0)
+}
+
+impl DijkstraSpd {
+    /// Workspace for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DijkstraSpd {
+            dist: vec![f64::INFINITY; n],
+            sigma: vec![0.0; n],
+            order: Vec::with_capacity(n),
+            heap: BinaryHeap::new(),
+            settled: vec![false; n],
+            source: 0,
+        }
+    }
+
+    /// The source of the last `compute` call.
+    pub fn source(&self) -> Vertex {
+        self.source
+    }
+
+    /// Computes the weighted SPD rooted at `s`.
+    ///
+    /// Works on unweighted graphs too (all weights treated as 1), which the
+    /// tests use to cross-validate against [`crate::BfsSpd`].
+    ///
+    /// # Panics
+    /// If the workspace size does not match `g` or `s` is out of range.
+    pub fn compute(&mut self, g: &CsrGraph, s: Vertex) {
+        let n = g.num_vertices();
+        assert_eq!(self.dist.len(), n, "workspace sized for a different graph");
+        assert!((s as usize) < n, "source {s} out of range");
+
+        for &v in &self.order {
+            self.dist[v as usize] = f64::INFINITY;
+            self.sigma[v as usize] = 0.0;
+            self.settled[v as usize] = false;
+        }
+        self.order.clear();
+        self.heap.clear();
+        self.source = s;
+
+        self.dist[s as usize] = 0.0;
+        self.sigma[s as usize] = 1.0;
+        self.heap.push(HeapItem { dist: 0.0, v: s });
+        while let Some(HeapItem { dist: du, v: u }) = self.heap.pop() {
+            if self.settled[u as usize] {
+                continue; // stale lazy-deleted entry
+            }
+            self.settled[u as usize] = true;
+            self.order.push(u);
+            let su = self.sigma[u as usize];
+            for (v, w) in g.neighbors_weighted(u) {
+                let vd = self.dist[v as usize];
+                let nd = du + w;
+                if vd.is_finite() && ties(nd, vd) {
+                    // Another shortest path into v through u.
+                    self.sigma[v as usize] += su;
+                } else if nd < vd {
+                    self.dist[v as usize] = nd;
+                    self.sigma[v as usize] = su;
+                    self.heap.push(HeapItem { dist: nd, v });
+                }
+            }
+        }
+    }
+
+    /// Whether `u` is a predecessor of `w` in this SPD:
+    /// `d(s, u) + w(u, w) == d(s, w)` up to the tie tolerance.
+    #[inline]
+    pub fn is_parent(&self, g: &CsrGraph, u: Vertex, w: Vertex) -> bool {
+        let (du, dw) = (self.dist[u as usize], self.dist[w as usize]);
+        if !du.is_finite() || !dw.is_finite() {
+            return false;
+        }
+        match g.edge_weight(u, w) {
+            Some(wt) => du < dw && ties(du + wt, dw),
+            None => false,
+        }
+    }
+
+    /// Number of vertices reached (including the source).
+    pub fn reached(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Accumulates Brandes dependency scores `δ_{s•}(v)` into `delta`
+    /// (cleared and resized), scanning the settle order backwards.
+    pub fn accumulate_dependencies(&self, g: &CsrGraph, delta: &mut Vec<f64>) {
+        delta.clear();
+        delta.resize(self.dist.len(), 0.0);
+        for &w in self.order.iter().rev() {
+            let coeff = (1.0 + delta[w as usize]) / self.sigma[w as usize];
+            let dw = self.dist[w as usize];
+            for (u, wt) in g.neighbors_weighted(w) {
+                let du = self.dist[u as usize];
+                if du.is_finite() && du < dw && ties(du + wt, dw) {
+                    delta[u as usize] += self.sigma[u as usize] * coeff;
+                }
+            }
+        }
+        delta[self.source as usize] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BfsSpd;
+    use mhbc_graph::{generators, CsrGraph};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn weighted_path_distances() {
+        let g = CsrGraph::from_weighted_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)]).unwrap();
+        let mut spd = DijkstraSpd::new(3);
+        spd.compute(&g, 0);
+        assert_eq!(spd.dist, vec![0.0, 2.0, 5.0]);
+        assert_eq!(spd.sigma, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn tie_counting_on_weighted_diamond() {
+        // Two equal-length routes 0 -> 3 (1 + 2 and 2 + 1).
+        let g = CsrGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        let mut spd = DijkstraSpd::new(4);
+        spd.compute(&g, 0);
+        assert_eq!(spd.dist[3], 3.0);
+        assert_eq!(spd.sigma[3], 2.0);
+    }
+
+    #[test]
+    fn shorter_route_wins_over_fewer_hops() {
+        // Direct edge 0-2 costs 10; the two-hop route costs 3.
+        let g = CsrGraph::from_weighted_edges(
+            3,
+            &[(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)],
+        )
+        .unwrap();
+        let mut spd = DijkstraSpd::new(3);
+        spd.compute(&g, 0);
+        assert_eq!(spd.dist[2], 3.0);
+        assert_eq!(spd.sigma[2], 1.0);
+        assert!(spd.is_parent(&g, 1, 2));
+        assert!(!spd.is_parent(&g, 0, 2));
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = CsrGraph::from_weighted_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let mut spd = DijkstraSpd::new(4);
+        spd.compute(&g, 0);
+        assert!(spd.dist[2].is_infinite());
+        assert_eq!(spd.reached(), 2);
+    }
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let g = generators::barabasi_albert(80, 3, &mut rng);
+        let gw = g.map_weights(|_, _| 1.0).unwrap();
+        let mut bfs = BfsSpd::new(80);
+        let mut dij = DijkstraSpd::new(80);
+        for s in [0u32, 17, 42] {
+            bfs.compute(&g, s);
+            dij.compute(&gw, s);
+            for v in 0..80usize {
+                assert_eq!(bfs.dist[v] as f64, dij.dist[v], "dist mismatch at {v}");
+                assert_eq!(bfs.sigma[v], dij.sigma[v], "sigma mismatch at {v}");
+            }
+            let (mut d1, mut d2) = (Vec::new(), Vec::new());
+            bfs.accumulate_dependencies(&g, &mut d1);
+            dij.accumulate_dependencies(&gw, &mut d2);
+            for v in 0..80 {
+                assert!((d1[v] - d2[v]).abs() < 1e-9, "delta mismatch at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let g = CsrGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let mut spd = DijkstraSpd::new(3);
+        spd.compute(&g, 0);
+        spd.compute(&g, 2);
+        assert_eq!(spd.dist, vec![2.0, 1.0, 0.0]);
+        assert_eq!(spd.source(), 2);
+    }
+}

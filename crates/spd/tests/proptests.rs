@@ -1,0 +1,187 @@
+#![allow(clippy::needless_range_loop)]
+//! Property-based cross-validation of the shortest-path machinery.
+
+use mhbc_graph::{generators, CsrGraph, Vertex};
+use mhbc_spd::{
+    bidirectional::BidirectionalSearch, exact_betweenness, exact_betweenness_par, naive, BfsSpd,
+    DependencyCalculator, DijkstraSpd,
+};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Connected random graph from a seed (ER backbone, bridged if needed).
+fn connected_graph(n: usize, p: f64, seed: u64) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::ensure_connected(generators::erdos_renyi_gnp(n, p, &mut rng), &mut rng)
+}
+
+/// Exact u128 shortest-path counting by level-DP, to validate the f64 σ.
+fn sigma_u128(g: &CsrGraph, s: Vertex) -> Vec<u128> {
+    let n = g.num_vertices();
+    let dist = mhbc_graph::algo::bfs_distances(g, s);
+    let mut order: Vec<Vertex> = (0..n as Vertex).filter(|&v| dist[v as usize] != u32::MAX).collect();
+    order.sort_by_key(|&v| dist[v as usize]);
+    let mut sigma = vec![0u128; n];
+    sigma[s as usize] = 1;
+    for &w in &order {
+        if w == s {
+            continue;
+        }
+        for &u in g.neighbors(w) {
+            if dist[u as usize] != u32::MAX && dist[u as usize] + 1 == dist[w as usize] {
+                sigma[w as usize] += sigma[u as usize];
+            }
+        }
+    }
+    sigma
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BFS σ equals exact integer counting.
+    #[test]
+    fn sigma_matches_exact_integers(n in 5usize..40, seed in any::<u64>(), src in 0usize..40) {
+        let g = connected_graph(n, 0.15, seed);
+        let s = (src % n) as Vertex;
+        let mut spd = BfsSpd::new(n);
+        spd.compute(&g, s);
+        let exact = sigma_u128(&g, s);
+        for v in 0..n {
+            prop_assert_eq!(spd.sigma[v], exact[v] as f64, "vertex {}", v);
+        }
+    }
+
+    /// Brandes accumulation equals the definition-level dependency scores.
+    #[test]
+    fn dependencies_match_naive(n in 5usize..30, seed in any::<u64>(), src in 0usize..30) {
+        let g = connected_graph(n, 0.2, seed);
+        let s = (src % n) as Vertex;
+        let mut calc = DependencyCalculator::new(&g);
+        let fast = calc.dependencies(&g, s).to_vec();
+        let slow = naive::dependencies_naive(&g, s);
+        for v in 0..n {
+            prop_assert!((fast[v] - slow[v]).abs() < 1e-9, "vertex {}: {} vs {}", v, fast[v], slow[v]);
+        }
+    }
+
+    /// Exact Brandes equals naive BC; parallel equals serial.
+    #[test]
+    fn brandes_matches_naive(n in 5usize..25, seed in any::<u64>()) {
+        let g = connected_graph(n, 0.2, seed);
+        let fast = exact_betweenness(&g);
+        let par = exact_betweenness_par(&g, 3);
+        let slow = naive::betweenness_naive(&g);
+        for v in 0..n {
+            prop_assert!((fast[v] - slow[v]).abs() < 1e-9);
+            prop_assert!((fast[v] - par[v]).abs() < 1e-12);
+        }
+    }
+
+    /// Dependency sums: Σ_v δ_s•(v) equals Σ_t (d(s,t) - 1)⁺ for connected
+    /// graphs (each target contributes its path's interior count in
+    /// expectation-free form: Σ_v δ_st(v) = d(s,t) - 1).
+    #[test]
+    fn dependency_sum_identity(n in 4usize..30, seed in any::<u64>(), src in 0usize..30) {
+        let g = connected_graph(n, 0.18, seed);
+        let s = (src % n) as Vertex;
+        let mut calc = DependencyCalculator::new(&g);
+        let delta_sum: f64 = calc.dependencies(&g, s).iter().sum();
+        let dist = mhbc_graph::algo::bfs_distances(&g, s);
+        let expected: f64 = dist
+            .iter()
+            .filter(|&&d| d != u32::MAX && d > 0)
+            .map(|&d| (d - 1) as f64)
+            .sum();
+        prop_assert!((delta_sum - expected).abs() < 1e-9, "{} vs {}", delta_sum, expected);
+    }
+
+    /// Dijkstra with unit weights agrees with BFS everywhere.
+    #[test]
+    fn dijkstra_unit_equals_bfs(n in 4usize..30, seed in any::<u64>(), src in 0usize..30) {
+        let g = connected_graph(n, 0.2, seed);
+        let gw = g.map_weights(|_, _| 1.0).unwrap();
+        let s = (src % n) as Vertex;
+        let mut bfs = BfsSpd::new(n);
+        let mut dij = DijkstraSpd::new(n);
+        bfs.compute(&g, s);
+        dij.compute(&gw, s);
+        for v in 0..n {
+            prop_assert_eq!(bfs.dist[v] as f64, dij.dist[v]);
+            prop_assert_eq!(bfs.sigma[v], dij.sigma[v]);
+        }
+    }
+
+    /// Weighted Brandes equals weighted naive BC with random weights.
+    #[test]
+    fn weighted_brandes_matches_naive(n in 4usize..20, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        let g = generators::assign_uniform_weights(&connected_graph(n, 0.25, seed), 1.0, 5.0, &mut rng);
+        let fast = exact_betweenness(&g);
+        let slow = naive::betweenness_naive_weighted(&g);
+        for v in 0..n {
+            prop_assert!((fast[v] - slow[v]).abs() < 1e-8, "vertex {}", v);
+        }
+    }
+
+    /// Bidirectional search agrees with BFS on distance and σ for all pairs.
+    #[test]
+    fn bidirectional_matches_bfs(n in 4usize..25, seed in any::<u64>()) {
+        let g = connected_graph(n, 0.18, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00D);
+        let mut bb = BidirectionalSearch::new(n);
+        let mut spd = BfsSpd::new(n);
+        for s in 0..n as Vertex {
+            spd.compute(&g, s);
+            for t in 0..n as Vertex {
+                if s == t {
+                    continue;
+                }
+                let r = bb.query(&g, s, t, false, &mut rng).unwrap();
+                prop_assert_eq!(r.distance, spd.dist[t as usize], "{} -> {}", s, t);
+                prop_assert_eq!(r.sigma, spd.sigma[t as usize], "{} -> {}", s, t);
+            }
+        }
+    }
+
+    /// Linear-scaling identity: summing the length-scaled dependencies
+    /// over *all* sources recovers exact betweenness —
+    /// `BC(v) = (2/(n(n-1))) Σ_s d(s,v) · g_s(v)` (pairing (s,t) with
+    /// (t,s) makes the scale factors telescope to 1).
+    #[test]
+    fn linear_scaling_sums_to_exact_bc(n in 4usize..25, seed in any::<u64>()) {
+        let g = connected_graph(n, 0.22, seed);
+        let exact = exact_betweenness(&g);
+        let mut spd = BfsSpd::new(n);
+        let mut scaled = Vec::new();
+        let mut acc = vec![0.0f64; n];
+        for s in 0..n as Vertex {
+            spd.compute(&g, s);
+            spd.accumulate_scaled_dependencies(&g, &mut scaled);
+            for v in 0..n {
+                acc[v] += scaled[v];
+            }
+        }
+        let norm = (n * (n - 1)) as f64;
+        for v in 0..n {
+            let got = 2.0 * acc[v] / norm;
+            prop_assert!((got - exact[v]).abs() < 1e-9, "vertex {}: {} vs {}", v, got, exact[v]);
+        }
+    }
+
+    /// Betweenness is invariant under vertex relabelling.
+    #[test]
+    fn bc_invariant_under_relabelling(n in 4usize..20, seed in any::<u64>()) {
+        let g = connected_graph(n, 0.25, seed);
+        // Reverse relabelling: new id = n - 1 - old id.
+        let relabel = |v: Vertex| (n as Vertex - 1) - v;
+        let edges: Vec<(Vertex, Vertex)> =
+            g.edges().map(|(u, v, _)| (relabel(u), relabel(v))).collect();
+        let g2 = CsrGraph::from_edges(n, &edges).unwrap();
+        let bc1 = exact_betweenness(&g);
+        let bc2 = exact_betweenness(&g2);
+        for v in 0..n as Vertex {
+            prop_assert!((bc1[v as usize] - bc2[relabel(v) as usize]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `mhbc` — command-line betweenness estimation on edge-list files.
+//!
+//! ```text
+//! mhbc estimate graph.txt 42 --iters 20000 --exact
+//! mhbc rank graph.txt 3,17,256
+//! mhbc plan graph.txt 42 0.05 0.05
+//! ```
+
+use mhbc_suite::cli;
+use std::fs::File;
+use std::io::BufReader;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let path = match &cmd {
+        cli::Command::Estimate { path, .. }
+        | cli::Command::Rank { path, .. }
+        | cli::Command::Plan { path, .. } => path.clone(),
+    };
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let result = cli::load_graph(BufReader::new(file))
+        .and_then(|(g, map)| cli::execute(&cmd, &g, &map));
+    match result {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

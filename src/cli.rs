@@ -1,0 +1,286 @@
+//! Library half of the `mhbc` command-line tool: argument parsing and
+//! command execution, kept binary-free so the logic is unit-testable.
+
+use mhbc_core::planner::{plan_single, MuSource};
+use mhbc_core::{JointSpaceConfig, JointSpaceSampler, SingleSpaceConfig, SingleSpaceSampler};
+use mhbc_graph::{algo, io, CsrGraph, Vertex};
+use std::io::BufRead;
+
+/// Parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Estimate BC of one vertex: `estimate <edge-list> <vertex>`.
+    Estimate { path: String, vertex: Vertex, iterations: u64, seed: u64, exact: bool },
+    /// Relative ranking of several vertices: `rank <edge-list> <v1,v2,...>`.
+    Rank { path: String, vertices: Vec<Vertex>, iterations: u64, seed: u64 },
+    /// Plan an (epsilon, delta) budget: `plan <edge-list> <vertex> <eps> <delta>`.
+    Plan { path: String, vertex: Vertex, epsilon: f64, delta: f64 },
+}
+
+/// CLI usage string.
+pub const USAGE: &str = "usage:
+  mhbc estimate <edge-list> <vertex> [--iters N] [--seed S] [--exact]
+  mhbc rank     <edge-list> <v1,v2,...> [--iters N] [--seed S]
+  mhbc plan     <edge-list> <vertex> <epsilon> <delta>
+
+Edge lists are whitespace-separated `u v [w]` lines; `#`/`%` comments allowed.";
+
+/// Parses `args` (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut iterations = 10_000u64;
+    let mut seed = 42u64;
+    let mut exact = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                i += 1;
+                iterations = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| "missing/invalid value for --iters".to_string())?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| "missing/invalid value for --seed".to_string())?;
+            }
+            "--exact" => exact = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => pos.push(other),
+        }
+        i += 1;
+    }
+    let parse_vertex = |s: &str| -> Result<Vertex, String> {
+        s.parse().map_err(|_| format!("invalid vertex id `{s}`"))
+    };
+    match pos.as_slice() {
+        ["estimate", path, vertex] => Ok(Command::Estimate {
+            path: path.to_string(),
+            vertex: parse_vertex(vertex)?,
+            iterations,
+            seed,
+            exact,
+        }),
+        ["rank", path, list] => {
+            let vertices = list
+                .split(',')
+                .map(parse_vertex)
+                .collect::<Result<Vec<_>, _>>()?;
+            if vertices.len() < 2 {
+                return Err("rank needs at least two comma-separated vertices".into());
+            }
+            Ok(Command::Rank { path: path.to_string(), vertices, iterations, seed })
+        }
+        ["plan", path, vertex, eps, delta] => Ok(Command::Plan {
+            path: path.to_string(),
+            vertex: parse_vertex(vertex)?,
+            epsilon: eps.parse().map_err(|_| format!("invalid epsilon `{eps}`"))?,
+            delta: delta.parse().map_err(|_| format!("invalid delta `{delta}`"))?,
+        }),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+/// Loads a graph and reduces it to its largest connected component
+/// (reporting the reduction), returning the graph and the old-id map.
+pub fn load_graph<R: BufRead>(reader: R) -> Result<(CsrGraph, Vec<Vertex>), String> {
+    let g = io::read_edge_list(reader).map_err(|e| e.to_string())?;
+    let n_before = g.num_vertices();
+    let (lcc, map) = algo::largest_component(&g);
+    if lcc.num_vertices() < n_before {
+        eprintln!(
+            "note: using the largest connected component ({} of {} vertices)",
+            lcc.num_vertices(),
+            n_before
+        );
+    }
+    Ok((lcc, map))
+}
+
+/// Executes a command against an already-loaded graph; returns printable
+/// output lines. `map` translates internal ids back to input ids.
+pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String>, String> {
+    // Translate an input vertex id to the internal (LCC-relabelled) id.
+    let internal = |input: Vertex| -> Result<Vertex, String> {
+        map.iter()
+            .position(|&old| old == input)
+            .map(|i| i as Vertex)
+            .ok_or_else(|| format!("vertex {input} is not in the largest component"))
+    };
+    match cmd {
+        Command::Estimate { vertex, iterations, seed, exact, .. } => {
+            let r = internal(*vertex)?;
+            let est = SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(*iterations, *seed))
+                .map_err(|e| e.to_string())?
+                .run();
+            let mut out = vec![
+                format!("graph: {g}"),
+                format!(
+                    "BC({vertex}) ~ {:.6} (Eq 7) | {:.6} (corrected, recommended)",
+                    est.bc, est.bc_corrected
+                ),
+                format!(
+                    "iterations {} | acceptance {:.3} | SPD passes {}",
+                    est.iterations, est.acceptance_rate, est.spd_passes
+                ),
+            ];
+            if *exact {
+                let truth = mhbc_spd::exact_betweenness_of(g, r);
+                out.push(format!("exact (Brandes): {truth:.6}"));
+            }
+            Ok(out)
+        }
+        Command::Rank { vertices, iterations, seed, .. } => {
+            let probes = vertices
+                .iter()
+                .map(|&v| internal(v))
+                .collect::<Result<Vec<_>, _>>()?;
+            let est = JointSpaceSampler::new(g, &probes, JointSpaceConfig::new(*iterations, *seed))
+                .map_err(|e| e.to_string())?
+                .run();
+            let mut ranked: Vec<(Vertex, f64)> = vertices
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, est.ratio(i, 0)))
+                .collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let mut out = vec![format!(
+                "ranking by betweenness ratio vs vertex {} ({} iterations):",
+                vertices[0], est.iterations
+            )];
+            for (v, ratio) in ranked {
+                out.push(format!("  {v:>8}  ratio {ratio:.4}"));
+            }
+            Ok(out)
+        }
+        Command::Plan { vertex, epsilon, delta, .. } => {
+            let r = internal(*vertex)?;
+            let plan = plan_single(g, r, *epsilon, *delta, MuSource::Exact { threads: 0 })
+                .map_err(|e| e.to_string())?;
+            Ok(vec![
+                format!("mu({vertex}) = {:.3}", plan.mu),
+                format!(
+                    "iterations for |err| <= {} with prob >= {}: {}",
+                    plan.epsilon,
+                    1.0 - plan.delta,
+                    plan.iterations
+                ),
+            ])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_estimate_with_flags() {
+        let cmd = parse(&strs(&["estimate", "g.txt", "5", "--iters", "99", "--exact"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Estimate {
+                path: "g.txt".into(),
+                vertex: 5,
+                iterations: 99,
+                seed: 42,
+                exact: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_rank_and_plan() {
+        let cmd = parse(&strs(&["rank", "g.txt", "1,2,3", "--seed", "7"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Rank { path: "g.txt".into(), vertices: vec![1, 2, 3], iterations: 10_000, seed: 7 }
+        );
+        let cmd = parse(&strs(&["plan", "g.txt", "4", "0.05", "0.1"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Plan { path: "g.txt".into(), vertex: 4, epsilon: 0.05, delta: 0.1 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&strs(&["estimate", "g.txt"])).is_err());
+        assert!(parse(&strs(&["rank", "g.txt", "1"])).is_err());
+        assert!(parse(&strs(&["estimate", "g.txt", "x"])).is_err());
+        assert!(parse(&strs(&["estimate", "g.txt", "1", "--bogus"])).is_err());
+        assert!(parse(&strs(&["plan", "g.txt", "1", "abc", "0.1"])).is_err());
+    }
+
+    #[test]
+    fn load_reduces_to_largest_component() {
+        let text = "0 1\n1 2\n2 0\n3 4\n";
+        let (g, map) = load_graph(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn estimate_command_end_to_end() {
+        // Barbell written as an edge list; estimate the bridge vertex.
+        let mut text = String::new();
+        let g = mhbc_graph::generators::barbell(5, 1);
+        for (u, v, _) in g.edges() {
+            text.push_str(&format!("{u} {v}\n"));
+        }
+        let (lcc, map) = load_graph(Cursor::new(text)).unwrap();
+        let cmd = Command::Estimate {
+            path: String::new(),
+            vertex: 5,
+            iterations: 5_000,
+            seed: 1,
+            exact: true,
+        };
+        let out = execute(&cmd, &lcc, &map).unwrap();
+        assert!(out.iter().any(|l| l.contains("BC(5)")));
+        assert!(out.iter().any(|l| l.contains("exact")));
+    }
+
+    #[test]
+    fn rank_command_orders_by_ratio() {
+        let g = mhbc_graph::generators::barbell(6, 3);
+        let mut text = String::new();
+        for (u, v, _) in g.edges() {
+            text.push_str(&format!("{u} {v}\n"));
+        }
+        let (lcc, map) = load_graph(Cursor::new(text)).unwrap();
+        let cmd = Command::Rank {
+            path: String::new(),
+            vertices: vec![6, 7],
+            iterations: 20_000,
+            seed: 3,
+        };
+        let out = execute(&cmd, &lcc, &map).unwrap();
+        // The middle path vertex 7 carries more pairs than 6.
+        let pos7 = out.iter().position(|l| l.trim_start().starts_with('7')).unwrap();
+        let pos6 = out.iter().position(|l| l.trim_start().starts_with('6')).unwrap();
+        assert!(pos7 < pos6, "vertex 7 should rank above 6: {out:?}");
+    }
+
+    #[test]
+    fn missing_vertex_reported() {
+        let (g, map) = load_graph(Cursor::new("0 1\n1 2\n")).unwrap();
+        let cmd = Command::Estimate {
+            path: String::new(),
+            vertex: 99,
+            iterations: 10,
+            seed: 0,
+            exact: false,
+        };
+        assert!(execute(&cmd, &g, &map).unwrap_err().contains("99"));
+    }
+}

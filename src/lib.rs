@@ -1,0 +1,32 @@
+//! # mhbc-suite
+//!
+//! Facade over the `mhbc` workspace: a Rust reproduction of
+//! *Metropolis-Hastings Algorithms for Estimating Betweenness Centrality*
+//! (Chehreghani, Abdessalem, Bifet — EDBT 2019 / arXiv:1704.07351).
+//!
+//! The workspace is organised as focused crates; this facade re-exports them
+//! under stable names so examples and downstream users can depend on a single
+//! crate:
+//!
+//! - [`graph`] — compact CSR graphs, random-graph generators, edge-list IO
+//! - [`spd`] — shortest-path DAGs, Brandes dependency accumulation, exact BC
+//! - [`mcmc`] — generic Metropolis-Hastings machinery, diagnostics, bounds
+//! - [`core`] — the paper's single-space and joint-space MCMC samplers
+//! - [`baselines`] — prior sampling estimators (uniform, distance \[13\], RK \[30\], bb-BFS \[7\])
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub mod cli;
+
+pub use mhbc_baselines as baselines;
+pub use mhbc_core as core;
+pub use mhbc_graph as graph;
+pub use mhbc_mcmc as mcmc;
+pub use mhbc_spd as spd;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use mhbc_core::{JointSpaceSampler, SingleSpaceConfig, SingleSpaceSampler};
+    pub use mhbc_graph::{generators, CsrGraph, GraphBuilder};
+    pub use mhbc_spd::{exact_betweenness, exact_betweenness_of, DependencyCalculator};
+}

@@ -1,0 +1,175 @@
+//! End-to-end integration tests spanning all crates: the (ε, δ) guarantee,
+//! determinism, and cross-estimator agreement on nontrivial graphs.
+
+use mhbc_core::planner::{plan_single, MuSource};
+use mhbc_core::{optimal, JointSpaceConfig, JointSpaceSampler, SingleSpaceConfig, SingleSpaceSampler};
+use mhbc_graph::{algo, generators};
+use mhbc_spd::{exact_betweenness_par, exact_betweenness_of};
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Theorem 1 + Theorem 2 end to end: plan a budget from the Theorem 2
+/// µ-bound on a balanced-separator graph, run repeatedly, and check the
+/// empirical failure rate respects δ (with conservative slack: the bound
+/// over-provisions).
+#[test]
+fn planned_epsilon_delta_coverage_on_separator_family() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let hs = generators::hub_separator(3, 60, 0.05, 2, &mut rng);
+    let (g, hub) = (&hs.graph, hs.hub);
+    let (eps, delta) = (0.06, 0.2);
+    let plan = plan_single(g, hub, eps, delta, MuSource::TheoremTwo).expect("hub separates");
+    let exact = exact_betweenness_of(g, hub);
+
+    let runs = 12;
+    let mut failures = 0;
+    for seed in 0..runs {
+        let est = SingleSpaceSampler::new(g, hub, SingleSpaceConfig::new(plan.iterations, seed))
+            .expect("valid config")
+            .run();
+        if (est.bc - exact).abs() > eps {
+            failures += 1;
+        }
+    }
+    assert!(
+        failures <= 2,
+        "{failures}/{runs} runs missed eps = {eps} with planned T = {}",
+        plan.iterations
+    );
+}
+
+/// The full pipeline is deterministic: same seed, same graph, same result,
+/// across every crate boundary.
+#[test]
+fn full_pipeline_determinism() {
+    let build = || {
+        let mut rng = SmallRng::seed_from_u64(99);
+        generators::barabasi_albert(800, 3, &mut rng)
+    };
+    let g1 = build();
+    let g2 = build();
+    assert_eq!(g1.num_edges(), g2.num_edges());
+
+    let run = |g: &mhbc_graph::CsrGraph| {
+        SingleSpaceSampler::new(g, 0, SingleSpaceConfig::new(2_000, 5))
+            .expect("valid config")
+            .run()
+    };
+    let (a, b) = (run(&g1), run(&g2));
+    assert_eq!(a.bc, b.bc);
+    assert_eq!(a.bc_corrected, b.bc_corrected);
+    assert_eq!(a.spd_passes, b.spd_passes);
+}
+
+/// Theorem 3 end to end on a generated community graph: the joint sampler's
+/// ratio matches exact Brandes ratios within sampling error.
+#[test]
+fn joint_ratios_match_exact_brandes_on_communities() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let g = generators::planted_partition(4, 60, 0.25, 0.01, &mut rng);
+    let exact = exact_betweenness_par(&g, 0);
+
+    // Probes: the max-degree vertex of each block (community cores).
+    let probes: Vec<u32> = (0..4)
+        .map(|b| {
+            ((b * 60) as u32..((b + 1) * 60) as u32)
+                .max_by_key(|&v| g.degree(v))
+                .expect("non-empty block")
+        })
+        .collect();
+
+    let est = JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(120_000, 17))
+        .expect("valid probes")
+        .run();
+
+    for i in 0..probes.len() {
+        for j in 0..probes.len() {
+            if i == j {
+                continue;
+            }
+            let truth = exact[probes[i] as usize] / exact[probes[j] as usize];
+            let got = est.ratio(i, j);
+            assert!(
+                (got - truth).abs() / truth < 0.25,
+                "ratio({i},{j}) = {got} vs exact {truth}"
+            );
+        }
+    }
+}
+
+/// The corrected estimator agrees with exact BC across graph families —
+/// including ones with skewed profiles where Eq 7 is visibly biased.
+#[test]
+fn corrected_estimator_tracks_exact_across_families() {
+    let cases: Vec<(mhbc_graph::CsrGraph, u32)> = vec![
+        (generators::lollipop(12, 6), 12),
+        (generators::barbell(10, 3), 11),
+        (generators::grid(12, 12, false), 66),
+        (generators::wheel(40), 0),
+    ];
+    for (g, r) in cases {
+        let exact = exact_betweenness_of(&g, r);
+        let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(60_000, 13))
+            .expect("valid config")
+            .run();
+        assert!(
+            (est.bc_corrected - exact).abs() < 0.05_f64.max(exact * 0.15),
+            "graph {g}, probe {r}: corrected {} vs exact {exact}",
+            est.bc_corrected
+        );
+    }
+}
+
+/// Eq 7's structural bias, end to end: on a skewed profile the Eq 7
+/// estimate converges *above* BC(r), by exactly the predicted gap.
+#[test]
+fn eq7_bias_matches_prediction() {
+    let g = generators::lollipop(15, 8);
+    let r = 16; // mid-path vertex: skewed dependency profile
+    let profile = mhbc_spd::dependency_profile_par(&g, r, 0);
+    let limit = optimal::eq7_limit(&profile);
+    let exact = profile.betweenness();
+    assert!(limit > exact + 0.02, "premise: visible bias");
+
+    let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(80_000, 23))
+        .expect("valid config")
+        .run();
+    assert!(
+        (est.bc - limit).abs() < 0.02,
+        "Eq 7 estimate {} should sit at its limit {limit}, not at BC {exact}",
+        est.bc
+    );
+}
+
+/// Weighted pipeline: generators -> Dijkstra kernel -> sampler -> exact
+/// weighted Brandes.
+#[test]
+fn weighted_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let base = generators::grid(10, 10, false);
+    let g = generators::assign_uniform_weights(&base, 1.0, 4.0, &mut rng);
+    let centre = 55u32;
+    let exact = exact_betweenness_par(&g, 0)[centre as usize];
+    let est = SingleSpaceSampler::new(&g, centre, SingleSpaceConfig::new(30_000, 2))
+        .expect("valid config")
+        .run();
+    assert!(
+        (est.bc_corrected - exact).abs() < 0.03,
+        "corrected {} vs exact {exact}",
+        est.bc_corrected
+    );
+}
+
+/// Largest-component preprocessing composes with the samplers.
+#[test]
+fn disconnected_input_pipeline() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let g = generators::erdos_renyi_gnp(400, 0.004, &mut rng); // likely disconnected
+    let (sub, _map) = algo::largest_component(&g);
+    assert!(algo::is_connected(&sub));
+    if sub.num_vertices() >= 3 {
+        let est = SingleSpaceSampler::new(&sub, 0, SingleSpaceConfig::new(500, 1))
+            .expect("valid config")
+            .run();
+        assert!(est.bc.is_finite());
+    }
+}

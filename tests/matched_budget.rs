@@ -1,0 +1,90 @@
+//! Matched-budget comparisons between the MH sampler and the baselines —
+//! the integration-level counterpart of experiment T2.
+
+use mhbc_baselines::{BbSampler, DistanceSampler, RkSampler, UniformSourceSampler};
+use mhbc_core::{SingleSpaceConfig, SingleSpaceSampler};
+use mhbc_graph::generators;
+use mhbc_spd::exact_betweenness_of;
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Every estimator lands near the truth when given a generous equal sample
+/// budget on a balanced-separator probe (where Eq 7's bias is negligible).
+#[test]
+fn all_estimators_agree_on_separator_probe() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let hs = generators::hub_separator(2, 50, 0.1, 3, &mut rng);
+    let (g, r) = (&hs.graph, hs.hub);
+    let exact = exact_betweenness_of(g, r);
+    let budget = 30_000u64;
+
+    let mh = SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(budget, 1))
+        .expect("valid")
+        .run();
+    let mut rng1 = SmallRng::seed_from_u64(2);
+    let uni = UniformSourceSampler::new(g, r).run(budget, &mut rng1);
+    let mut rng2 = SmallRng::seed_from_u64(3);
+    let dist = DistanceSampler::new(g, r).run(budget, &mut rng2);
+    let mut rng3 = SmallRng::seed_from_u64(4);
+    let rk = RkSampler::new(g).run(budget, &mut rng3);
+    let mut rng4 = SmallRng::seed_from_u64(5);
+    let bb = BbSampler::new(g, r).run_fixed(budget, &mut rng4);
+
+    for (name, got) in [
+        ("mh(eq7)", mh.bc),
+        ("mh(corrected)", mh.bc_corrected),
+        ("uniform", uni.bc),
+        ("distance", dist.bc),
+        ("rk", rk.of(r)),
+        ("bb", bb.bc),
+    ] {
+        assert!(
+            (got - exact).abs() < 0.03,
+            "{name}: {got} vs exact {exact}"
+        );
+    }
+}
+
+/// The MH sampler's oracle makes its *real* cost (SPD passes) far lower
+/// than the baselines' at an equal iteration budget.
+#[test]
+fn mh_oracle_saves_spd_passes() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let g = generators::barabasi_albert(1_000, 3, &mut rng);
+    let hub = (0..1_000u32).max_by_key(|&v| g.degree(v)).expect("non-empty");
+    let budget = 5_000u64;
+
+    let mh = SingleSpaceSampler::new(&g, hub, SingleSpaceConfig::new(budget, 1))
+        .expect("valid")
+        .run();
+    let mut rng1 = SmallRng::seed_from_u64(2);
+    let uni = UniformSourceSampler::new(&g, hub).run(budget, &mut rng1);
+
+    assert!(mh.spd_passes <= g.num_vertices() as u64);
+    assert_eq!(uni.spd_passes, budget);
+    assert!(
+        mh.spd_passes < uni.spd_passes / 2,
+        "oracle should cut passes: mh {} vs uniform {}",
+        mh.spd_passes,
+        uni.spd_passes
+    );
+}
+
+/// bb-BFS touches far fewer edges per sample than RK's full BFS on an
+/// expander-like graph (KADABRA's speedup axis).
+#[test]
+fn bb_bfs_cheaper_than_full_bfs_per_sample() {
+    let mut rng = SmallRng::seed_from_u64(10);
+    let g = generators::barabasi_albert(5_000, 4, &mut rng);
+    let r = 100u32;
+    let samples = 500u64;
+
+    let mut rng1 = SmallRng::seed_from_u64(11);
+    let bb = BbSampler::new(&g, r).run_fixed(samples, &mut rng1);
+    let per_sample = bb.edges_touched as f64 / samples as f64;
+    // A full BFS touches every edge twice (~2m endpoint scans).
+    let full_bfs_cost = 2.0 * g.num_edges() as f64;
+    assert!(
+        per_sample < full_bfs_cost / 4.0,
+        "bb-BFS per-sample edge work {per_sample} should be well under full BFS {full_bfs_cost}"
+    );
+}

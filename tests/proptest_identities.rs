@@ -1,0 +1,93 @@
+#![allow(clippy::needless_range_loop)]
+//! Property-based tests of the paper's exact identities, spanning crates.
+
+use mhbc_core::optimal;
+use mhbc_graph::{generators, CsrGraph};
+use mhbc_spd::{dependency_profile, exact_betweenness};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn connected_graph(n: usize, p: f64, seed: u64) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::ensure_connected(generators::erdos_renyi_gnp(n, p, &mut rng), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cauchy–Schwarz: the Eq 7 limit always dominates BC(r) (the
+    /// reproduction's soundness finding, as an exact inequality).
+    #[test]
+    fn eq7_limit_dominates_bc(n in 5usize..30, seed in any::<u64>(), probe in 0usize..30) {
+        let g = connected_graph(n, 0.2, seed);
+        let r = (probe % n) as u32;
+        let p = dependency_profile(&g, r);
+        prop_assert!(optimal::eq7_limit(&p) >= p.betweenness() - 1e-12);
+    }
+
+    /// Detailed balance (Eq 21): for every source v,
+    /// δ_v(ri)·min{1, δ_v(rj)/δ_v(ri)} = δ_v(rj)·min{1, δ_v(ri)/δ_v(rj)}.
+    #[test]
+    fn detailed_balance_identity(n in 5usize..25, seed in any::<u64>(), pi in 0usize..25, pj in 0usize..25) {
+        let g = connected_graph(n, 0.25, seed);
+        let (ri, rj) = ((pi % n) as u32, (pj % n) as u32);
+        let prof_i = dependency_profile(&g, ri);
+        let prof_j = dependency_profile(&g, rj);
+        for v in 0..n {
+            let (a, b) = (prof_i.profile[v], prof_j.profile[v]);
+            let lhs = a * optimal::min_dependency_ratio(b, a);
+            let rhs = b * optimal::min_dependency_ratio(a, b);
+            prop_assert!((lhs - rhs).abs() < 1e-9, "v = {}: {} vs {}", v, lhs, rhs);
+        }
+    }
+
+    /// Theorem 3 as an exact identity of the stationary-weighted scores:
+    /// w(i|j)/w(j|i) = BC(ri)/BC(rj) whenever both are positive.
+    #[test]
+    fn theorem3_ratio_identity(n in 6usize..25, seed in any::<u64>()) {
+        let g = connected_graph(n, 0.25, seed);
+        let bc = exact_betweenness(&g);
+        // Pick the two highest-BC vertices to guarantee positive scores.
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| bc[b].partial_cmp(&bc[a]).expect("finite"));
+        let (ri, rj) = (idx[0] as u32, idx[1] as u32);
+        prop_assume!(bc[rj as usize] > 1e-12);
+
+        let prof_i = dependency_profile(&g, ri);
+        let prof_j = dependency_profile(&g, rj);
+        let wij = optimal::stationary_relative_from_profiles(&prof_i, &prof_j);
+        let wji = optimal::stationary_relative_from_profiles(&prof_j, &prof_i);
+        let truth = bc[ri as usize] / bc[rj as usize];
+        prop_assert!(((wij / wji) - truth).abs() < 1e-9, "{} vs {}", wij / wji, truth);
+    }
+
+    /// Relative scores are clamped to [0, 1] and the diagonal is exactly 1.
+    #[test]
+    fn relative_scores_well_formed(n in 5usize..20, seed in any::<u64>()) {
+        let g = connected_graph(n, 0.3, seed);
+        let probes: Vec<u32> = vec![0, (n / 2) as u32];
+        let m = optimal::exact_relative_matrix(&g, &probes, 1);
+        for i in 0..2 {
+            prop_assert!((m[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..2 {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&m[i][j]));
+            }
+        }
+    }
+
+    /// µ(r) is always >= 1 on positive-BC probes, and the Theorem 2 bound
+    /// dominates it whenever r is a separator.
+    #[test]
+    fn mu_and_theorem2_bound(n in 6usize..25, seed in any::<u64>(), probe in 0usize..25) {
+        let g = connected_graph(n, 0.2, seed);
+        let r = (probe % n) as u32;
+        let p = dependency_profile(&g, r);
+        if let Some(mu) = p.mu() {
+            prop_assert!(mu >= 1.0 - 1e-12);
+            let rep = optimal::theorem2_report(&g, r, 0.0);
+            if let Some(bound) = rep.mu_bound {
+                prop_assert!(mu <= bound + 1e-9, "mu {} vs bound {}", mu, bound);
+            }
+        }
+    }
+}
