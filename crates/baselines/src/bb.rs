@@ -202,11 +202,6 @@ mod tests {
         let mut rng2 = SmallRng::seed_from_u64(10);
         let bb = BbSampler::new(&g, r).run_fixed(30_000, &mut rng1);
         let rk = crate::RkSampler::new(&g).run(30_000, &mut rng2);
-        assert!(
-            (bb.bc - rk.of(r)).abs() < 0.02,
-            "bb {} vs rk {}",
-            bb.bc,
-            rk.of(r)
-        );
+        assert!((bb.bc - rk.of(r)).abs() < 0.02, "bb {} vs rk {}", bb.bc, rk.of(r));
     }
 }

@@ -114,8 +114,8 @@ mod tests {
         let s = DistanceSampler::new(&g, 0);
         let total: f64 = (0..6).map(|v| s.probability(v)).sum();
         assert!((total - 1.0).abs() < 1e-12);
-        assert_eq!(s.probability(0), 0.0); // d(r, r) = 0
-        // Mass grows linearly along the path: P[5] = 5 / 15.
+        // d(r, r) = 0, and mass grows linearly along the path: P[5] = 5/15.
+        assert_eq!(s.probability(0), 0.0);
         assert!((s.probability(5) - 5.0 / 15.0).abs() < 1e-12);
     }
 

@@ -25,6 +25,21 @@
 //! All estimators use the Eq 1 normalisation (`BC ∈ [0, 1]`), accept a
 //! caller-seeded RNG, and report the work they performed so the harness can
 //! compare at matched budgets.
+//!
+//! ```
+//! use mhbc_baselines::UniformSourceSampler;
+//! use mhbc_graph::generators;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // Bridge vertex of a barbell graph, estimated from 200 uniform sources.
+//! let g = generators::barbell(6, 1);
+//! let bridge = 6;
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let est = UniformSourceSampler::new(&g, bridge).run(200, &mut rng);
+//! let exact = mhbc_spd::exact_betweenness_of(&g, bridge);
+//! assert!((est.bc - exact).abs() < 0.05);
+//! assert_eq!(est.samples, 200);
+//! ```
 
 mod bb;
 mod distance;

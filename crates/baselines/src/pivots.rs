@@ -99,8 +99,7 @@ impl<'g> PivotSampler<'g> {
     ) -> crate::BaselineEstimate {
         let pivots = self.choose_pivots(strategy, k, rng);
         let mut calc = DependencyCalculator::new(self.graph);
-        let sum: f64 =
-            pivots.iter().map(|&p| calc.dependency_on(self.graph, p, self.r)).sum();
+        let sum: f64 = pivots.iter().map(|&p| calc.dependency_on(self.graph, p, self.r)).sum();
         crate::BaselineEstimate {
             bc: sum / (pivots.len() as f64 * (self.graph.num_vertices() as f64 - 1.0)),
             samples: pivots.len() as u64,

@@ -153,9 +153,7 @@ mod tests {
         for seed in 0..20 {
             let mut rng = SmallRng::seed_from_u64(seed);
             let est = RkSampler::new(&g).run(t, &mut rng);
-            let worst = (0..20)
-                .map(|v| (est.bc[v] - exact[v]).abs())
-                .fold(0.0f64, f64::max);
+            let worst = (0..20).map(|v| (est.bc[v] - exact[v]).abs()).fold(0.0f64, f64::max);
             if worst > 0.1 {
                 failures += 1;
             }

@@ -73,7 +73,11 @@ impl<'g> UniformSourceSampler<'g> {
 
     /// Finalises into an estimate record.
     pub fn finish(self) -> BaselineEstimate {
-        BaselineEstimate { bc: self.estimate(), samples: self.samples, spd_passes: self.calc.passes() }
+        BaselineEstimate {
+            bc: self.estimate(),
+            samples: self.samples,
+            spd_passes: self.calc.passes(),
+        }
     }
 
     /// The running-estimate trace, if enabled.
@@ -114,10 +118,7 @@ mod tests {
             total += UniformSourceSampler::new(&g, r).run(10, &mut rng).bc;
         }
         let mean = total / runs as f64;
-        assert!(
-            (mean - exact).abs() < 0.01,
-            "mean of short runs {mean} vs exact {exact}"
-        );
+        assert!((mean - exact).abs() < 0.01, "mean of short runs {mean} vs exact {exact}");
     }
 
     #[test]

@@ -75,12 +75,8 @@ fn bench_exact_brandes(c: &mut Criterion) {
     let g = generators::barabasi_albert(2_000, 4, &mut rng);
     let mut group = c.benchmark_group("exact_brandes");
     group.sample_size(10);
-    group.bench_function("ba-2k-serial", |b| {
-        b.iter(|| black_box(mhbc_spd::exact_betweenness(&g)))
-    });
-    group.bench_function("ba-2k-parallel", |b| {
-        b.iter(|| black_box(exact_betweenness_par(&g, 0)))
-    });
+    group.bench_function("ba-2k-serial", |b| b.iter(|| black_box(mhbc_spd::exact_betweenness(&g))));
+    group.bench_function("ba-2k-parallel", |b| b.iter(|| black_box(exact_betweenness_par(&g, 0))));
     group.finish();
 }
 

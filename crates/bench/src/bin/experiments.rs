@@ -62,11 +62,8 @@ fn main() {
     let ctx = Ctx { quick, out };
 
     let all = ["t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9"];
-    let selected: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
-        all.to_vec()
-    } else {
-        ids
-    };
+    let selected: Vec<&str> =
+        if ids.is_empty() || ids.contains(&"all") { all.to_vec() } else { ids };
 
     for id in selected {
         let started = Instant::now();
@@ -167,7 +164,8 @@ fn t2(ctx: &Ctx) {
                 errs[0].push((mh.bc - truth).abs());
                 errs[1].push((mh.bc_corrected - truth).abs());
                 let mut rng = SmallRng::seed_from_u64(seed + 1);
-                errs[2].push((UniformSourceSampler::new(g, r).run(budget, &mut rng).bc - truth).abs());
+                errs[2]
+                    .push((UniformSourceSampler::new(g, r).run(budget, &mut rng).bc - truth).abs());
                 let mut rng = SmallRng::seed_from_u64(seed + 2);
                 errs[3].push((DistanceSampler::new(g, r).run(budget, &mut rng).bc - truth).abs());
                 let mut rng = SmallRng::seed_from_u64(seed + 3);
@@ -199,7 +197,17 @@ fn t2(ctx: &Ctx) {
 fn t3(ctx: &Ctx) {
     let mut t = Table::new(
         "T3 - runtime: ms per 1000 samples, exact Brandes ms, speedup at the T2 budget",
-        &["graph", "brandes ms", "mh/1k", "uniform/1k", "distance/1k", "rk/1k", "bb/1k", "mh speedup", "mh passes"],
+        &[
+            "graph",
+            "brandes ms",
+            "mh/1k",
+            "uniform/1k",
+            "distance/1k",
+            "rk/1k",
+            "bb/1k",
+            "mh speedup",
+            "mh passes",
+        ],
     );
     for ds in workloads::standard_suite(ctx.quick) {
         let g = &ds.graph;
@@ -251,9 +259,20 @@ fn t3(ctx: &Ctx) {
 fn t4(ctx: &Ctx) {
     let mut t = Table::new(
         "T4 - joint-space sampler: relative scores and ratios vs exact (Theorem 3/4)",
-        &["graph", "|R|", "T", "ratio mean rel err", "ratio max rel err", "rel-score mean |err|", "min |M(i)|"],
+        &[
+            "graph",
+            "|R|",
+            "T",
+            "ratio mean rel err",
+            "ratio max rel err",
+            "rel-score mean |err|",
+            "min |M(i)|",
+        ],
     );
-    for ds in workloads::standard_suite(ctx.quick).into_iter().filter(|d| d.name == "ba" || d.name == "sep") {
+    for ds in workloads::standard_suite(ctx.quick)
+        .into_iter()
+        .filter(|d| d.name == "ba" || d.name == "sep")
+    {
         let g = &ds.graph;
         let exact = exact_betweenness_par(g, 0);
         let mut order: Vec<usize> = (0..g.num_vertices()).collect();
@@ -306,7 +325,17 @@ fn t4(ctx: &Ctx) {
 fn t5(ctx: &Ctx) {
     let mut t = Table::new(
         "T5 - weighted graphs (Dijkstra kernel): error and time vs weighted Brandes",
-        &["graph", "n", "BC(r)", "T", "eq7 |err|x1e-5", "corr |err|x1e-5", "uniform |err|x1e-5", "brandes ms", "mh ms"],
+        &[
+            "graph",
+            "n",
+            "BC(r)",
+            "T",
+            "eq7 |err|x1e-5",
+            "corr |err|x1e-5",
+            "uniform |err|x1e-5",
+            "brandes ms",
+            "mh ms",
+        ],
     );
     for ds in workloads::weighted_suite(ctx.quick) {
         let g = &ds.graph;
@@ -356,9 +385,10 @@ fn f1(ctx: &Ctx) {
         "F1 - convergence: median |err| (and IQR) vs iterations T (per graph, hub probe)",
         &["graph", "estimator", "T", "median |err|", "q1", "q3"],
     );
-    for ds in workloads::standard_suite(ctx.quick).into_iter().filter(|d| {
-        d.name == "ba" || d.name == "grid" || d.name == "sep"
-    }) {
+    for ds in workloads::standard_suite(ctx.quick)
+        .into_iter()
+        .filter(|d| d.name == "ba" || d.name == "grid" || d.name == "sep")
+    {
         let g = &ds.graph;
         let exact = exact_betweenness_par(g, 0);
         let r = ds.separator_probe.unwrap_or(probes::select_probes(&exact).hub);
@@ -371,9 +401,10 @@ fn f1(ctx: &Ctx) {
         for run in 0..ctx.runs() {
             let seed = SEED ^ (run * 131);
             // MH with trace.
-            let est = SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(max_t, seed).with_trace())
-                .expect("valid config")
-                .run();
+            let est =
+                SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(max_t, seed).with_trace())
+                    .expect("valid config")
+                    .run();
             let trace = est.trace.as_deref().expect("traced");
             // Uniform with trace.
             let mut rng = SmallRng::seed_from_u64(seed + 1);
@@ -428,9 +459,10 @@ fn f2(ctx: &Ctx) {
         let exact = exact_betweenness_par(g, 0);
         for (label, r) in probe_list(g, &exact, ds.separator_probe) {
             let t_iters = ctx.budget(g.num_vertices()) * 2;
-            let est = SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(t_iters, SEED).with_trace())
-                .expect("valid config")
-                .run();
+            let est =
+                SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(t_iters, SEED).with_trace())
+                    .expect("valid config")
+                    .run();
             let series = est.density_series.as_deref().expect("traced");
             let tau = diagnostics::integrated_autocorrelation_time(series);
             let ess = diagnostics::effective_sample_size(series);
@@ -500,7 +532,13 @@ fn f3(ctx: &Ctx) {
         &["graph", "eps", "planned T", "empirical T (90% runs within eps)", "overshoot"],
     );
     let mut rng = SmallRng::seed_from_u64(SEED + 5);
-    let hs = mhbc_graph::generators::hub_separator(4, if ctx.quick { 250 } else { 1_000 }, 0.02, 3, &mut rng);
+    let hs = mhbc_graph::generators::hub_separator(
+        4,
+        if ctx.quick { 250 } else { 1_000 },
+        0.02,
+        3,
+        &mut rng,
+    );
     let g = &hs.graph;
     let limit = optimal::eq7_limit(&dependency_profile_par(g, hs.hub, 0));
     for eps in [0.1, 0.05, 0.025] {
@@ -508,11 +546,15 @@ fn f3(ctx: &Ctx) {
             .expect("hub has positive BC");
         let runs: Vec<Vec<f64>> = (0..10)
             .map(|seed| {
-                SingleSpaceSampler::new(g, hs.hub, SingleSpaceConfig::new(plan.iterations, seed).with_trace())
-                    .expect("valid config")
-                    .run()
-                    .trace
-                    .expect("traced")
+                SingleSpaceSampler::new(
+                    g,
+                    hs.hub,
+                    SingleSpaceConfig::new(plan.iterations, seed).with_trace(),
+                )
+                .expect("valid config")
+                .run()
+                .trace
+                .expect("traced")
             })
             .collect();
         // Empirical T: first checkpoint where >= 90% of runs are within eps
@@ -591,9 +633,20 @@ fn f4(ctx: &Ctx) {
 fn f5(ctx: &Ctx) {
     let mut t = Table::new(
         "F5 - Eq 7 multiset reading ablation: all-iterations (time-average) vs accepted-only",
-        &["graph", "probe", "BC(r)", "eq7 limit", "all-iter estimate", "accepted-only estimate", "acceptance"],
+        &[
+            "graph",
+            "probe",
+            "BC(r)",
+            "eq7 limit",
+            "all-iter estimate",
+            "accepted-only estimate",
+            "acceptance",
+        ],
     );
-    for ds in workloads::standard_suite(ctx.quick).into_iter().filter(|d| d.name == "ba" || d.name == "sep") {
+    for ds in workloads::standard_suite(ctx.quick)
+        .into_iter()
+        .filter(|d| d.name == "ba" || d.name == "sep")
+    {
         let g = &ds.graph;
         let exact = exact_betweenness_par(g, 0);
         let r = ds.separator_probe.unwrap_or(probes::select_probes(&exact).hub);
@@ -607,9 +660,10 @@ fn f5(ctx: &Ctx) {
             let a = SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(budget, seed))
                 .expect("valid config")
                 .run();
-            let b = SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(budget, seed).accepted_only())
-                .expect("valid config")
-                .run();
+            let b =
+                SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(budget, seed).accepted_only())
+                    .expect("valid config")
+                    .run();
             std_est.push(a.bc);
             lit_est.push(b.bc);
             acc.push(a.acceptance_rate);
@@ -634,7 +688,10 @@ fn f6(ctx: &Ctx) {
         "F6 - burn-in and initial-state ablation (mean |err| vs Eq 7 limit, x1e-5)",
         &["graph", "init", "burn-in", "mean |err|", "std"],
     );
-    for ds in workloads::standard_suite(ctx.quick).into_iter().filter(|d| d.name == "ba" || d.name == "sep") {
+    for ds in workloads::standard_suite(ctx.quick)
+        .into_iter()
+        .filter(|d| d.name == "ba" || d.name == "sep")
+    {
         let g = &ds.graph;
         let exact = exact_betweenness_par(g, 0);
         let r = ds.separator_probe.unwrap_or(probes::select_probes(&exact).hub);
@@ -648,7 +705,8 @@ fn f6(ctx: &Ctx) {
                 let burn = budget * frac / 100;
                 let mut errs = Vec::new();
                 for run in 0..ctx.runs() {
-                    let mut cfg = SingleSpaceConfig::new(budget, SEED ^ (run * 37)).with_burn_in(burn);
+                    let mut cfg =
+                        SingleSpaceConfig::new(budget, SEED ^ (run * 37)).with_burn_in(burn);
                     if let Some(v) = init {
                         cfg = cfg.with_initial(v);
                     }
@@ -685,11 +743,8 @@ fn f7(ctx: &Ctx) {
             None
         };
         let r = (0..n as Vertex).max_by_key(|&v| g.degree(v)).expect("non-empty");
-        let truth = if brandes_ms.is_some() {
-            Some(mhbc_spd::exact_betweenness_of(&g, r))
-        } else {
-            None
-        };
+        let truth =
+            if brandes_ms.is_some() { Some(mhbc_spd::exact_betweenness_of(&g, r)) } else { None };
         let started = Instant::now();
         let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(2_000, SEED))
             .expect("valid config")
@@ -732,7 +787,9 @@ fn f8(ctx: &Ctx) {
         "F8 - proposal ablation (hub probe): acceptance and |err| vs the Eq 7 limit",
         &["graph", "proposal", "acceptance", "|err| x1e-5"],
     );
-    for ds in workloads::standard_suite(true).into_iter().filter(|d| d.name == "ba" || d.name == "grid") {
+    for ds in
+        workloads::standard_suite(true).into_iter().filter(|d| d.name == "ba" || d.name == "grid")
+    {
         let g = &ds.graph;
         let n = g.num_vertices();
         let exact = exact_betweenness_par(g, 0);

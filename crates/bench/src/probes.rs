@@ -20,12 +20,8 @@ pub struct ProbeSet {
 /// # Panics
 /// If no vertex has positive betweenness.
 pub fn select_probes(exact_bc: &[f64]) -> ProbeSet {
-    let mut positive: Vec<(usize, f64)> = exact_bc
-        .iter()
-        .copied()
-        .enumerate()
-        .filter(|&(_, b)| b > 0.0)
-        .collect();
+    let mut positive: Vec<(usize, f64)> =
+        exact_bc.iter().copied().enumerate().filter(|&(_, b)| b > 0.0).collect();
     assert!(!positive.is_empty(), "graph has no positive-betweenness vertex");
     positive.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite betweenness"));
     let hub = positive[0].0 as Vertex;

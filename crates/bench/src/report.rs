@@ -47,11 +47,8 @@ impl Table {
         }
         let mut out = format!("\n### {}\n\n", self.title);
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let body: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}", w = w))
-                .collect();
+            let body: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
             format!("| {} |\n", body.join(" | "))
         };
         out.push_str(&fmt_row(&self.columns, &widths));

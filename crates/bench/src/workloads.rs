@@ -60,11 +60,8 @@ pub fn standard_suite(quick: bool) -> Vec<Dataset> {
 
 /// Barabási–Albert graphs of increasing size (F7 scaling sweep).
 pub fn ba_size_sweep(quick: bool) -> Vec<(usize, CsrGraph)> {
-    let sizes: &[usize] = if quick {
-        &[1_000, 2_000, 4_000]
-    } else {
-        &[1_000, 2_000, 4_000, 8_000, 16_000, 32_000]
-    };
+    let sizes: &[usize] =
+        if quick { &[1_000, 2_000, 4_000] } else { &[1_000, 2_000, 4_000, 8_000, 16_000, 32_000] };
     sizes
         .iter()
         .map(|&n| {
@@ -82,7 +79,8 @@ pub fn separator_size_sweep(quick: bool, clusters: usize) -> Vec<(usize, CsrGrap
         .map(|&n| {
             let per = n / clusters;
             let mut rng = SmallRng::seed_from_u64(crate::SEED + (clusters * 1000 + n) as u64);
-            let hs = generators::hub_separator(clusters, per, (8.0 / n as f64).min(0.5), 3, &mut rng);
+            let hs =
+                generators::hub_separator(clusters, per, (8.0 / n as f64).min(0.5), 3, &mut rng);
             (hs.graph.num_vertices(), hs.graph, hs.hub)
         })
         .collect()
@@ -93,7 +91,12 @@ pub fn weighted_suite(quick: bool) -> Vec<Dataset> {
     let scale = if quick { 1_000 } else { 4_000 };
     let mut rng = SmallRng::seed_from_u64(crate::SEED + 77);
     let side = (scale as f64).sqrt() as usize;
-    let grid = generators::assign_uniform_weights(&generators::grid(side, side, false), 1.0, 10.0, &mut rng);
+    let grid = generators::assign_uniform_weights(
+        &generators::grid(side, side, false),
+        1.0,
+        10.0,
+        &mut rng,
+    );
     let ba = generators::assign_uniform_weights(
         &generators::barabasi_albert(scale, 4, &mut rng),
         1.0,

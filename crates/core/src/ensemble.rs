@@ -136,8 +136,7 @@ pub fn run_parallel_ensemble(
     let per: Vec<ChainResult> = per.into_iter().map(|(_, r)| r).collect();
 
     let norm = n as f64 - 1.0;
-    let per_chain: Vec<f64> =
-        per.iter().map(|c| c.sum_delta / (c.counted as f64 * norm)).collect();
+    let per_chain: Vec<f64> = per.iter().map(|c| c.sum_delta / (c.counted as f64 * norm)).collect();
 
     let total_counted: u64 = per.iter().map(|c| c.counted).sum();
     let bc = per.iter().map(|c| c.sum_delta).sum::<f64>() / (total_counted as f64 * norm);

@@ -62,11 +62,7 @@ impl<'g> PairDependencyKernel<'g> {
             if x as usize == t || x == v {
                 return 0.0;
             }
-            let (dvx, dxt, dvt) = (
-                self.spd_v.dist[x as usize],
-                spd_x.dist[t],
-                self.spd_v.dist[t],
-            );
+            let (dvx, dxt, dvt) = (self.spd_v.dist[x as usize], spd_x.dist[t], self.spd_v.dist[t]);
             if dvx == UNREACHED || dxt == UNREACHED || dvt == UNREACHED || dvx + dxt != dvt {
                 return 0.0;
             }
@@ -195,11 +191,7 @@ mod tests {
         let (ri, rj) = (5u32, 6u32);
         let limit = stationary_extended_limit(&g, ri, rj);
         let est = extended_relative_sampled(&g, ri, rj, 40_000, 11).expect("valid probes");
-        assert!(
-            (est.score - limit).abs() < 0.02,
-            "sampled {} vs limit {limit}",
-            est.score
-        );
+        assert!((est.score - limit).abs() < 0.02, "sampled {} vs limit {limit}", est.score);
     }
 
     #[test]

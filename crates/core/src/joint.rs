@@ -145,7 +145,11 @@ pub struct JointSpaceSampler<'g> {
 
 impl<'g> JointSpaceSampler<'g> {
     /// Builds a sampler for probe set `probes` on `g`.
-    pub fn new(g: &'g CsrGraph, probes: &[Vertex], config: JointSpaceConfig) -> Result<Self, CoreError> {
+    pub fn new(
+        g: &'g CsrGraph,
+        probes: &[Vertex],
+        config: JointSpaceConfig,
+    ) -> Result<Self, CoreError> {
         let n = g.num_vertices();
         if n < 3 {
             return Err(CoreError::GraphTooSmall { num_vertices: n });
@@ -188,8 +192,12 @@ impl<'g> JointSpaceSampler<'g> {
             None => (rng.random_range(0..k as u32), rng.random_range(0..n as Vertex)),
         };
         let target = JointTarget { oracle: ProbeOracle::new(g, probes) };
-        let chain =
-            MetropolisHastings::new(target, JointProposal { k: k as u32, n: n as u32 }, initial, rng);
+        let chain = MetropolisHastings::new(
+            target,
+            JointProposal { k: k as u32, n: n as u32 },
+            initial,
+            rng,
+        );
 
         let mut sampler = JointSpaceSampler {
             chain,
@@ -298,9 +306,8 @@ mod tests {
         // family are also close to the Eq 23 uniform scores.
         let stationary = crate::optimal::stationary_relative_matrix(&g, &probes, 2);
         let uniform = exact_relative_matrix(&g, &probes, 2);
-        let est = JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(60_000, 21))
-            .unwrap()
-            .run();
+        let est =
+            JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(60_000, 21)).unwrap().run();
         for i in 0..3 {
             for j in 0..3 {
                 assert!(
@@ -326,23 +333,18 @@ mod tests {
         let probes = [6u32, 7];
         let bc = exact_betweenness(&g);
         let truth = bc[6] / bc[7];
-        let est = JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(80_000, 5))
-            .unwrap()
-            .run();
+        let est =
+            JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(80_000, 5)).unwrap().run();
         let ratio = est.ratio(0, 1);
-        assert!(
-            (ratio - truth).abs() / truth < 0.1,
-            "ratio {ratio} vs truth {truth}"
-        );
+        assert!((ratio - truth).abs() / truth < 0.1, "ratio {ratio} vs truth {truth}");
         assert!(est.ratio_reliable(0, 1, 100));
     }
 
     #[test]
     fn diagonal_relative_scores_are_one() {
         let g = generators::barbell(4, 2);
-        let est = JointSpaceSampler::new(&g, &[4, 5], JointSpaceConfig::new(2_000, 9))
-            .unwrap()
-            .run();
+        let est =
+            JointSpaceSampler::new(&g, &[4, 5], JointSpaceConfig::new(2_000, 9)).unwrap().run();
         for i in 0..2 {
             if est.counts[i] > 0 {
                 assert!((est.relative[i][i] - 1.0).abs() < 1e-12);
@@ -366,9 +368,8 @@ mod tests {
         let g = generators::barbell(6, 3);
         let probes = [6u32, 7];
         let bc = exact_betweenness(&g);
-        let est = JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(80_000, 13))
-            .unwrap()
-            .run();
+        let est =
+            JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(80_000, 13)).unwrap().run();
         let emp = est.counts[0] as f64 / est.counts[1] as f64;
         let truth = bc[6] / bc[7];
         assert!((emp - truth).abs() / truth < 0.1, "empirical {emp} vs {truth}");
@@ -382,7 +383,10 @@ mod tests {
         let trace = est.trace.unwrap();
         assert_eq!(trace.len(), 501);
         let last = *trace.last().unwrap();
-        assert!((last - est.relative[0][1]).abs() < 1e-12 || (last.is_nan() && est.relative[0][1].is_nan()));
+        assert!(
+            (last - est.relative[0][1]).abs() < 1e-12
+                || (last.is_nan() && est.relative[0][1].is_nan())
+        );
     }
 
     #[test]
@@ -423,9 +427,8 @@ mod tests {
         use rand::{rngs::SmallRng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(31);
         let g = generators::assign_uniform_weights(&generators::barbell(5, 2), 1.0, 2.0, &mut rng);
-        let est = JointSpaceSampler::new(&g, &[5, 6], JointSpaceConfig::new(5_000, 1))
-            .unwrap()
-            .run();
+        let est =
+            JointSpaceSampler::new(&g, &[5, 6], JointSpaceConfig::new(5_000, 1)).unwrap().run();
         assert!(est.relative[0][1].is_finite());
     }
 }

@@ -29,6 +29,22 @@
 //! Both samplers work unchanged on weighted graphs (the kernel switches to
 //! Dijkstra SPDs, §2.1).
 //!
+//! ## Paper § → module map
+//!
+//! | Paper §/result | Topic | Where |
+//! |---|---|---|
+//! | §2 | graph model (undirected, connected, positive weights) | [`mhbc_graph`] |
+//! | §2.1, Eq 4 | SPDs, dependency scores, exact Brandes | [`mhbc_spd`] |
+//! | §2.2 | generic Metropolis–Hastings framework | [`mhbc_mcmc`] |
+//! | §3.2 | prior samplers the evaluation compares against | `mhbc_baselines` |
+//! | §4.2, Eq 5–7 | single-space sampler for one probe | [`SingleSpaceSampler`] |
+//! | §4.3, Eq 17–23 | joint-space sampler for probe sets | [`JointSpaceSampler`] |
+//! | Theorem 1 | `µ(r)` and the Eq 7 error bound | [`mhbc_spd::DependencyProfile::mu`], [`optimal::eq7_limit`] |
+//! | Theorem 2 | separator graphs have flat profiles | [`optimal::theorem2_report`], `mhbc_graph::generators::hub_separator` |
+//! | Theorem 3 | exact betweenness-ratio identity | [`optimal::stationary_relative_from_profiles`], [`JointSpaceEstimate::ratio`] |
+//! | Ineq 9, 14, 27 | non-asymptotic tails and sample-size planning | [`mhbc_mcmc::bounds`], [`planner`] |
+//! | §5 | evaluation harness and datasets | `mhbc-bench` (`experiments` binary) |
+//!
 //! ## Reproduction soundness note
 //!
 //! Theorem 1's claim that Eq 7 approximates `BC(r)` does not hold in

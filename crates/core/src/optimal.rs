@@ -58,7 +58,11 @@ pub fn stationary_relative_from_profiles(pi: &DependencyProfile, pj: &Dependency
 
 /// Stationary-weighted relative matrix: `out[i][j]` is the true limit of
 /// the joint sampler's estimate of `BC_{r_j}(r_i)`.
-pub fn stationary_relative_matrix(g: &CsrGraph, probes: &[Vertex], threads: usize) -> Vec<Vec<f64>> {
+pub fn stationary_relative_matrix(
+    g: &CsrGraph,
+    probes: &[Vertex],
+    threads: usize,
+) -> Vec<Vec<f64>> {
     let profiles: Vec<DependencyProfile> =
         probes.iter().map(|&r| dependency_profile_par(g, r, threads)).collect();
     let k = probes.len();
@@ -98,12 +102,8 @@ pub fn exact_relative_betweenness(g: &CsrGraph, ri: Vertex, rj: Vertex, threads:
 pub fn relative_from_profiles(pi: &DependencyProfile, pj: &DependencyProfile) -> f64 {
     let n = pi.profile.len();
     assert_eq!(n, pj.profile.len(), "profiles from different graphs");
-    let sum: f64 = pi
-        .profile
-        .iter()
-        .zip(&pj.profile)
-        .map(|(&a, &b)| min_dependency_ratio(a, b))
-        .sum();
+    let sum: f64 =
+        pi.profile.iter().zip(&pj.profile).map(|(&a, &b)| min_dependency_ratio(a, b)).sum();
     sum / n as f64
 }
 
@@ -138,9 +138,7 @@ pub fn extended_relative_betweenness(g: &CsrGraph, ri: Vertex, rj: Vertex) -> f6
         if x == v || x == t || dist[v][t] == u32::MAX {
             return 0.0;
         }
-        if dist[v][x] != u32::MAX
-            && dist[x][t] != u32::MAX
-            && dist[v][x] + dist[x][t] == dist[v][t]
+        if dist[v][x] != u32::MAX && dist[x][t] != u32::MAX && dist[v][x] + dist[x][t] == dist[v][t]
         {
             sigma[v][x] * sigma[x][t] / sigma[v][t]
         } else {
@@ -183,11 +181,8 @@ pub fn theorem2_report(g: &CsrGraph, r: Vertex, balance_threshold: f64) -> Theor
     let sizes = algo::components_after_removal(g, r);
     let n_rest = g.num_vertices().saturating_sub(1);
     let is_separator = sizes.len() >= 2;
-    let is_balanced = sizes
-        .iter()
-        .filter(|&&s| (s as f64) >= balance_threshold * n_rest as f64)
-        .count()
-        >= 2;
+    let is_balanced =
+        sizes.iter().filter(|&&s| (s as f64) >= balance_threshold * n_rest as f64).count() >= 2;
     let (k_constant, mu_bound) = if is_separator {
         // V_i = total vertices outside component i.
         let vs: Vec<f64> = sizes.iter().map(|&c| (n_rest - c) as f64).collect();
@@ -229,10 +224,7 @@ mod tests {
         let p = mhbc_spd::dependency_profile_par(&g, 15, 1);
         let (limit, bc) = (eq7_limit(&p), p.betweenness());
         assert!(limit >= bc - 1e-12);
-        assert!(
-            (limit - bc) / bc < 0.08,
-            "relative bias should be small: limit {limit}, bc {bc}"
-        );
+        assert!((limit - bc) / bc < 0.08, "relative bias should be small: limit {limit}, bc {bc}");
     }
 
     #[test]
@@ -264,11 +256,7 @@ mod tests {
         let wij = stationary_relative_from_profiles(&pi, &pj);
         let wji = stationary_relative_from_profiles(&pj, &pi);
         let truth = pi.betweenness() / pj.betweenness();
-        assert!(
-            ((wij / wji) - truth).abs() < 1e-12,
-            "ratio {} vs {truth}",
-            wij / wji
-        );
+        assert!(((wij / wji) - truth).abs() < 1e-12, "ratio {} vs {truth}", wij / wji);
     }
 
     #[test]
@@ -306,10 +294,7 @@ mod tests {
         let off = 6u32;
         let centre_vs_off = exact_relative_betweenness(&g, centre, off, 1);
         let off_vs_centre = exact_relative_betweenness(&g, off, centre, 1);
-        assert!(
-            centre_vs_off > off_vs_centre,
-            "{centre_vs_off} should exceed {off_vs_centre}"
-        );
+        assert!(centre_vs_off > off_vs_centre, "{centre_vs_off} should exceed {off_vs_centre}");
     }
 
     #[test]

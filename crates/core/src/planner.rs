@@ -88,12 +88,12 @@ pub fn plan_single(
         }));
     }
     let mu = match mu_source {
-        MuSource::Exact { threads } => dependency_profile_par(g, r, threads)
-            .mu()
-            .ok_or(PlanError::ZeroBetweenness)?,
-        MuSource::TheoremTwo => theorem2_report(g, r, 0.0)
-            .mu_bound
-            .ok_or(PlanError::NotASeparator)?,
+        MuSource::Exact { threads } => {
+            dependency_profile_par(g, r, threads).mu().ok_or(PlanError::ZeroBetweenness)?
+        }
+        MuSource::TheoremTwo => {
+            theorem2_report(g, r, 0.0).mu_bound.ok_or(PlanError::NotASeparator)?
+        }
         MuSource::Provided(mu) => mu,
     };
     if !(mu.is_finite() && mu >= 1.0) {
@@ -190,9 +190,6 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(
-            failures <= 2,
-            "failures {failures}/{runs} exceed the planned delta with margin"
-        );
+        assert!(failures <= 2, "failures {failures}/{runs} exceed the planned delta with margin");
     }
 }

@@ -246,7 +246,11 @@ impl<'g> SingleSpaceSampler<'g> {
                 self.trace.push(self.estimate());
             }
         }
-        SingleStepInfo { iteration: self.iteration, accepted: out.accepted, estimate: self.estimate() }
+        SingleStepInfo {
+            iteration: self.iteration,
+            accepted: out.accepted,
+            estimate: self.estimate(),
+        }
     }
 
     /// Runs the configured number of iterations and finalises.
@@ -292,14 +296,8 @@ mod tests {
         let r = 8; // the path vertex between the cliques
         let profile = mhbc_spd::dependency_profile_par(&g, r, 1);
         let limit = crate::optimal::eq7_limit(&profile);
-        let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(30_000, 42))
-            .unwrap()
-            .run();
-        assert!(
-            (est.bc - limit).abs() < 0.02,
-            "estimate {} vs Eq 7 limit {limit}",
-            est.bc
-        );
+        let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(30_000, 42)).unwrap().run();
+        assert!((est.bc - limit).abs() < 0.02, "estimate {} vs Eq 7 limit {limit}", est.bc);
         // In the balanced-separator regime the limit is close to BC(r), so
         // the paper's estimator is also close to the truth here.
         let exact = profile.betweenness();
@@ -336,9 +334,7 @@ mod tests {
         let profile = mhbc_spd::dependency_profile_par(&g, r, 1);
         let limit = crate::optimal::eq7_limit(&profile);
         assert!(limit - exact > 0.01, "test premise: visible bias");
-        let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(60_000, 19))
-            .unwrap()
-            .run();
+        let est = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(60_000, 19)).unwrap().run();
         assert!((est.bc - limit).abs() < 0.03, "Eq 7 {} vs limit {limit}", est.bc);
         assert!(
             (est.bc_corrected - exact).abs() < 0.03,
@@ -403,9 +399,10 @@ mod tests {
         let g = generators::barbell(8, 1);
         let standard =
             SingleSpaceSampler::new(&g, 8, SingleSpaceConfig::new(5_000, 3)).unwrap().run();
-        let literal = SingleSpaceSampler::new(&g, 8, SingleSpaceConfig::new(5_000, 3).accepted_only())
-            .unwrap()
-            .run();
+        let literal =
+            SingleSpaceSampler::new(&g, 8, SingleSpaceConfig::new(5_000, 3).accepted_only())
+                .unwrap()
+                .run();
         // Same chain path (same seed), but the literal reading drops
         // rejected re-counts, deflating the estimate.
         assert!(literal.bc < standard.bc);

@@ -165,8 +165,7 @@ mod tests {
 
     #[test]
     fn largest_component_weighted() {
-        let g =
-            CsrGraph::from_weighted_edges(5, &[(0, 1, 2.0), (1, 2, 3.0), (3, 4, 1.0)]).unwrap();
+        let g = CsrGraph::from_weighted_edges(5, &[(0, 1, 2.0), (1, 2, 3.0), (3, 4, 1.0)]).unwrap();
         let (sub, map) = largest_component(&g);
         assert_eq!(sub.num_vertices(), 3);
         assert!(sub.is_weighted());
@@ -177,8 +176,9 @@ mod tests {
 
     #[test]
     fn removal_of_cut_vertex() {
-        let g = generators::barbell(3, 0); // two triangles joined by an edge
-        // Vertex 2 is in clique A and on the bridge (2-3).
+        // Two triangles joined by an edge; vertex 2 is in clique A and on
+        // the bridge (2-3).
+        let g = generators::barbell(3, 0);
         let sizes = components_after_removal(&g, 2);
         assert_eq!(sizes, vec![3, 2]);
     }

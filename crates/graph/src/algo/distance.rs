@@ -13,11 +13,7 @@ use crate::{CsrGraph, Vertex};
 /// Eccentricity of `v`: the maximum BFS distance from `v` to any reachable
 /// vertex.
 pub fn eccentricity(g: &CsrGraph, v: Vertex) -> u32 {
-    bfs_distances(g, v)
-        .into_iter()
-        .filter(|&d| d != UNREACHED)
-        .max()
-        .unwrap_or(0)
+    bfs_distances(g, v).into_iter().filter(|&d| d != UNREACHED).max().unwrap_or(0)
 }
 
 /// Double-sweep diameter lower bound: BFS from `start`, then BFS again from

@@ -12,11 +12,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            components: n,
-        }
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
     }
 
     /// Representative of `x`'s set (path halving).

@@ -24,12 +24,7 @@ impl GraphBuilder {
 
     /// Creates a builder with capacity for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder {
-            n,
-            edges: Vec::with_capacity(m),
-            weights: Vec::new(),
-            weighted: None,
-        }
+        GraphBuilder { n, edges: Vec::with_capacity(m), weights: Vec::new(), weighted: None }
     }
 
     /// Number of vertices this builder targets.
@@ -67,7 +62,12 @@ impl GraphBuilder {
     }
 
     /// Adds an undirected edge `{u, v}` with strictly positive weight `w`.
-    pub fn add_weighted_edge(&mut self, u: Vertex, v: Vertex, w: f64) -> Result<&mut Self, GraphError> {
+    pub fn add_weighted_edge(
+        &mut self,
+        u: Vertex,
+        v: Vertex,
+        w: f64,
+    ) -> Result<&mut Self, GraphError> {
         self.check_endpoints(u, v)?;
         if !(w.is_finite() && w > 0.0) {
             return Err(GraphError::InvalidWeight { u, v, weight: w });

@@ -32,7 +32,10 @@ impl CsrGraph {
     }
 
     /// Builds a weighted graph from `n` vertices and `(u, v, w)` triples.
-    pub fn from_weighted_edges(n: usize, edges: &[(Vertex, Vertex, f64)]) -> Result<Self, GraphError> {
+    pub fn from_weighted_edges(
+        n: usize,
+        edges: &[(Vertex, Vertex, f64)],
+    ) -> Result<Self, GraphError> {
         let mut b = GraphBuilder::new(n);
         for &(u, v, w) in edges {
             b.add_weighted_edge(u, v, w)?;
@@ -131,7 +134,10 @@ impl CsrGraph {
     /// Returns a copy of this graph with the given per-edge weight function
     /// applied; `f` receives each undirected edge `(u, v)` with `u < v` and
     /// must return a strictly positive, finite weight.
-    pub fn map_weights(&self, mut f: impl FnMut(Vertex, Vertex) -> f64) -> Result<Self, GraphError> {
+    pub fn map_weights(
+        &self,
+        mut f: impl FnMut(Vertex, Vertex) -> f64,
+    ) -> Result<Self, GraphError> {
         let mut b = GraphBuilder::new(self.num_vertices());
         for (u, v, _) in self.edges() {
             b.add_weighted_edge(u, v, f(u, v))?;

@@ -73,7 +73,11 @@ pub fn hub_separator<R: Rng + ?Sized>(
             }
         }
     }
-    HubSeparator { graph: b.build().expect("separator edge list is valid"), hub, cluster_ranges: ranges }
+    HubSeparator {
+        graph: b.build().expect("separator edge list is valid"),
+        hub,
+        cluster_ranges: ranges,
+    }
 }
 
 #[cfg(test)]

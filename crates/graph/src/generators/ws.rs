@@ -97,10 +97,7 @@ mod tests {
         let small_world = watts_strogatz(400, 4, 0.2, &mut rng);
         let d0 = algo::double_sweep_lower_bound(&lattice, 0);
         let d1 = algo::double_sweep_lower_bound(&small_world, 0);
-        assert!(
-            d1 < d0,
-            "rewiring should shorten paths (lattice {d0}, small-world {d1})"
-        );
+        assert!(d1 < d0, "rewiring should shorten paths (lattice {d0}, small-world {d1})");
     }
 
     #[test]

@@ -70,14 +70,8 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
 }
 
 fn parse_field(field: Option<&str>, line: usize, what: &str) -> Result<Vertex, GraphError> {
-    let s = field.ok_or_else(|| GraphError::Parse {
-        line,
-        message: format!("missing {what}"),
-    })?;
-    s.parse().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("invalid {what} `{s}`"),
-    })
+    let s = field.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    s.parse().map_err(|_| GraphError::Parse { line, message: format!("invalid {what} `{s}`") })
 }
 
 /// Writes `g` as an edge list (each undirected edge once, `u < v`).

@@ -93,7 +93,9 @@ impl std::fmt::Display for GraphError {
                 write!(f, "{requested} vertices exceed the u32 vertex-id space")
             }
             GraphError::Disconnected => write!(f, "operation requires a connected graph"),
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
         }
     }
 }

@@ -7,8 +7,7 @@ use rand::{rngs::SmallRng, SeedableRng};
 /// Strategy: arbitrary simple edge list over `n` vertices.
 fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(Vertex, Vertex)>)> {
     (2usize..=max_n).prop_flat_map(move |n| {
-        let edge = (0..n as Vertex, 0..n as Vertex)
-            .prop_filter("no self-loop", |(u, v)| u != v);
+        let edge = (0..n as Vertex, 0..n as Vertex).prop_filter("no self-loop", |(u, v)| u != v);
         (Just(n), proptest::collection::vec(edge, 0..=max_m))
     })
 }

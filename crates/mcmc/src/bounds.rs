@@ -98,9 +98,7 @@ mod tests {
 
     #[test]
     fn planner_roundtrips_with_inverse() {
-        for &(mu, eps, delta) in
-            &[(1.0, 0.01, 0.05), (2.0, 0.005, 0.1), (10.0, 0.02, 0.01)]
-        {
+        for &(mu, eps, delta) in &[(1.0, 0.01, 0.05), (2.0, 0.005, 0.1), (10.0, 0.02, 0.01)] {
             let t = required_samples(mu, eps, delta);
             let eps_back = achievable_epsilon(t, mu, delta);
             assert!(

@@ -68,10 +68,9 @@ pub fn autocorrelation(series: &[f64], max_lag: usize) -> Vec<f64> {
     let max_lag = max_lag.min(n - 1);
     let mut acf = Vec::with_capacity(max_lag + 1);
     for lag in 0..=max_lag {
-        let cov: f64 = (0..n - lag)
-            .map(|i| (series[i] - mean) * (series[i + lag] - mean))
-            .sum::<f64>()
-            / n as f64;
+        let cov: f64 =
+            (0..n - lag).map(|i| (series[i] - mean) * (series[i + lag] - mean)).sum::<f64>()
+                / n as f64;
         acf.push(cov / var);
     }
     acf
@@ -236,10 +235,7 @@ mod tests {
         let se = batch_means_stderr(&series, 20);
         // Classic SE of the mean of U(0,1): sqrt(1/12 / n) ~ 0.00144.
         let classic = (1.0f64 / 12.0 / series.len() as f64).sqrt();
-        assert!(
-            se > classic * 0.5 && se < classic * 2.0,
-            "batch-means {se} vs classic {classic}"
-        );
+        assert!(se > classic * 0.5 && se < classic * 2.0, "batch-means {se} vs classic {classic}");
     }
 
     #[test]

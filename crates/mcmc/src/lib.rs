@@ -22,6 +22,25 @@
 //!   size, Geweke z-scores, batch-means standard errors.
 //! - [`bounds`] — the MCMC Hoeffding tail of Łatuszyński et al. (Ineq 9),
 //!   the sample-size planner (Ineq 14 / 27), and its inverse.
+//!
+//! ```
+//! use mhbc_mcmc::{fn_target, MetropolisHastings, UniformProposal};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // Independence MH targeting P[x] ∝ x + 1 on states {0, 1, 2, 3}.
+//! let target = fn_target(|x: &u32| (x + 1) as f64);
+//! let mut chain =
+//!     MetropolisHastings::new(target, UniformProposal::new(4), 0, SmallRng::seed_from_u64(1));
+//! let steps = 20_000;
+//! let mut mass = 0u64;
+//! for _ in 0..steps {
+//!     chain.step();
+//!     mass += *chain.state() as u64;
+//! }
+//! // Stationary mean: (0·1 + 1·2 + 2·3 + 3·4) / 10 = 2.
+//! assert!((mass as f64 / steps as f64 - 2.0).abs() < 0.05);
+//! assert!(chain.stats().acceptance_rate() > 0.5);
+//! ```
 
 pub mod bounds;
 mod chain;

@@ -1,6 +1,8 @@
 //! Property-based tests for the MCMC machinery.
 
-use mhbc_mcmc::{bounds, diagnostics, fn_target, MetropolisHastings, Proposal, UniformProposal, WeightedProposal};
+use mhbc_mcmc::{
+    bounds, diagnostics, fn_target, MetropolisHastings, Proposal, UniformProposal, WeightedProposal,
+};
 use proptest::prelude::*;
 use rand::{rngs::SmallRng, SeedableRng};
 

@@ -70,10 +70,7 @@ impl Side {
 
     /// Total degree of the current deepest level (the bb-BFS balance metric).
     fn frontier_cost(&self, g: &CsrGraph) -> usize {
-        self.levels
-            .last()
-            .map(|f| f.iter().map(|&v| g.degree(v)).sum())
-            .unwrap_or(0)
+        self.levels.last().map(|f| f.iter().map(|&v| g.degree(v)).sum()).unwrap_or(0)
     }
 
     /// Expands one full level. Returns `false` when the frontier was empty

@@ -255,10 +255,7 @@ mod tests {
         let full = exact_betweenness(&g);
         for r in 0..g.num_vertices() as Vertex {
             let p = dependency_profile(&g, r);
-            assert!(
-                (p.betweenness() - full[r as usize]).abs() < 1e-12,
-                "probe {r}"
-            );
+            assert!((p.betweenness() - full[r as usize]).abs() < 1e-12, "probe {r}");
         }
     }
 
@@ -304,11 +301,9 @@ mod tests {
     fn weighted_brandes_respects_weights() {
         // Triangle where the direct edge 0-2 is more expensive than 0-1-2:
         // vertex 1 gains betweenness.
-        let g = mhbc_graph::CsrGraph::from_weighted_edges(
-            3,
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)],
-        )
-        .unwrap();
+        let g =
+            mhbc_graph::CsrGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+                .unwrap();
         let bc = exact_betweenness(&g);
         assert!(bc[1] > 0.0);
         assert_eq!(bc[0], 0.0);

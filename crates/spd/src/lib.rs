@@ -31,6 +31,25 @@
 //! Betweenness is normalised as in Eq 1: `BC(v) = (1 / (n (n-1))) Σ_{s,t}
 //! σ_st(v) / σ_st`, with `σ_st(v) = 0` whenever `v ∈ {s, t}`. Path counts σ
 //! are `f64` (ratios stay exact until counts exceed 2^53; see DESIGN.md §3).
+//!
+//! ```
+//! use mhbc_graph::generators;
+//! use mhbc_spd::{exact_betweenness, BfsSpd};
+//!
+//! // Path 0-1-2-3: only the interior vertices carry betweenness, and by
+//! // symmetry they carry the same amount (4 ordered pairs of 12 => 1/3).
+//! let g = generators::path(4);
+//! let bc = exact_betweenness(&g);
+//! assert_eq!(bc[0], 0.0);
+//! assert!((bc[1] - 1.0 / 3.0).abs() < 1e-12);
+//! assert_eq!(bc[1], bc[2]);
+//!
+//! // The SPD rooted at 0 sees one shortest path to each vertex.
+//! let mut spd = BfsSpd::new(g.num_vertices());
+//! spd.compute(&g, 0);
+//! assert_eq!(spd.dist[3], 3);
+//! assert_eq!(spd.sigma[3], 1.0);
+//! ```
 
 pub mod bidirectional;
 mod brandes;

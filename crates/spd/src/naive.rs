@@ -81,9 +81,8 @@ pub fn betweenness_naive_weighted(g: &CsrGraph) -> Vec<f64> {
     if n < 2 {
         return bc;
     }
-    let ties = |a: f64, b: f64| {
-        (a - b).abs() <= WEIGHT_TIE_RELATIVE_EPS * a.abs().max(b.abs()).max(1.0)
-    };
+    let ties =
+        |a: f64, b: f64| (a - b).abs() <= WEIGHT_TIE_RELATIVE_EPS * a.abs().max(b.abs()).max(1.0);
     let (dist, sigma) = all_pairs_weighted(g);
     for s in 0..n {
         for t in 0..n {
@@ -163,10 +162,8 @@ mod tests {
     #[test]
     fn naive_weighted_matches_brandes_weighted() {
         let mut rng = SmallRng::seed_from_u64(72);
-        let base = generators::ensure_connected(
-            generators::erdos_renyi_gnp(25, 0.15, &mut rng),
-            &mut rng,
-        );
+        let base =
+            generators::ensure_connected(generators::erdos_renyi_gnp(25, 0.15, &mut rng), &mut rng);
         let g = generators::assign_uniform_weights(&base, 1.0, 4.0, &mut rng);
         let fast = exact_betweenness(&g);
         let slow = betweenness_naive_weighted(&g);

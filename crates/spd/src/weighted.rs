@@ -181,11 +181,9 @@ mod tests {
     #[test]
     fn tie_counting_on_weighted_diamond() {
         // Two equal-length routes 0 -> 3 (1 + 2 and 2 + 1).
-        let g = CsrGraph::from_weighted_edges(
-            4,
-            &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 1.0)],
-        )
-        .unwrap();
+        let g =
+            CsrGraph::from_weighted_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 2.0), (2, 3, 1.0)])
+                .unwrap();
         let mut spd = DijkstraSpd::new(4);
         spd.compute(&g, 0);
         assert_eq!(spd.dist[3], 3.0);
@@ -195,11 +193,8 @@ mod tests {
     #[test]
     fn shorter_route_wins_over_fewer_hops() {
         // Direct edge 0-2 costs 10; the two-hop route costs 3.
-        let g = CsrGraph::from_weighted_edges(
-            3,
-            &[(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)],
-        )
-        .unwrap();
+        let g =
+            CsrGraph::from_weighted_edges(3, &[(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)]).unwrap();
         let mut spd = DijkstraSpd::new(3);
         spd.compute(&g, 0);
         assert_eq!(spd.dist[2], 3.0);

@@ -19,7 +19,8 @@ fn connected_graph(n: usize, p: f64, seed: u64) -> CsrGraph {
 fn sigma_u128(g: &CsrGraph, s: Vertex) -> Vec<u128> {
     let n = g.num_vertices();
     let dist = mhbc_graph::algo::bfs_distances(g, s);
-    let mut order: Vec<Vertex> = (0..n as Vertex).filter(|&v| dist[v as usize] != u32::MAX).collect();
+    let mut order: Vec<Vertex> =
+        (0..n as Vertex).filter(|&v| dist[v as usize] != u32::MAX).collect();
     order.sort_by_key(|&v| dist[v as usize]);
     let mut sigma = vec![0u128; n];
     sigma[s as usize] = 1;

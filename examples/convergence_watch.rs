@@ -12,15 +12,12 @@ use rand::{rngs::SmallRng, SeedableRng};
 fn main() {
     let mut rng = SmallRng::seed_from_u64(77);
     let g = generators::barabasi_albert(2_000, 3, &mut rng);
-    let hub = (0..g.num_vertices() as u32)
-        .max_by_key(|&v| g.degree(v))
-        .expect("non-empty graph");
+    let hub = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).expect("non-empty graph");
     println!("graph {g}, probe {hub}");
 
     let t = 20_000;
-    let mut sampler =
-        SingleSpaceSampler::new(&g, hub, SingleSpaceConfig::new(t, 1).with_trace())
-            .expect("valid configuration");
+    let mut sampler = SingleSpaceSampler::new(&g, hub, SingleSpaceConfig::new(t, 1).with_trace())
+        .expect("valid configuration");
 
     // Streaming: print the running estimate at geometric checkpoints.
     let mut next = 100u64;
@@ -47,6 +44,9 @@ fn main() {
     println!("  effective sample size        {ess:.0} of {}", series.len());
     println!("  Geweke z (|z| < 2 is good)   {z:.2}");
     println!("  batch-means SE of mean delta {se:.4}");
-    println!("  SPD passes                   {} (cache hit rate {:.2})",
-        est.spd_passes, est.oracle_stats.hit_rate());
+    println!(
+        "  SPD passes                   {} (cache hit rate {:.2})",
+        est.spd_passes,
+        est.oracle_stats.hit_rate()
+    );
 }

@@ -17,9 +17,7 @@ fn main() {
 
     // 2. Probe vertex: the highest-degree hub (the "core vertex" use case
     //    from the paper's introduction).
-    let hub = (0..g.num_vertices() as u32)
-        .max_by_key(|&v| g.degree(v))
-        .expect("non-empty graph");
+    let hub = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).expect("non-empty graph");
     println!("probe: vertex {hub} (degree {})", g.degree(hub));
 
     // 3. Run the MH sampler for 4000 iterations (~4000 BFS passes worst

@@ -13,7 +13,10 @@ use rand::{rngs::SmallRng, SeedableRng};
 fn main() {
     // A small-world network standing in for an ad-hoc wireless topology.
     let mut rng = SmallRng::seed_from_u64(33);
-    let g = generators::ensure_connected(generators::watts_strogatz(3_000, 8, 0.08, &mut rng), &mut rng);
+    let g = generators::ensure_connected(
+        generators::watts_strogatz(3_000, 8, 0.08, &mut rng),
+        &mut rng,
+    );
     println!("graph: {g}");
 
     // Candidate relays R: a few spread-out vertices.
@@ -25,11 +28,8 @@ fn main() {
         .run();
 
     // Rank relays by their estimated ratio against the first candidate.
-    let mut ranked: Vec<(u32, f64)> = probes
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (p, est.ratio(i, 0)))
-        .collect();
+    let mut ranked: Vec<(u32, f64)> =
+        probes.iter().enumerate().map(|(i, &p)| (p, est.ratio(i, 0))).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite ratios"));
 
     println!("\nestimated ranking (ratio vs relay {}):", probes[0]);

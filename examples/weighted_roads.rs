@@ -42,8 +42,5 @@ fn main() {
     let est_unweighted = SingleSpaceSampler::new(&grid, centre, SingleSpaceConfig::new(3_000, 4))
         .expect("valid configuration")
         .run();
-    println!(
-        "\nsame intersection on the unweighted grid: BC ~ {:.6}",
-        est_unweighted.bc
-    );
+    println!("\nsame intersection on the unweighted grid: BC ~ {:.6}", est_unweighted.bc);
 }

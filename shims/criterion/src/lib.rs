@@ -1,0 +1,259 @@
+//! Offline stand-in for the parts of the `criterion` crate used by the
+//! `mhbc` workspace (see `shims/README.md`).
+//!
+//! A plain wall-clock micro-benchmark harness: warm-up, then timed batches
+//! until a target measurement window is filled, reporting mean ns/iter to
+//! stdout. Statistical analysis, plotting, and baselines are out of scope.
+//!
+//! Measurements only run when the binary receives a `--bench` argument
+//! (which `cargo bench` passes). Under `cargo test` (or any other
+//! invocation) the registered benchmarks are skipped so test runs stay
+//! fast; the targets still compile, which is what the test gate needs.
+//!
+//! ```
+//! use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! fn bench_add(c: &mut Criterion) {
+//!     c.bench_function("add", |b| b.iter(|| std::hint::black_box(1 + 2)));
+//! }
+//!
+//! criterion_group!(benches, bench_add);
+//! // criterion_main!(benches); — expands to fn main()
+//! # fn main() { benches(&mut Criterion::default()); }
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Target length of the timed measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+/// Length of the warm-up phase per benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// Work-rate annotation for a benchmark group (printed, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying both a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured routine.
+pub struct Bencher {
+    measure: bool,
+    last_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` (warm-up, then timed batches) in bench mode; in
+    /// test mode this is a no-op so `cargo test` stays fast.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            return;
+        }
+        // Warm-up, and discover a batch size that lasts ~1ms.
+        let warm_start = Instant::now();
+        let mut iters_in_warmup: u64 = 0;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            std::hint::black_box(routine());
+            iters_in_warmup += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_in_warmup as f64;
+        let batch = ((0.001 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < MEASURE_WINDOW {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            iters += batch;
+        }
+        self.last_ns_per_iter = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// The harness entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Bench mode is enabled by a `--bench` CLI argument (as passed by
+    /// `cargo bench`); otherwise registered benchmarks are skipped.
+    fn default() -> Self {
+        Criterion { bench_mode: std::env::args().any(|a| a == "--bench") }
+    }
+}
+
+impl Criterion {
+    /// Registers (and in bench mode, measures) a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.bench_mode, id, None, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let bench_mode = self.bench_mode;
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None, bench_mode }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/config annotations.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    bench_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.bench_mode, id, Some(&self.name), self.throughput, f);
+        self
+    }
+
+    /// Registers a parameterised benchmark taking a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(self.bench_mode, &id.id, Some(&self.name), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    bench_mode: bool,
+    id: &str,
+    group: Option<&str>,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if !bench_mode {
+        return;
+    }
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut bencher = Bencher { measure: true, last_ns_per_iter: None };
+    f(&mut bencher);
+    match bencher.last_ns_per_iter {
+        Some(ns) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  ({:.1} MB/s)", n as f64 / ns * 1e3)
+                }
+                None => String::new(),
+            };
+            println!("{full:<50} {ns:>14.1} ns/iter{rate}");
+        }
+        None => println!("{full:<50} (no measurement: routine never called iter)"),
+    }
+}
+
+/// Declares a target function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_skips_measurement() {
+        // No `--bench` in the test harness args, so routines must not run.
+        let mut c = Criterion::default();
+        assert!(!c.bench_mode);
+        let mut ran = false;
+        c.bench_function("skipped", |b| b.iter(|| ()));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, _| {
+            ran = true;
+            b.iter(|| ());
+        });
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn bencher_measures_when_enabled() {
+        let mut b = Bencher { measure: true, last_ns_per_iter: None };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(5)));
+        assert!(b.last_ns_per_iter.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("ba-5k").id, "ba-5k");
+    }
+}

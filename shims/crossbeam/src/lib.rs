@@ -1,0 +1,75 @@
+//! Offline stand-in for the parts of the `crossbeam` crate used by the
+//! `mhbc` workspace (see `shims/README.md`): scoped threads, implemented on
+//! top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! ```
+//! let totals = crossbeam::thread::scope(|scope| {
+//!     let handles: Vec<_> = (0..4u64)
+//!         .map(|t| scope.spawn(move |_| t * 10))
+//!         .collect();
+//!     handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+//! })
+//! .unwrap();
+//! assert_eq!(totals, 60);
+//! ```
+
+pub mod thread {
+    //! Scoped threads borrowing from the enclosing stack frame.
+
+    /// A handle to a spawned scoped thread; joining yields the closure's
+    /// return value (or the panic payload as `Err`).
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Spawn surface handed to the closure passed to [`scope`].
+    ///
+    /// Upstream `crossbeam` passes the scope itself to every spawned
+    /// closure so threads can spawn siblings; the `mhbc` workspace never
+    /// uses that (every closure is `|_| …`), so the argument is plain `()`
+    /// here — nested spawning goes through the scope captured by reference.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to the enclosing [`scope`] call.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.inner.spawn(move || f(())))
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; all spawned threads are joined before
+    /// this returns. Always `Ok` (a panicking un-joined child propagates
+    /// its panic instead, via `std::thread::scope`).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let sum = crate::thread::scope(|scope| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| scope.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+}

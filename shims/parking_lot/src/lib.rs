@@ -1,0 +1,102 @@
+//! Offline stand-in for the parts of the `parking_lot` crate used by the
+//! `mhbc` workspace (see `shims/README.md`): non-poisoning [`Mutex`] and
+//! [`RwLock`] with guard-returning `lock`/`read`/`write` (no `Result`),
+//! layered over `std::sync`.
+//!
+//! ```
+//! use parking_lot::{Mutex, RwLock};
+//!
+//! let m = Mutex::new(1);
+//! *m.lock() += 1;
+//! assert_eq!(*m.lock(), 2);
+//!
+//! let rw = RwLock::new(vec![1, 2]);
+//! rw.write().push(3);
+//! assert_eq!(rw.read().len(), 3);
+//! ```
+
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock whose `lock` returns the guard directly.
+/// Poisoning is ignored: a panic while holding the lock does not prevent
+/// later acquisitions (matching `parking_lot` semantics).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A readers-writer lock whose `read`/`write` return guards directly,
+/// ignoring poisoning (matching `parking_lot` semantics).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Mutex, RwLock};
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(Vec::<u32>::new());
+        m.lock().push(7);
+        assert_eq!(m.into_inner(), vec![7]);
+    }
+
+    #[test]
+    fn rwlock_concurrent_reads() {
+        let rw = RwLock::new(5u32);
+        let a = rw.read();
+        let b = rw.read();
+        assert_eq!(*a + *b, 10);
+    }
+}

@@ -1,0 +1,269 @@
+//! Offline stand-in for the parts of the `proptest` crate used by the
+//! `mhbc` workspace (see `shims/README.md`).
+//!
+//! Implements the [`proptest!`] test macro, the assertion macros
+//! (`prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`),
+//! and a [`strategy::Strategy`] trait with the combinators the workspace's
+//! property tests use: numeric ranges, tuples, [`strategy::Just`],
+//! [`strategy::any`], [`collection::vec`], `prop_map`, `prop_flat_map`,
+//! and `prop_filter`.
+//!
+//! Differences from upstream: failing cases are **not shrunk** — the runner
+//! panics with the sampled inputs of the first failing case — and case
+//! generation is deterministic, seeded from the test's name, so a failure
+//! reproduces on every run.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     // In a real test module this would carry `#[test]`, exactly as
+//!     // with upstream proptest.
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # addition_commutes();
+//! ```
+
+pub mod strategy;
+
+pub mod collection {
+    //! Strategies for collections.
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+pub mod test_runner {
+    //! Case execution: configuration, rejection bookkeeping, failure
+    //! reporting.
+
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was discarded (`prop_assume!` failed or a strategy
+        /// filter kept rejecting); it does not count toward the case total.
+        Reject(String),
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration. Only `cases` is honoured by this shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases required.
+        pub cases: u32,
+        /// Maximum number of rejected cases tolerated across the run.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration demanding `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Self::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's identifying
+    /// string so every run (and every CI machine) generates the same cases.
+    pub fn rng_for_test(test_path: &str) -> SmallRng {
+        // FNV-1a over the test path.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+
+    /// Drives `case` until `config.cases` successes, panicking on the first
+    /// [`TestCaseError::Fail`] and after `max_global_rejects` rejections.
+    /// The closure receives the shared RNG and must return the case result.
+    pub fn run_cases<F>(config: &ProptestConfig, test_path: &str, mut case: F)
+    where
+        F: FnMut(&mut SmallRng) -> TestCaseResult,
+    {
+        let mut rng = rng_for_test(test_path);
+        let mut successes = 0u32;
+        let mut rejects = 0u32;
+        while successes < config.cases {
+            match case(&mut rng) {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest [{test_path}]: too many rejected cases \
+                             ({rejects}) before reaching {} successes",
+                            config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest [{test_path}] failed after {successes} passing cases\n{msg}");
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless `cond` holds. With extra arguments, they
+/// format the failure message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right` ({})\n  left: `{:?}`\n right: `{:?}`",
+            ::std::format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right` ({})\n  both: `{:?}`",
+            ::std::format!($($fmt)+),
+            left
+        );
+    }};
+}
+
+/// Discards the current case (without failing the test) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as with
+/// upstream proptest) running [`test_runner::run_cases`] over freshly
+/// sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run_cases(
+                    &config,
+                    concat!(file!(), "::", stringify!($name)),
+                    |rng| {
+                        let mut inputs = ::std::string::String::new();
+                        $(
+                            let value = match $crate::strategy::Strategy::sample(&($strategy), rng) {
+                                ::std::option::Option::Some(v) => v,
+                                ::std::option::Option::None => {
+                                    return ::std::result::Result::Err(
+                                        $crate::test_runner::TestCaseError::Reject(
+                                            "strategy rejected input".to_string(),
+                                        ),
+                                    )
+                                }
+                            };
+                            {
+                                use ::std::fmt::Write as _;
+                                let _ = ::std::write!(
+                                    inputs,
+                                    "  {} = {:?}\n",
+                                    stringify!($pat),
+                                    &value
+                                );
+                            }
+                            let $pat = value;
+                        )+
+                        // Wrap the user body so `prop_assert!`'s early
+                        // `return Err(…)` can carry the sampled inputs.
+                        let outcome: $crate::test_runner::TestCaseResult = (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        match outcome {
+                            ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                                    ::std::format!("{msg}\ninputs:\n{inputs}"),
+                                ))
+                            }
+                            other => other,
+                        }
+                    },
+                );
+            }
+        )*
+    };
+}

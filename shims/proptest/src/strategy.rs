@@ -1,0 +1,318 @@
+//! Value-generation strategies: the [`Strategy`] trait, primitive sources
+//! (ranges, [`any`], [`Just`]), combinators (`prop_map`, `prop_flat_map`,
+//! `prop_filter`), tuples, and [`vec()`](vec()).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SampleRange, SampleUniform};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// How many times a filtering strategy retries locally before giving up and
+/// reporting a rejection to the runner.
+const LOCAL_REJECT_RETRIES: u32 = 256;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// `sample` returns `None` when the strategy could not produce a value (a
+/// `prop_filter` predicate kept failing); the runner counts that as a
+/// rejected case. There is no shrinking in this shim.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or `None` on (repeated) filter rejection.
+    fn sample(&self, rng: &mut SmallRng) -> Option<Self::Value>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds from it
+    /// (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; `reason` labels the rejection.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, _reason: reason.into(), pred }
+    }
+}
+
+/// Strategies are usable behind references (the runner samples via `&S`).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut SmallRng) -> Option<Self::Value> {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut SmallRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn sample(&self, rng: &mut SmallRng) -> Option<T::Value> {
+        let outer = self.inner.sample(rng)?;
+        (self.f)(outer).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    _reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+        for _ in 0..LOCAL_REJECT_RETRIES {
+            if let Some(v) = self.inner.sample(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Types with a canonical whole-domain strategy (upstream's `Arbitrary`).
+pub trait ArbitraryValue: Sized {
+    /// Draws from the full domain of the type.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.random::<f64>()
+    }
+}
+
+/// Whole-domain strategy for `T`, e.g. `any::<u64>()`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform,
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> Option<T> {
+        Some(rng.random_range(self.clone()))
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform,
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> Option<T> {
+        Some(rng.random_range(self.clone()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Length bounds for [`vec()`](vec()), convertible from ranges and plain sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<E::Value>` with a length drawn from `size`.
+pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec()`](vec()).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<E> {
+    element: E,
+    size: SizeRange,
+}
+
+impl<E: Strategy> Strategy for VecStrategy<E> {
+    type Value = Vec<E::Value>;
+    fn sample(&self, rng: &mut SmallRng) -> Option<Vec<E::Value>> {
+        let len = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.sample(rng)?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn ranges_tuples_and_vecs_stay_in_bounds() {
+        let rng = &mut rng_for_test("strategy::smoke");
+        let strat = (1usize..=5, vec(0u32..10, 2..4));
+        for _ in 0..200 {
+            let (n, xs) = strat.sample(rng).unwrap();
+            assert!((1..=5).contains(&n));
+            assert!(xs.len() == 2 || xs.len() == 3);
+            assert!(xs.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn flat_map_makes_dependent_values() {
+        let rng = &mut rng_for_test("strategy::flat_map");
+        let strat = (2usize..10).prop_flat_map(|n| (Just(n), 0usize..n));
+        for _ in 0..200 {
+            let (n, i) = strat.sample(rng).unwrap();
+            assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn filter_rejects_locally_then_globally() {
+        let rng = &mut rng_for_test("strategy::filter");
+        let ok = (0u32..10).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(ok.sample(rng).unwrap() % 2, 0);
+        }
+        let never = (0u32..10).prop_filter("impossible", |_| false);
+        assert!(never.sample(rng).is_none());
+    }
+
+    #[test]
+    fn map_transforms() {
+        let rng = &mut rng_for_test("strategy::map");
+        let strat = (0u32..5).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(rng).unwrap() % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end behaviour of the `proptest!` macro: case counts, rejection
+//! via `prop_assume!`, failure via `prop_assert!`, and input reporting.
+
+use proptest::prelude::*;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+thread_local! {
+    static EXECUTIONS: Cell<u32> = const { Cell::new(0) };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn runs_exactly_the_configured_number_of_cases(x in 0u32..100) {
+        EXECUTIONS.with(|c| c.set(c.get() + 1));
+        prop_assert!(x < 100);
+        if EXECUTIONS.with(|c| c.get()) > 64 {
+            prop_assert!(false, "ran more cases than configured");
+        }
+    }
+
+    #[test]
+    fn assumed_out_cases_do_not_count_as_failures(x in 0u32..10) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+    }
+
+    #[test]
+    fn dependent_strategies_respect_their_bounds(
+        (n, i) in (1usize..50).prop_flat_map(|n| (Just(n), 0usize..n)),
+        xs in proptest::collection::vec(any::<u64>(), 3..6),
+    ) {
+        prop_assert!(i < n);
+        prop_assert!((3..6).contains(&xs.len()));
+    }
+}
+
+// The `proptest!` fns above are plain `#[test]`s; the ones below exercise
+// the failure paths, which must panic, so they are driven manually.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    fn always_fails(x in 10u32..20) {
+        prop_assert!(x < 5, "x was {}", x);
+    }
+
+    fn rejects_everything(x in 0u32..10) {
+        prop_assume!(x > 100);
+        let _ = x;
+    }
+}
+
+#[test]
+fn failing_case_panics_with_inputs() {
+    let err = catch_unwind(AssertUnwindSafe(always_fails)).unwrap_err();
+    let msg = err.downcast_ref::<String>().expect("panic carries a String");
+    assert!(msg.contains("x was 1"), "unexpected message: {msg}");
+    assert!(msg.contains("inputs:"), "inputs missing from: {msg}");
+}
+
+#[test]
+fn exhausted_assumptions_panic_as_too_many_rejects() {
+    let err = catch_unwind(AssertUnwindSafe(rejects_everything)).unwrap_err();
+    let msg = err.downcast_ref::<String>().expect("panic carries a String");
+    assert!(msg.contains("too many rejected cases"), "unexpected message: {msg}");
+}
+
+#[test]
+fn case_generation_is_deterministic_per_test() {
+    let sample = |label: &str| {
+        let rng = &mut proptest::test_runner::rng_for_test(label);
+        (0u64..1_000_000).sample(rng).unwrap()
+    };
+    assert_eq!(sample("a"), sample("a"));
+    assert_ne!(sample("a"), sample("b"));
+}

@@ -1,0 +1,270 @@
+//! Offline stand-in for the parts of the `rand` crate used by the `mhbc`
+//! workspace (see `shims/README.md`).
+//!
+//! Provides the [`Rng`] core trait, the [`RngExt`] convenience extension
+//! (`random`, `random_range`, `random_bool`), the [`SeedableRng`]
+//! constructor trait, and [`rngs::SmallRng`] — a xoshiro256++ generator
+//! seeded via SplitMix64.
+//!
+//! ```
+//! use rand::{rngs::SmallRng, RngExt, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let x = rng.random_range(0..10u32);
+//! assert!(x < 10);
+//! let p: f64 = rng.random();
+//! assert!((0.0..1.0).contains(&p));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness: everything derives from [`Rng::next_u64`].
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits (upper half of
+    /// [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from the full bit pattern space
+/// (integers) or the unit interval (floats).
+pub trait UniformRandom: Sized {
+    /// Draws one value from `rng`.
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRandom for $t {
+            fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformRandom for bool {
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl UniformRandom for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformRandom for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types with a notion of uniform sampling from a half-open or inclusive
+/// range. Integer sampling uses rejection-free modulo reduction (the bias is
+/// at most `width / 2^64`, irrelevant at the widths this workspace draws).
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)`. Panics if the range is empty.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`. Panics if `lo > hi`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+                let width = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add((rng.next_u64() % width) as $t)
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample from empty range {lo}..={hi}");
+                let width = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if width == 0 {
+                    // Full u64 span: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % width) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+        lo + f64::uniform_random(rng) * (hi - lo)
+    }
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "cannot sample from empty range {lo}..={hi}");
+        // The endpoint has measure zero; reuse the half-open transform.
+        lo + f64::uniform_random(rng) * (hi - lo)
+    }
+}
+
+/// Range-like arguments accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform draw of a primitive: full bit-space for integers and bools,
+    /// `[0, 1)` for floats.
+    fn random<T: UniformRandom>(&mut self) -> T {
+        T::uniform_random(self)
+    }
+
+    /// Uniform draw from a half-open (`lo..hi`) or inclusive (`lo..=hi`)
+    /// range. Panics on empty ranges.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::uniform_random(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction of a generator from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `seed`; equal seeds yield equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++ with
+    /// SplitMix64 seeding. Deterministic per seed; not reproducible against
+    /// the upstream `rand` crate's `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let mut c = SmallRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.random_range(5..17u32);
+            assert!((5..17).contains(&x));
+            let y = rng.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&y));
+            let f = rng.random_range(2.0f64..=4.0);
+            assert!((2.0..=4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_and_bools() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut trues = 0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            if rng.random_bool(0.25) {
+                trues += 1;
+            }
+        }
+        // 4-sigma band around 2500.
+        assert!((2000..3000).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_is_reachable() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Must not panic or divide by a zero width.
+        let _ = rng.random_range(0u64..=u64::MAX);
+    }
+}

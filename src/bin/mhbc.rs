@@ -31,8 +31,8 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let result = cli::load_graph(BufReader::new(file))
-        .and_then(|(g, map)| cli::execute(&cmd, &g, &map));
+    let result =
+        cli::load_graph(BufReader::new(file)).and_then(|(g, map)| cli::execute(&cmd, &g, &map));
     match result {
         Ok(lines) => {
             for line in lines {

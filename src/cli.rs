@@ -66,10 +66,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             exact,
         }),
         ["rank", path, list] => {
-            let vertices = list
-                .split(',')
-                .map(parse_vertex)
-                .collect::<Result<Vec<_>, _>>()?;
+            let vertices = list.split(',').map(parse_vertex).collect::<Result<Vec<_>, _>>()?;
             if vertices.len() < 2 {
                 return Err("rank needs at least two comma-separated vertices".into());
             }
@@ -135,18 +132,12 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             Ok(out)
         }
         Command::Rank { vertices, iterations, seed, .. } => {
-            let probes = vertices
-                .iter()
-                .map(|&v| internal(v))
-                .collect::<Result<Vec<_>, _>>()?;
+            let probes = vertices.iter().map(|&v| internal(v)).collect::<Result<Vec<_>, _>>()?;
             let est = JointSpaceSampler::new(g, &probes, JointSpaceConfig::new(*iterations, *seed))
                 .map_err(|e| e.to_string())?
                 .run();
-            let mut ranked: Vec<(Vertex, f64)> = vertices
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, est.ratio(i, 0)))
-                .collect();
+            let mut ranked: Vec<(Vertex, f64)> =
+                vertices.iter().enumerate().map(|(i, &v)| (v, est.ratio(i, 0))).collect();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             let mut out = vec![format!(
                 "ranking by betweenness ratio vs vertex {} ({} iterations):",
@@ -203,7 +194,12 @@ mod tests {
         let cmd = parse(&strs(&["rank", "g.txt", "1,2,3", "--seed", "7"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Rank { path: "g.txt".into(), vertices: vec![1, 2, 3], iterations: 10_000, seed: 7 }
+            Command::Rank {
+                path: "g.txt".into(),
+                vertices: vec![1, 2, 3],
+                iterations: 10_000,
+                seed: 7
+            }
         );
         let cmd = parse(&strs(&["plan", "g.txt", "4", "0.05", "0.1"])).unwrap();
         assert_eq!(

@@ -15,6 +15,17 @@
 //! - [`baselines`] — prior sampling estimators (uniform, distance \[13\], RK \[30\], bb-BFS \[7\])
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
+//!
+//! ```
+//! use mhbc_suite::prelude::*;
+//!
+//! // Estimate the bridge vertex of a barbell graph and compare with exact
+//! // Brandes — the corrected estimator should land within a few percent.
+//! let g = generators::barbell(6, 1);
+//! let est = SingleSpaceSampler::new(&g, 6, SingleSpaceConfig::new(4_000, 7)).unwrap().run();
+//! let exact = exact_betweenness_of(&g, 6);
+//! assert!((est.bc_corrected - exact).abs() < 0.05);
+//! ```
 
 pub mod cli;
 

@@ -2,9 +2,11 @@
 //! determinism, and cross-estimator agreement on nontrivial graphs.
 
 use mhbc_core::planner::{plan_single, MuSource};
-use mhbc_core::{optimal, JointSpaceConfig, JointSpaceSampler, SingleSpaceConfig, SingleSpaceSampler};
+use mhbc_core::{
+    optimal, JointSpaceConfig, JointSpaceSampler, SingleSpaceConfig, SingleSpaceSampler,
+};
 use mhbc_graph::{algo, generators};
-use mhbc_spd::{exact_betweenness_par, exact_betweenness_of};
+use mhbc_spd::{exact_betweenness_of, exact_betweenness_par};
 use rand::{rngs::SmallRng, SeedableRng};
 
 /// Theorem 1 + Theorem 2 end to end: plan a budget from the Theorem 2
@@ -50,9 +52,7 @@ fn full_pipeline_determinism() {
     assert_eq!(g1.num_edges(), g2.num_edges());
 
     let run = |g: &mhbc_graph::CsrGraph| {
-        SingleSpaceSampler::new(g, 0, SingleSpaceConfig::new(2_000, 5))
-            .expect("valid config")
-            .run()
+        SingleSpaceSampler::new(g, 0, SingleSpaceConfig::new(2_000, 5)).expect("valid config").run()
     };
     let (a, b) = (run(&g1), run(&g2));
     assert_eq!(a.bc, b.bc);
@@ -88,10 +88,7 @@ fn joint_ratios_match_exact_brandes_on_communities() {
             }
             let truth = exact[probes[i] as usize] / exact[probes[j] as usize];
             let got = est.ratio(i, j);
-            assert!(
-                (got - truth).abs() / truth < 0.25,
-                "ratio({i},{j}) = {got} vs exact {truth}"
-            );
+            assert!((got - truth).abs() / truth < 0.25, "ratio({i},{j}) = {got} vs exact {truth}");
         }
     }
 }

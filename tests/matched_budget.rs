@@ -17,9 +17,7 @@ fn all_estimators_agree_on_separator_probe() {
     let exact = exact_betweenness_of(g, r);
     let budget = 30_000u64;
 
-    let mh = SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(budget, 1))
-        .expect("valid")
-        .run();
+    let mh = SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(budget, 1)).expect("valid").run();
     let mut rng1 = SmallRng::seed_from_u64(2);
     let uni = UniformSourceSampler::new(g, r).run(budget, &mut rng1);
     let mut rng2 = SmallRng::seed_from_u64(3);
@@ -37,10 +35,7 @@ fn all_estimators_agree_on_separator_probe() {
         ("rk", rk.of(r)),
         ("bb", bb.bc),
     ] {
-        assert!(
-            (got - exact).abs() < 0.03,
-            "{name}: {got} vs exact {exact}"
-        );
+        assert!((got - exact).abs() < 0.03, "{name}: {got} vs exact {exact}");
     }
 }
 
@@ -53,9 +48,8 @@ fn mh_oracle_saves_spd_passes() {
     let hub = (0..1_000u32).max_by_key(|&v| g.degree(v)).expect("non-empty");
     let budget = 5_000u64;
 
-    let mh = SingleSpaceSampler::new(&g, hub, SingleSpaceConfig::new(budget, 1))
-        .expect("valid")
-        .run();
+    let mh =
+        SingleSpaceSampler::new(&g, hub, SingleSpaceConfig::new(budget, 1)).expect("valid").run();
     let mut rng1 = SmallRng::seed_from_u64(2);
     let uni = UniformSourceSampler::new(&g, hub).run(budget, &mut rng1);
 

@@ -1,0 +1,92 @@
+//! Tier-1 smoke test for the paper's core claim: the Metropolis–Hastings
+//! estimators agree with exact Brandes betweenness on small classic graphs.
+//!
+//! Uses the corrected single-space estimator (unbiased; see
+//! `mhbc_core::optimal`) and the joint-space ratio estimator (Theorem 3,
+//! exact in the limit). Seeds are fixed, so failures are reproducible and
+//! deterministic, not flaky.
+
+use mhbc_core::{JointSpaceConfig, JointSpaceSampler, SingleSpaceConfig, SingleSpaceSampler};
+use mhbc_graph::{generators, CsrGraph, Vertex};
+use mhbc_spd::{exact_betweenness, exact_betweenness_of};
+
+/// Absolute tolerance for single-vertex BC estimates (BC is in [0, 1]).
+const BC_TOL: f64 = 0.05;
+
+fn assert_single_space_agrees(name: &str, g: &CsrGraph, r: Vertex, iters: u64, seed: u64) {
+    let est = SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(iters, seed))
+        .expect("valid sampler config")
+        .run();
+    let exact = exact_betweenness_of(g, r);
+    assert!(
+        (est.bc_corrected - exact).abs() < BC_TOL,
+        "{name}: corrected MH estimate {:.4} vs exact {exact:.4} at probe {r}",
+        est.bc_corrected
+    );
+    // The Eq 7 chain average converges to eq7_limit >= BC(r); it must not
+    // undershoot the exact value by more than the tolerance.
+    assert!(
+        est.bc > exact - BC_TOL,
+        "{name}: Eq 7 estimate {:.4} undershoots exact {exact:.4}",
+        est.bc
+    );
+}
+
+#[test]
+fn barbell_bridge_matches_exact() {
+    // The canonical high-BC probe: the bridge vertex of a barbell graph.
+    let g = generators::barbell(8, 1);
+    assert_single_space_agrees("barbell(8,1)", &g, 16, 8_000, 11);
+}
+
+#[test]
+fn star_center_and_leaf_match_exact() {
+    // Star center has the maximum possible BC; leaves have exactly zero.
+    let g = generators::star(20);
+    assert_single_space_agrees("star(20) center", &g, 0, 4_000, 12);
+    assert_single_space_agrees("star(20) leaf", &g, 5, 4_000, 13);
+}
+
+#[test]
+fn grid_center_matches_exact() {
+    let g = generators::grid(6, 6, false);
+    // An interior vertex of the grid.
+    assert_single_space_agrees("grid(6x6)", &g, 14, 12_000, 14);
+}
+
+#[test]
+fn wheel_hub_matches_exact() {
+    let g = generators::wheel(16);
+    assert_single_space_agrees("wheel(16)", &g, 0, 6_000, 15);
+}
+
+#[test]
+fn balanced_tree_root_matches_exact() {
+    let g = generators::balanced_tree(2, 4);
+    assert_single_space_agrees("balanced_tree(2,4)", &g, 0, 10_000, 16);
+}
+
+#[test]
+fn joint_space_ratios_match_exact_on_lollipop() {
+    // Lollipop: a clique with a tail; tail vertices have sharply different
+    // betweenness, so their ratios are well separated.
+    let g = generators::lollipop(6, 4);
+    let exact = exact_betweenness(&g);
+    // Probes: two tail vertices and one clique vertex with positive BC.
+    let probes: Vec<Vertex> = vec![6, 8, 5];
+    let est = JointSpaceSampler::new(&g, &probes, JointSpaceConfig::new(60_000, 17))
+        .expect("valid probe set")
+        .run();
+    for i in 0..probes.len() {
+        for j in 0..probes.len() {
+            let truth = exact[probes[i] as usize] / exact[probes[j] as usize];
+            let got = est.ratio(i, j);
+            assert!(
+                (got - truth).abs() < 0.15 * truth.max(1.0),
+                "ratio BC({})/BC({}): MH {got:.4} vs exact {truth:.4}",
+                probes[i],
+                probes[j]
+            );
+        }
+    }
+}
