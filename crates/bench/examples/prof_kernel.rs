@@ -1,0 +1,60 @@
+//! Quick kernel profiler: frontier vs legacy BFS+accumulation across graph
+//! sizes, min-of-rounds to dodge scheduler noise. Complements the Criterion
+//! `kernels` bench with a single-command size sweep.
+//!
+//! ```text
+//! cargo run --release -p mhbc-bench --example prof_kernel
+//! ```
+
+use mhbc_graph::generators;
+use mhbc_spd::{legacy::LegacyBfsSpd, BfsSpd};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::time::Instant;
+
+fn bench(n: usize, deg: usize, passes: u32) {
+    let mut rng = SmallRng::seed_from_u64(mhbc_bench::SEED);
+    let g = generators::barabasi_albert(n, deg, &mut rng);
+    let m = g.num_edges() as f64;
+    let rounds = 5;
+    let mut delta = Vec::new();
+
+    let mut frontier = BfsSpd::new(n);
+    let mut legacy = LegacyBfsSpd::new(n);
+    for w in 0..3u32 {
+        frontier.compute(&g, w * 97 % n as u32);
+        legacy.compute(&g, w * 97 % n as u32);
+    }
+
+    let (mut ft, mut lt) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let mut s = 0u32;
+        for _ in 0..passes {
+            frontier.compute(&g, s % n as u32);
+            frontier.accumulate_dependencies(&g, &mut delta);
+            s = s.wrapping_add(97);
+        }
+        ft = ft.min(t.elapsed().as_secs_f64() * 1e9 / (passes as f64 * m));
+
+        let t = Instant::now();
+        let mut s = 0u32;
+        for _ in 0..passes {
+            legacy.compute(&g, s % n as u32);
+            legacy.accumulate_dependencies(&g, &mut delta);
+            s = s.wrapping_add(97);
+        }
+        lt = lt.min(t.elapsed().as_secs_f64() * 1e9 / (passes as f64 * m));
+    }
+    println!(
+        "n={n:>7} m={m:>8.0}: legacy {lt:.2} ns/e, frontier {ft:.2} ns/e, speedup {:.2}x",
+        lt / ft
+    );
+}
+
+fn main() {
+    bench(1_500, 4, 200);
+    bench(4_000, 4, 100);
+    bench(20_000, 4, 30);
+    bench(100_000, 4, 8);
+    bench(400_000, 4, 3);
+}

@@ -4,9 +4,15 @@
 //! ```text
 //! cargo run --release -p mhbc-bench --bin experiments -- all --quick
 //! cargo run --release -p mhbc-bench --bin experiments -- t2 f3 f9
+//! cargo run --release -p mhbc-bench --bin experiments -- perf --quick
 //! ```
 //!
-//! Results print as markdown and are mirrored to `results/<id>.csv`.
+//! Results print as markdown and are mirrored to `results/<id>.csv`. The
+//! `perf` subcommand (not part of `all`) additionally writes the
+//! performance-trajectory artifact `BENCH_kernels.json` to the current
+//! directory: frontier-vs-legacy kernel ns/edge on the T3 workload,
+//! samples/sec at 1/2/4 threads through the prefetch pipeline, and the
+//! oracle hit rate.
 
 use mhbc_baselines::{BbSampler, DistanceSampler, RkSampler, UniformSourceSampler};
 use mhbc_bench::report::{e5, f, Table};
@@ -82,8 +88,9 @@ fn main() {
             "f7" => f7(&ctx),
             "f8" => f8(&ctx),
             "f9" => f9(&ctx),
+            "perf" => perf(&ctx),
             other => {
-                eprintln!("unknown experiment `{other}` (known: {all:?} or `all`)");
+                eprintln!("unknown experiment `{other}` (known: {all:?}, `perf`, or `all`)");
                 std::process::exit(2);
             }
         }
@@ -836,6 +843,157 @@ fn f8(ctx: &Ctx) {
         }
     }
     t.emit(&ctx.out, "f8").expect("emit f8");
+}
+
+// -------------------------------------------------------------- PERF ----
+
+/// Kernel + pipeline throughput trajectory: emits `BENCH_kernels.json` to
+/// the current directory (the repo root in CI) so successive PRs accumulate
+/// comparable numbers. Also prints the same figures as markdown tables.
+fn perf(ctx: &Ctx) {
+    use mhbc_core::{pipeline, PrefetchConfig};
+    use mhbc_spd::{legacy::LegacyBfsSpd, BfsSpd};
+
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let passes: u32 = if ctx.quick { 30 } else { 100 };
+    // Interleaved min-of-rounds: scheduler noise inflates whichever kernel
+    // happens to be measured during a busy slice, so each kernel's figure
+    // is the best of several alternating rounds.
+    let rounds = 5;
+
+    // --- Kernel: frontier vs legacy, one full pass (SPD + accumulation)
+    // per measurement, sources cycling, on the T3 workload graphs.
+    let mut tk = Table::new(
+        "PERF/kernel - ns per edge per pass (SPD + dependency accumulation), frontier vs legacy",
+        &["graph", "n", "m", "legacy ns/edge", "frontier ns/edge", "speedup"],
+    );
+    let mut kernel_json = String::new();
+    let mut log_speedup_sum = 0.0;
+    let suite = workloads::standard_suite(ctx.quick);
+    for ds in &suite {
+        let g = &ds.graph;
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        let mut delta = Vec::new();
+
+        let mut frontier = BfsSpd::new(n);
+        let mut legacy = LegacyBfsSpd::new(n);
+        for w in 0..3u32 {
+            frontier.compute(g, (w * 97) % n as u32); // warm-up
+            legacy.compute(g, (w * 97) % n as u32);
+        }
+        let (mut frontier_ns, mut legacy_ns) = (f64::MAX, f64::MAX);
+        for _ in 0..rounds {
+            let started = Instant::now();
+            let mut s = 0u32;
+            for _ in 0..passes {
+                frontier.compute(g, s % n as u32);
+                frontier.accumulate_dependencies(g, &mut delta);
+                s = s.wrapping_add(97);
+            }
+            frontier_ns =
+                frontier_ns.min(started.elapsed().as_secs_f64() * 1e9 / (passes as f64 * m as f64));
+
+            let started = Instant::now();
+            let mut s = 0u32;
+            for _ in 0..passes {
+                legacy.compute(g, s % n as u32);
+                legacy.accumulate_dependencies(g, &mut delta);
+                s = s.wrapping_add(97);
+            }
+            legacy_ns =
+                legacy_ns.min(started.elapsed().as_secs_f64() * 1e9 / (passes as f64 * m as f64));
+        }
+
+        let speedup = legacy_ns / frontier_ns;
+        log_speedup_sum += speedup.ln();
+        tk.push(vec![
+            ds.name.into(),
+            n.to_string(),
+            m.to_string(),
+            format!("{legacy_ns:.2}"),
+            format!("{frontier_ns:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
+        if !kernel_json.is_empty() {
+            kernel_json.push_str(",\n");
+        }
+        kernel_json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"vertices\": {n}, \"edges\": {m}, \
+             \"legacy_ns_per_edge\": {legacy_ns:.3}, \"frontier_ns_per_edge\": {frontier_ns:.3}, \
+             \"speedup\": {speedup:.3}}}",
+            ds.name
+        ));
+    }
+    let kernel_geomean = (log_speedup_sum / suite.len() as f64).exp();
+    tk.emit(&ctx.out, "perf_kernel").expect("emit perf_kernel");
+
+    // --- Pipeline: samples/sec at 1/2/4 threads, hub probe of the BA
+    // graph, with a bit-identity check across thread counts.
+    let g = &suite[0].graph;
+    let r = (0..g.num_vertices() as Vertex).max_by_key(|&v| g.degree(v)).expect("non-empty");
+    let iterations = ctx.budget(g.num_vertices()) * 4;
+    let config = SingleSpaceConfig::new(iterations, SEED);
+    let mut tp = Table::new(
+        "PERF/pipeline - single-space sampler throughput by thread count (ba graph, hub probe)",
+        &["threads", "samples/sec", "speedup vs 1t", "hit rate", "spd passes"],
+    );
+    let mut sps = Vec::new();
+    let mut fingerprint: Option<(u64, u64, u64)> = None;
+    let mut deterministic = true;
+    let mut hit_rate_1t = 0.0;
+    for threads in [1usize, 2, 4] {
+        let prefetch = PrefetchConfig::with_threads(threads);
+        let mut best = f64::MAX;
+        let mut est = None;
+        for round in 0..rounds {
+            let started = Instant::now();
+            let e = pipeline::run_single(g, r, &config, &prefetch).expect("valid config");
+            let secs = started.elapsed().as_secs_f64();
+            if round > 0 {
+                best = best.min(secs); // round 0 is the warm-up
+            }
+            est = Some(e);
+        }
+        let est = est.expect("at least one round ran");
+        let rate = iterations as f64 / best;
+        let fp = (est.bc.to_bits(), est.bc_corrected.to_bits(), est.spd_passes);
+        match &fingerprint {
+            None => fingerprint = Some(fp),
+            Some(expect) => deterministic &= *expect == fp,
+        }
+        if threads == 1 {
+            hit_rate_1t = est.oracle_stats.hit_rate();
+        }
+        tp.push(vec![
+            threads.to_string(),
+            format!("{rate:.0}"),
+            format!("{:.2}x", rate / sps.first().copied().unwrap_or(rate)),
+            format!("{:.3}", est.oracle_stats.hit_rate()),
+            est.spd_passes.to_string(),
+        ]);
+        sps.push(rate);
+    }
+    tp.emit(&ctx.out, "perf_pipeline").expect("emit perf_pipeline");
+    assert!(deterministic, "pipeline output diverged across thread counts");
+
+    let json = format!(
+        "{{\n  \"schema\": \"mhbc-bench-kernels-v1\",\n  \"generated_by\": \"experiments perf\",\n  \
+         \"quick\": {},\n  \"host_cores\": {cores},\n  \"kernel\": [\n{kernel_json}\n  ],\n  \
+         \"kernel_speedup_geomean\": {kernel_geomean:.3},\n  \"sampler\": {{\n    \
+         \"graph\": \"ba\", \"probe\": {r}, \"iterations\": {iterations},\n    \
+         \"samples_per_sec\": {{\"1\": {:.1}, \"2\": {:.1}, \"4\": {:.1}}},\n    \
+         \"speedup_2t\": {:.3}, \"speedup_4t\": {:.3},\n    \
+         \"oracle_hit_rate_sequential\": {hit_rate_1t:.4},\n    \
+         \"bit_identical_across_threads\": {deterministic}\n  }}\n}}\n",
+        ctx.quick,
+        sps[0],
+        sps[1],
+        sps[2],
+        sps[1] / sps[0],
+        sps[2] / sps[0],
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    eprintln!("[perf] wrote BENCH_kernels.json (host cores: {cores})");
 }
 
 // ---------------------------------------------------------------- F9 ----

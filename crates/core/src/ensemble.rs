@@ -8,15 +8,51 @@
 //! Eq 7 and corrected estimates, and reports the Gelman–Rubin `R̂`
 //! statistic across chains, the standard multi-chain convergence check that
 //! complements the paper's single-chain guarantee.
+//!
+//! With a parallel [`PrefetchConfig`], each chain additionally gets its own
+//! squad of speculative prefetch workers (chains × pipeline): every chain's
+//! proposal stream is replayed by `threads - 1` workers that warm the
+//! shared cache ahead of it, exactly as in [`crate::pipeline`]. The pooled
+//! estimates are bit-identical whatever the prefetch setting — chain
+//! results depend only on seeds and densities, never on cache timing.
 
 use crate::oracle::{OracleStats, SharedProbeOracle};
+use crate::pipeline::{derive_streams, prefetch_lane, Lane, PrefetchConfig, Progress};
 use crate::CoreError;
 use mhbc_graph::{CsrGraph, Vertex};
 use mhbc_mcmc::diagnostics::RunningMoments;
 use mhbc_mcmc::{fn_target, MetropolisHastings, UniformProposal};
-use mhbc_spd::DependencyCalculator;
+use mhbc_spd::SpdWorkspacePool;
 use parking_lot::Mutex;
-use rand::{rngs::SmallRng, RngExt, SeedableRng};
+use std::sync::atomic::AtomicU64;
+
+/// Configuration for [`run_ensemble`].
+#[derive(Debug, Clone)]
+pub struct EnsembleConfig {
+    /// Number of independent chains (one thread each).
+    pub chains: usize,
+    /// Iterations per chain.
+    pub iterations: u64,
+    /// Base seed; chain `c` is seeded with `seed + c`.
+    pub seed: u64,
+    /// Per-chain speculative prefetch: a parallel setting spawns
+    /// `threads - 1` extra workers *per chain*, so the total thread count
+    /// is `chains × threads`.
+    pub prefetch: PrefetchConfig,
+}
+
+impl EnsembleConfig {
+    /// `chains` sequential chains (no prefetch workers).
+    pub fn new(chains: usize, iterations: u64, seed: u64) -> Self {
+        EnsembleConfig { chains, iterations, seed, prefetch: PrefetchConfig::sequential() }
+    }
+
+    /// Attaches a per-chain prefetch pipeline.
+    pub fn with_prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+}
 
 /// Per-chain accumulators brought back from a worker thread.
 #[derive(Debug, Clone)]
@@ -47,24 +83,86 @@ pub struct EnsembleEstimate {
     pub r_hat: f64,
     /// Acceptance rate pooled over chains.
     pub acceptance_rate: f64,
-    /// Distinct SPD passes across the *shared* cache (the whole point:
-    /// `k` chains cost barely more than one).
+    /// Distinct sources evaluated across the *shared* cache (the whole
+    /// point: `k` chains cost barely more than one). Deterministic for a
+    /// given config — concurrent duplicate computations don't inflate it.
     pub spd_passes: u64,
     /// Shared-cache statistics.
     pub oracle_stats: OracleStats,
 }
 
-/// Runs `chains` independent single-space chains of `iterations` steps each
-/// (threads = one per chain, scheduled by the OS), sharing one dependency
-/// cache. Deterministic given `seed` (per-chain seeds are `seed + chain`;
-/// note the *shared-cache* interleaving does not affect any estimate, only
-/// timing).
-pub fn run_parallel_ensemble(
+/// One chain of the ensemble; identical numerics whatever the prefetch
+/// setting (densities are a pure function of the source vertex).
+fn run_chain(
+    g: &CsrGraph,
+    oracle: &SharedProbeOracle<'_>,
+    pool: &SpdWorkspacePool<'_>,
+    seed: u64,
+    iterations: u64,
+    progress: &AtomicU64,
+) -> ChainResult {
+    let n = g.num_vertices();
+    let mut calc = pool.checkout();
+    let (initial, prop_rng, acc_rng) = derive_streams(seed, None, n);
+    // The closure makes the shared oracle the chain's density.
+    let target = fn_target(|v: &Vertex| oracle.dep(*v, 0, &mut calc));
+    let mut chain = MetropolisHastings::with_streams(
+        target,
+        UniformProposal::new(n),
+        initial,
+        prop_rng,
+        acc_rng,
+    );
+
+    let mut res = ChainResult {
+        sum_delta: chain.current_density(),
+        counted: 1,
+        proposals_support: 0,
+        inv_delta_sum: 0.0,
+        support_counted: 0,
+        accepted: 0,
+        mean: 0.0,
+        variance: 0.0,
+    };
+    let mut moments = RunningMoments::new();
+    moments.push(chain.current_density());
+    if chain.current_density() > 0.0 {
+        res.inv_delta_sum += 1.0 / chain.current_density();
+        res.support_counted += 1;
+    }
+    // Released (set to MAX) on drop — including on panic — so this chain's
+    // prefetch squad can never spin on a window that will not advance.
+    let window = Progress(progress);
+    for t in 1..=iterations {
+        window.advance_to(t);
+        let out = chain.step();
+        res.sum_delta += out.density;
+        res.counted += 1;
+        moments.push(out.density);
+        if out.accepted {
+            res.accepted += 1;
+        }
+        if out.proposed_density > 0.0 {
+            res.proposals_support += 1;
+        }
+        if out.density > 0.0 {
+            res.inv_delta_sum += 1.0 / out.density;
+            res.support_counted += 1;
+        }
+    }
+    res.mean = moments.mean();
+    res.variance = moments.variance();
+    res
+}
+
+/// Runs `chains` independent single-space chains of `iterations` steps each,
+/// sharing one dependency cache, with optional per-chain prefetch squads
+/// (see [`EnsembleConfig`]). Deterministic given the seed; the prefetch
+/// setting changes timing only, never any estimate.
+pub fn run_ensemble(
     g: &CsrGraph,
     r: Vertex,
-    chains: usize,
-    iterations: u64,
-    seed: u64,
+    config: &EnsembleConfig,
 ) -> Result<EnsembleEstimate, CoreError> {
     let n = g.num_vertices();
     if n < 3 {
@@ -73,60 +171,43 @@ pub fn run_parallel_ensemble(
     if r as usize >= n {
         return Err(CoreError::ProbeOutOfRange { probe: r, num_vertices: n });
     }
+    let chains = config.chains;
     assert!(chains >= 1, "need at least one chain");
+    let workers_per_chain = config.prefetch.threads.saturating_sub(1) as u64;
+    let depth = config.prefetch.depth.max(workers_per_chain);
 
     let oracle = SharedProbeOracle::new(g, &[r]);
+    let pool = SpdWorkspacePool::with_workers(g, chains * config.prefetch.threads.max(1));
+    let progress: Vec<AtomicU64> = (0..chains).map(|_| AtomicU64::new(0)).collect();
     let results: Mutex<Vec<(usize, ChainResult)>> = Mutex::new(Vec::with_capacity(chains));
+    let iterations = config.iterations;
 
     crossbeam::thread::scope(|scope| {
         for c in 0..chains {
-            let oracle = &oracle;
-            let results = &results;
+            let chain_seed = config.seed.wrapping_add(c as u64);
+            let (oracle, pool, results) = (&oracle, &pool, &results);
+            let chain_progress = &progress[c];
             scope.spawn(move |_| {
-                let mut calc = DependencyCalculator::new(g);
-                let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(c as u64));
-                let initial = rng.random_range(0..n as Vertex);
-                // The closure makes the shared oracle the chain's density.
-                let target = fn_target(|v: &Vertex| oracle.dep(*v, 0, &mut calc));
-                let mut chain =
-                    MetropolisHastings::new(target, UniformProposal::new(n), initial, rng);
-
-                let mut res = ChainResult {
-                    sum_delta: chain.current_density(),
-                    counted: 1,
-                    proposals_support: 0,
-                    inv_delta_sum: 0.0,
-                    support_counted: 0,
-                    accepted: 0,
-                    mean: 0.0,
-                    variance: 0.0,
-                };
-                let mut moments = RunningMoments::new();
-                moments.push(chain.current_density());
-                if chain.current_density() > 0.0 {
-                    res.inv_delta_sum += 1.0 / chain.current_density();
-                    res.support_counted += 1;
-                }
-                for _ in 0..iterations {
-                    let out = chain.step();
-                    res.sum_delta += out.density;
-                    res.counted += 1;
-                    moments.push(out.density);
-                    if out.accepted {
-                        res.accepted += 1;
-                    }
-                    if out.proposed_density > 0.0 {
-                        res.proposals_support += 1;
-                    }
-                    if out.density > 0.0 {
-                        res.inv_delta_sum += 1.0 / out.density;
-                        res.support_counted += 1;
-                    }
-                }
-                res.mean = moments.mean();
-                res.variance = moments.variance();
+                let res = run_chain(g, oracle, pool, chain_seed, iterations, chain_progress);
                 results.lock().push((c, res));
             });
+            // The chain's prefetch squad replays its proposal stream.
+            for lane in 0..workers_per_chain {
+                let progress = chain_progress;
+                scope.spawn(move |_| {
+                    let mut calc = pool.checkout();
+                    let (_, wrng, _) = derive_streams(chain_seed, None, n);
+                    prefetch_lane(
+                        UniformProposal::new(n),
+                        wrng,
+                        iterations,
+                        Lane { lane, lanes: workers_per_chain, depth, progress },
+                        |v: Vertex| {
+                            oracle.warm(v, &mut calc);
+                        },
+                    );
+                });
+            }
         }
     })
     .expect("ensemble threads joined");
@@ -172,7 +253,6 @@ pub fn run_parallel_ensemble(
     };
 
     let accepted: u64 = per.iter().map(|c| c.accepted).sum();
-    let stats = oracle.stats();
     Ok(EnsembleEstimate {
         bc,
         bc_corrected,
@@ -183,9 +263,20 @@ pub fn run_parallel_ensemble(
         } else {
             accepted as f64 / total_proposals as f64
         },
-        spd_passes: stats.misses,
-        oracle_stats: stats,
+        spd_passes: oracle.cached_sources() as u64,
+        oracle_stats: oracle.stats(),
     })
+}
+
+/// Back-compatible entry point: `chains` sequential chains, no prefetch.
+pub fn run_parallel_ensemble(
+    g: &CsrGraph,
+    r: Vertex,
+    chains: usize,
+    iterations: u64,
+    seed: u64,
+) -> Result<EnsembleEstimate, CoreError> {
+    run_ensemble(g, r, &EnsembleConfig::new(chains, iterations, seed))
 }
 
 #[cfg(test)]
@@ -225,14 +316,30 @@ mod tests {
         let g = generators::barbell(6, 2);
         let est = run_parallel_ensemble(&g, 6, 6, 3_000, 7).expect("valid config");
         // 6 chains x 3000 iterations, but the state space has only 16
-        // vertices: the shared cache caps the SPD passes (small slack for
-        // concurrent duplicate computations).
+        // vertices: the shared cache caps the distinct SPD passes.
         assert!(
-            est.spd_passes <= 2 * g.num_vertices() as u64,
-            "passes {} should be ~n",
+            est.spd_passes <= g.num_vertices() as u64,
+            "passes {} should be <= n",
             est.spd_passes
         );
         assert!(est.oracle_stats.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn prefetch_squads_do_not_change_any_estimate() {
+        let g = generators::lollipop(6, 3);
+        let base = EnsembleConfig::new(3, 2_000, 11);
+        let seq = run_ensemble(&g, 7, &base).expect("valid config");
+        let pre = run_ensemble(&g, 7, &base.clone().with_prefetch(PrefetchConfig::with_threads(3)))
+            .expect("valid config");
+        assert_eq!(seq.bc.to_bits(), pre.bc.to_bits());
+        assert_eq!(seq.bc_corrected.to_bits(), pre.bc_corrected.to_bits());
+        assert_eq!(seq.acceptance_rate.to_bits(), pre.acceptance_rate.to_bits());
+        assert_eq!(seq.spd_passes, pre.spd_passes);
+        for (a, b) in seq.per_chain.iter().zip(&pre.per_chain) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(seq.r_hat.to_bits(), pre.r_hat.to_bits());
     }
 
     #[test]

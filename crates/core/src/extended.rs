@@ -62,15 +62,16 @@ impl<'g> PairDependencyKernel<'g> {
             if x as usize == t || x == v {
                 return 0.0;
             }
-            let (dvx, dxt, dvt) = (self.spd_v.dist[x as usize], spd_x.dist[t], self.spd_v.dist[t]);
+            let t = t as Vertex;
+            let (dvx, dxt, dvt) = (self.spd_v.dist(x), spd_x.dist(t), self.spd_v.dist(t));
             if dvx == UNREACHED || dxt == UNREACHED || dvt == UNREACHED || dvx + dxt != dvt {
                 return 0.0;
             }
-            self.spd_v.sigma[x as usize] * spd_x.sigma[t] / self.spd_v.sigma[t]
+            self.spd_v.sigma(x) * spd_x.sigma(t) / self.spd_v.sigma(t)
         };
         let mut sum = 0.0;
         for t in 0..n {
-            if t == v as usize || self.spd_v.dist[t] == UNREACHED {
+            if t == v as usize || self.spd_v.dist(t as Vertex) == UNREACHED {
                 continue;
             }
             let di = pair_dep(&self.spd_i, self.ri, t);

@@ -5,17 +5,17 @@ use crate::oracle::{OracleStats, ProbeOracle};
 use crate::CoreError;
 use mhbc_graph::{CsrGraph, Vertex};
 use mhbc_mcmc::{MetropolisHastings, Proposal, TargetDensity};
-use rand::{rngs::SmallRng, Rng, RngExt, SeedableRng};
+use rand::{rngs::SmallRng, Rng, RngExt};
 
 /// Chain state: `(probe index into R, source vertex)` — the pair `⟨r, v⟩`
 /// of §4.3.
-type JointState = (u32, Vertex);
+pub(crate) type JointState = (u32, Vertex);
 
 /// Uniform independence proposal over `R × V(G)` (both coordinates drawn
 /// uniformly, as in the paper).
-struct JointProposal {
-    k: u32,
-    n: u32,
+pub(crate) struct JointProposal {
+    pub(crate) k: u32,
+    pub(crate) n: u32,
 }
 
 impl Proposal<JointState> for JointProposal {
@@ -25,6 +25,10 @@ impl Proposal<JointState> for JointProposal {
 
     fn ratio(&self, _current: &JointState, _proposed: &JointState) -> f64 {
         1.0
+    }
+
+    fn propose_iid<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<JointState> {
+        Some((rng.random_range(0..self.k), rng.random_range(0..self.n)))
     }
 }
 
@@ -122,6 +126,81 @@ impl JointSpaceEstimate {
     }
 }
 
+/// The Eq 22/23 estimator state, factored out of the sampler so the
+/// sequential path and the prefetch pipeline run the same accumulation code
+/// in the same order (the pipeline's bit-identical-output guarantee).
+pub(crate) struct JointAccumulator {
+    k: usize,
+    /// `acc[i * k + j]` accumulates `min{1, δ(r_i)/δ(r_j)}` over `M(j)`.
+    acc: Vec<f64>,
+    counts: Vec<u64>,
+    trace: Vec<f64>,
+    trace_pair: Option<(usize, usize)>,
+}
+
+impl JointAccumulator {
+    pub(crate) fn new(k: usize, trace_pair: Option<(usize, usize)>) -> Self {
+        JointAccumulator {
+            k,
+            acc: vec![0.0; k * k],
+            counts: vec![0; k],
+            trace: Vec::new(),
+            trace_pair,
+        }
+    }
+
+    /// Adds one occupied state to the estimator multisets: `j` is the probe
+    /// index, `deps` the full dependency row `δ_{v•}(probes)` of its source.
+    pub(crate) fn absorb(&mut self, j: usize, deps: &[f64]) {
+        let den = deps[j];
+        for (i, &dep) in deps.iter().enumerate() {
+            self.acc[i * self.k + j] += min_dependency_ratio(dep, den);
+        }
+        self.counts[j] += 1;
+        if let Some((ti, tj)) = self.trace_pair {
+            self.trace.push(self.relative_estimate(ti, tj));
+        }
+    }
+
+    /// Current estimate of `BC_{r_j}(r_i)`; `NaN` while `M(j)` is empty.
+    pub(crate) fn relative_estimate(&self, i: usize, j: usize) -> f64 {
+        if self.counts[j] == 0 {
+            return f64::NAN;
+        }
+        self.acc[i * self.k + j] / self.counts[j] as f64
+    }
+
+    /// Finalises into the public estimate (shared by both execution modes).
+    pub(crate) fn finish(
+        self,
+        probes: Vec<Vertex>,
+        iterations: u64,
+        acceptance_rate: f64,
+        spd_passes: u64,
+        oracle_stats: OracleStats,
+    ) -> JointSpaceEstimate {
+        let k = self.k;
+        let mut relative = vec![vec![f64::NAN; k]; k];
+        for (i, row) in relative.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if self.counts[j] > 0 {
+                    *cell = self.acc[i * k + j] / self.counts[j] as f64;
+                }
+            }
+        }
+        JointSpaceEstimate {
+            probes,
+            counts: self.counts,
+            relative,
+            iterations,
+            acceptance_rate,
+            spd_passes,
+            oracle_stats,
+            trace: if self.trace_pair.is_some() { Some(self.trace) } else { None },
+        }
+    }
+}
+
 /// The paper's joint-space Metropolis–Hastings sampler (§4.3).
 ///
 /// States are pairs `⟨r, v⟩ ∈ R × V(G)`; both coordinates are re-proposed
@@ -132,15 +211,58 @@ impl JointSpaceEstimate {
 /// Eq 22/23. One SPD pass per *distinct* source vertex covers all probes
 /// simultaneously (the backward accumulation yields the whole dependency
 /// vector).
+///
+/// This type is the *sequential* streaming sampler; see
+/// [`crate::pipeline::run_joint`] for the bit-identical multi-threaded run.
 pub struct JointSpaceSampler<'g> {
     chain: MetropolisHastings<JointTarget<'g>, JointProposal, SmallRng>,
     probes: Vec<Vertex>,
     config: JointSpaceConfig,
     iteration: u64,
-    /// `acc[i * k + j]` accumulates `min{1, δ(r_i)/δ(r_j)}` over `M(j)`.
-    acc: Vec<f64>,
-    counts: Vec<u64>,
-    trace: Vec<f64>,
+    acc: JointAccumulator,
+}
+
+/// Validates a joint-space configuration, returning `(n, k)`.
+pub(crate) fn validate_joint(
+    g: &CsrGraph,
+    probes: &[Vertex],
+    config: &JointSpaceConfig,
+) -> Result<(usize, usize), CoreError> {
+    let n = g.num_vertices();
+    if n < 3 {
+        return Err(CoreError::GraphTooSmall { num_vertices: n });
+    }
+    if probes.len() < 2 {
+        return Err(CoreError::ProbeSetTooSmall { len: probes.len() });
+    }
+    for (i, &p) in probes.iter().enumerate() {
+        if p as usize >= n {
+            return Err(CoreError::ProbeOutOfRange { probe: p, num_vertices: n });
+        }
+        if probes[..i].contains(&p) {
+            return Err(CoreError::DuplicateProbe { probe: p });
+        }
+    }
+    if let Some((i, v)) = config.initial {
+        if i >= probes.len() {
+            return Err(CoreError::ProbeOutOfRange {
+                probe: i as Vertex,
+                num_vertices: probes.len(),
+            });
+        }
+        if v as usize >= n {
+            return Err(CoreError::ProbeOutOfRange { probe: v, num_vertices: n });
+        }
+    }
+    if let Some((i, j)) = config.trace_pair {
+        if i >= probes.len() || j >= probes.len() {
+            return Err(CoreError::ProbeOutOfRange {
+                probe: i.max(j) as Vertex,
+                num_vertices: probes.len(),
+            });
+        }
+    }
+    Ok((n, probes.len()))
 }
 
 impl<'g> JointSpaceSampler<'g> {
@@ -150,63 +272,24 @@ impl<'g> JointSpaceSampler<'g> {
         probes: &[Vertex],
         config: JointSpaceConfig,
     ) -> Result<Self, CoreError> {
-        let n = g.num_vertices();
-        if n < 3 {
-            return Err(CoreError::GraphTooSmall { num_vertices: n });
-        }
-        if probes.len() < 2 {
-            return Err(CoreError::ProbeSetTooSmall { len: probes.len() });
-        }
-        for (i, &p) in probes.iter().enumerate() {
-            if p as usize >= n {
-                return Err(CoreError::ProbeOutOfRange { probe: p, num_vertices: n });
-            }
-            if probes[..i].contains(&p) {
-                return Err(CoreError::DuplicateProbe { probe: p });
-            }
-        }
-        if let Some((i, v)) = config.initial {
-            if i >= probes.len() {
-                return Err(CoreError::ProbeOutOfRange {
-                    probe: i as Vertex,
-                    num_vertices: probes.len(),
-                });
-            }
-            if v as usize >= n {
-                return Err(CoreError::ProbeOutOfRange { probe: v, num_vertices: n });
-            }
-        }
-        if let Some((i, j)) = config.trace_pair {
-            if i >= probes.len() || j >= probes.len() {
-                return Err(CoreError::ProbeOutOfRange {
-                    probe: i.max(j) as Vertex,
-                    num_vertices: probes.len(),
-                });
-            }
-        }
-
-        let k = probes.len();
-        let mut rng = SmallRng::seed_from_u64(config.seed);
-        let initial: JointState = match config.initial {
-            Some((i, v)) => (i as u32, v),
-            None => (rng.random_range(0..k as u32), rng.random_range(0..n as Vertex)),
-        };
+        let (n, k) = validate_joint(g, probes, &config)?;
+        let (initial, prop_rng, acc_rng) =
+            crate::pipeline::derive_joint_streams(config.seed, config.initial, k, n);
         let target = JointTarget { oracle: ProbeOracle::new(g, probes) };
-        let chain = MetropolisHastings::new(
+        let chain = MetropolisHastings::with_streams(
             target,
             JointProposal { k: k as u32, n: n as u32 },
             initial,
-            rng,
+            prop_rng,
+            acc_rng,
         );
 
         let mut sampler = JointSpaceSampler {
             chain,
             probes: probes.to_vec(),
+            acc: JointAccumulator::new(k, config.trace_pair),
             config,
             iteration: 0,
-            acc: vec![0.0; k * k],
-            counts: vec![0; k],
-            trace: Vec::new(),
         };
         sampler.absorb_current_state();
         Ok(sampler)
@@ -220,27 +303,14 @@ impl<'g> JointSpaceSampler<'g> {
     /// Adds the chain's current state to the estimator multisets.
     fn absorb_current_state(&mut self) {
         let (j, v) = *self.chain.state();
-        let j = j as usize;
-        let k = self.probes.len();
         // One cached lookup returns delta_v on every probe.
         let deps = self.chain.target_mut().oracle.deps(v).to_vec();
-        let den = deps[j];
-        for (i, &dep) in deps.iter().enumerate() {
-            self.acc[i * k + j] += min_dependency_ratio(dep, den);
-        }
-        self.counts[j] += 1;
-        if let Some((ti, tj)) = self.config.trace_pair {
-            self.trace.push(self.relative_estimate(ti, tj));
-        }
+        self.acc.absorb(j as usize, &deps);
     }
 
     /// Current estimate of `BC_{r_j}(r_i)`; `NaN` while `M(j)` is empty.
     pub fn relative_estimate(&self, i: usize, j: usize) -> f64 {
-        let k = self.probes.len();
-        if self.counts[j] == 0 {
-            return f64::NAN;
-        }
-        self.acc[i * k + j] / self.counts[j] as f64
+        self.acc.relative_estimate(i, j)
     }
 
     /// Performs one MH iteration.
@@ -265,27 +335,15 @@ impl<'g> JointSpaceSampler<'g> {
 
     /// Finalises early.
     pub fn finish(self) -> JointSpaceEstimate {
-        let k = self.probes.len();
-        let mut relative = vec![vec![f64::NAN; k]; k];
-        for (i, row) in relative.iter_mut().enumerate() {
-            for (j, cell) in row.iter_mut().enumerate() {
-                if self.counts[j] > 0 {
-                    *cell = self.acc[i * k + j] / self.counts[j] as f64;
-                }
-            }
-        }
-        let stats = self.chain.stats().clone();
+        let acceptance_rate = self.chain.stats().acceptance_rate();
         let target = self.chain.into_target();
-        JointSpaceEstimate {
-            probes: self.probes,
-            counts: self.counts,
-            relative,
-            iterations: self.iteration,
-            acceptance_rate: stats.acceptance_rate(),
-            spd_passes: target.oracle.spd_passes(),
-            oracle_stats: target.oracle.stats(),
-            trace: if self.config.trace_pair.is_some() { Some(self.trace) } else { None },
-        }
+        self.acc.finish(
+            self.probes,
+            self.iteration,
+            acceptance_rate,
+            target.oracle.spd_passes(),
+            target.oracle.stats(),
+        )
     }
 }
 

@@ -21,7 +21,12 @@
 //! Supporting modules:
 //!
 //! - [`oracle`] — memoised dependency-score evaluation (the chain revisits
-//!   states; re-evaluating `δ_{v•}(r)` would waste SPD passes);
+//!   states; re-evaluating `δ_{v•}(r)` would waste SPD passes), with
+//!   second-chance eviction for capacity-limited caches;
+//! - [`pipeline`] — speculative density prefetching: worker threads replay
+//!   the independence chain's proposal stream and evaluate upcoming
+//!   densities ahead of the chain thread, with bit-identical results to the
+//!   sequential samplers;
 //! - [`optimal`] — exact ground-truth quantities: the optimal distribution,
 //!   `µ(r)`, exact relative scores, and the Theorem 2 separator checker;
 //! - [`planner`] — the (ε, δ) sample-size planner built on Ineq 14/27.
@@ -76,11 +81,13 @@ pub mod extended;
 mod joint;
 pub mod optimal;
 pub mod oracle;
+pub mod pipeline;
 pub mod planner;
 mod single;
 
-pub use ensemble::{run_parallel_ensemble, EnsembleEstimate};
+pub use ensemble::{run_ensemble, run_parallel_ensemble, EnsembleConfig, EnsembleEstimate};
 pub use error::CoreError;
 pub use extended::{extended_relative_sampled, ExtendedEstimate};
 pub use joint::{JointSpaceConfig, JointSpaceEstimate, JointSpaceSampler, JointStepInfo};
+pub use pipeline::{run_joint, run_single, PrefetchConfig};
 pub use single::{SingleSpaceConfig, SingleSpaceEstimate, SingleSpaceSampler, SingleStepInfo};

@@ -10,6 +10,12 @@
 //! on *all* probe vertices at once — a single backward accumulation already
 //! produces `δ_{v•}(x)` for every `x` (Eq 4), so the per-probe marginal cost
 //! is zero.
+//!
+//! Capacity-limited oracles evict with a second-chance (CLOCK) policy: each
+//! cached source carries a referenced bit that hits set and the clock hand
+//! clears, so the chain's hot working set — exactly the high-dependency
+//! sources the stationary law revisits — survives evictions that a
+//! wholesale flush would destroy.
 
 use mhbc_graph::{CsrGraph, Vertex};
 use mhbc_spd::DependencyCalculator;
@@ -38,12 +44,24 @@ impl OracleStats {
     }
 }
 
+/// One CLOCK ring slot: a cached source row plus its second-chance bit.
+struct Slot {
+    source: Vertex,
+    row: Box<[f64]>,
+    referenced: bool,
+}
+
 /// Memoises `δ_{source•}(r)` for a fixed probe set, keyed by source vertex.
+///
+/// Unbounded by default; [`ProbeOracle::with_capacity_limit`] bounds the
+/// number of cached sources with second-chance eviction (see module docs).
 pub struct ProbeOracle<'g> {
     graph: &'g CsrGraph,
     probes: Vec<Vertex>,
     calc: DependencyCalculator,
-    cache: HashMap<Vertex, Box<[f64]>>,
+    index: HashMap<Vertex, usize>,
+    slots: Vec<Slot>,
+    hand: usize,
     stats: OracleStats,
     capacity: usize,
 }
@@ -60,15 +78,19 @@ impl<'g> ProbeOracle<'g> {
             graph,
             probes: probes.to_vec(),
             calc: DependencyCalculator::new(graph),
-            cache: HashMap::new(),
+            index: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
             stats: OracleStats::default(),
             capacity: usize::MAX,
         }
     }
 
-    /// Bounds the cache to `entries` sources; when exceeded the cache is
-    /// flushed wholesale (random-replacement would keep no more useful a
-    /// working set for an independence chain, and flushing is branch-free).
+    /// Bounds the cache to `entries` sources, evicted one at a time by the
+    /// second-chance (CLOCK) policy: the hand sweeps the ring clearing
+    /// referenced bits and replaces the first slot whose bit is already
+    /// clear. Sources the chain keeps revisiting keep their bit set and
+    /// survive; one-shot proposals are recycled first.
     pub fn with_capacity_limit(mut self, entries: usize) -> Self {
         self.capacity = entries.max(1);
         self
@@ -81,18 +103,35 @@ impl<'g> ProbeOracle<'g> {
 
     /// `δ_{source•}(r)` for every probe `r`, cached.
     pub fn deps(&mut self, source: Vertex) -> &[f64] {
-        if self.cache.contains_key(&source) {
+        if let Some(&i) = self.index.get(&source) {
             self.stats.hits += 1;
-        } else {
-            self.stats.misses += 1;
-            if self.cache.len() >= self.capacity {
-                self.cache.clear();
-            }
-            let mut row = Vec::with_capacity(self.probes.len());
-            self.calc.dependency_on_many(self.graph, source, &self.probes, &mut row);
-            self.cache.insert(source, row.into_boxed_slice());
+            self.slots[i].referenced = true;
+            return &self.slots[i].row;
         }
-        self.cache.get(&source).expect("just inserted")
+        self.stats.misses += 1;
+        let mut row = Vec::with_capacity(self.probes.len());
+        self.calc.dependency_on_many(self.graph, source, &self.probes, &mut row);
+        let slot = Slot { source, row: row.into_boxed_slice(), referenced: false };
+        let i = if self.slots.len() < self.capacity {
+            self.slots.push(slot);
+            self.slots.len() - 1
+        } else {
+            // Second-chance sweep: clear referenced bits until an
+            // unreferenced victim comes under the hand.
+            loop {
+                let h = self.hand;
+                self.hand = (self.hand + 1) % self.slots.len();
+                if self.slots[h].referenced {
+                    self.slots[h].referenced = false;
+                } else {
+                    self.index.remove(&self.slots[h].source);
+                    self.slots[h] = slot;
+                    break h;
+                }
+            }
+        };
+        self.index.insert(source, i);
+        &self.slots[i].row
     }
 
     /// `δ_{source•}(probes[idx])`, cached.
@@ -112,19 +151,22 @@ impl<'g> ProbeOracle<'g> {
 
     /// Number of distinct sources currently cached.
     pub fn cached_sources(&self) -> usize {
-        self.cache.len()
+        self.slots.len()
     }
 }
 
-/// Thread-safe memoised dependency oracle for *parallel chain ensembles*
-/// (see [`crate::ensemble`]): many chains over the same probe set share one
-/// cache, so a source evaluated by any chain is free for all others.
+/// Thread-safe memoised dependency oracle shared by *parallel* consumers:
+/// chain ensembles (many chains over one probe set share every density
+/// evaluation) and the speculative prefetch pipeline (workers warm the
+/// cache ahead of the chain thread).
 ///
 /// Lookups take a read lock; misses compute the SPD pass *outside* any lock
-/// (each caller thread supplies its own [`DependencyCalculator`]) and then
-/// insert under a short write lock. Duplicate concurrent computations of
-/// the same source are possible but harmless (last write wins with equal
-/// values).
+/// (each caller thread supplies its own [`DependencyCalculator`], usually
+/// checked out of an [`mhbc_spd::SpdWorkspacePool`]) and then insert under a
+/// short write lock. Duplicate concurrent computations of the same source
+/// are possible but harmless (last write wins with equal values) — which is
+/// why [`SharedProbeOracle::cached_sources`], not the miss counter, is the
+/// deterministic "distinct SPD passes" figure the pipelined samplers report.
 pub struct SharedProbeOracle<'g> {
     graph: &'g CsrGraph,
     probes: Vec<Vertex>,
@@ -149,22 +191,53 @@ impl<'g> SharedProbeOracle<'g> {
         }
     }
 
-    /// `δ_{source•}(r)` for every probe, using `calc` for cache misses.
-    pub fn deps(&self, source: Vertex, calc: &mut DependencyCalculator) -> Vec<f64> {
+    /// The probe set.
+    pub fn probes(&self) -> &[Vertex] {
+        &self.probes
+    }
+
+    /// Runs `f` over the cached (or freshly computed) row
+    /// `δ_{source•}(probes)` without copying it out.
+    pub fn with_deps<T>(
+        &self,
+        source: Vertex,
+        calc: &mut DependencyCalculator,
+        f: impl FnOnce(&[f64]) -> T,
+    ) -> T {
         if let Some(row) = self.cache.read().get(&source) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return row.to_vec();
+            return f(row);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut row = Vec::with_capacity(self.probes.len());
         calc.dependency_on_many(self.graph, source, &self.probes, &mut row);
-        self.cache.write().insert(source, row.clone().into_boxed_slice());
-        row
+        let out = f(&row);
+        self.cache.write().insert(source, row.into_boxed_slice());
+        out
     }
 
-    /// Single-probe convenience.
+    /// `δ_{source•}(r)` for every probe, using `calc` for cache misses.
+    pub fn deps(&self, source: Vertex, calc: &mut DependencyCalculator) -> Vec<f64> {
+        self.with_deps(source, calc, |row| row.to_vec())
+    }
+
+    /// Single-probe convenience (no allocation).
     pub fn dep(&self, source: Vertex, idx: usize, calc: &mut DependencyCalculator) -> f64 {
-        self.deps(source, calc)[idx]
+        self.with_deps(source, calc, |row| row[idx])
+    }
+
+    /// Ensures `source` is cached, computing it with `calc` if needed;
+    /// returns whether a computation happened. This is the prefetch
+    /// workers' entry point: it touches no statistics, so warming the cache
+    /// never perturbs the chain-observable hit/miss history.
+    pub fn warm(&self, source: Vertex, calc: &mut DependencyCalculator) -> bool {
+        if self.cache.read().contains_key(&source) {
+            return false;
+        }
+        let mut row = Vec::with_capacity(self.probes.len());
+        calc.dependency_on_many(self.graph, source, &self.probes, &mut row);
+        self.cache.write().insert(source, row.into_boxed_slice());
+        true
     }
 
     /// Cache statistics (aggregated over all threads).
@@ -175,7 +248,8 @@ impl<'g> SharedProbeOracle<'g> {
         }
     }
 
-    /// Number of distinct sources cached.
+    /// Number of distinct sources cached — the deterministic SPD-pass count
+    /// for a run whose proposal set is fixed (see type docs).
     pub fn cached_sources(&self) -> usize {
         self.cache.read().len()
     }
@@ -212,16 +286,51 @@ mod tests {
     }
 
     #[test]
-    fn capacity_limit_flushes() {
+    fn capacity_limit_evicts_one_at_a_time() {
         let g = generators::cycle(10);
         let mut o = ProbeOracle::new(&g, &[0]).with_capacity_limit(3);
         for v in 0..9u32 {
             let _ = o.dep(v, 0);
         }
-        assert!(o.cached_sources() <= 3);
-        // Values still correct after flushes.
+        assert_eq!(o.cached_sources(), 3, "ring stays full, never flushed");
+        // Values still correct after evictions.
         let mut calc = DependencyCalculator::new(&g);
         assert_eq!(o.dep(7, 0), calc.dependency_on(&g, 7, 0));
+    }
+
+    #[test]
+    fn second_chance_keeps_the_hot_working_set() {
+        let g = generators::cycle(16);
+        let mut o = ProbeOracle::new(&g, &[0]).with_capacity_limit(4);
+        // Establish a hot pair {1, 2} and keep touching it while a stream
+        // of one-shot sources (3..11) flows through the cache.
+        let _ = o.dep(1, 0);
+        let _ = o.dep(2, 0);
+        for v in 3..11u32 {
+            let _ = o.dep(v, 0);
+            let _ = o.dep(1, 0);
+            let _ = o.dep(2, 0);
+        }
+        let stats = o.stats();
+        // Every re-touch of 1 and 2 must have been a hit: the CLOCK hand
+        // recycles the unreferenced one-shot slots instead.
+        assert_eq!(stats.hits, 2 * 8, "hot set evicted: {stats:?}");
+        assert_eq!(stats.misses, 2 + 8);
+        assert_eq!(o.cached_sources(), 4);
+    }
+
+    #[test]
+    fn wholesale_flush_would_have_lost_the_hot_set() {
+        // Documentation-by-test of the old behaviour's cost: with the
+        // CLOCK policy the hit rate of a skewed access pattern stays high
+        // even at a tiny capacity.
+        let g = generators::cycle(32);
+        let mut o = ProbeOracle::new(&g, &[0]).with_capacity_limit(2);
+        for round in 0..50u32 {
+            let _ = o.dep(0, 0); // hot
+            let _ = o.dep(1 + (round % 30), 0); // cold stream
+        }
+        assert!(o.stats().hit_rate() > 0.45, "hit rate {:?}", o.stats());
     }
 
     #[test]
@@ -245,6 +354,19 @@ mod tests {
         assert_eq!(stats.misses, g.num_vertices() as u64);
         assert_eq!(stats.hits, g.num_vertices() as u64);
         assert_eq!(shared.cached_sources(), g.num_vertices());
+    }
+
+    #[test]
+    fn warm_populates_without_touching_stats() {
+        let g = generators::barbell(4, 1);
+        let shared = SharedProbeOracle::new(&g, &[4]);
+        let mut calc = DependencyCalculator::new(&g);
+        assert!(shared.warm(0, &mut calc));
+        assert!(!shared.warm(0, &mut calc), "second warm is a no-op");
+        assert_eq!(shared.stats(), OracleStats::default());
+        // The chain's subsequent read is a hit.
+        let _ = shared.dep(0, 0, &mut calc);
+        assert_eq!(shared.stats(), OracleStats { hits: 1, misses: 0 });
     }
 
     #[test]

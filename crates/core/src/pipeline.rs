@@ -1,0 +1,426 @@
+//! Speculative density prefetching for the independence-chain samplers.
+//!
+//! Every MH iteration costs one SPD pass for the *proposed* source (§4.1),
+//! and the paper's proposal is an independence chain (`q(·|x) = 1/n`,
+//! §4.2): the proposal at step `t` does not depend on the chain's state, so
+//! the entire proposal sequence is a pure function of the seed. This module
+//! exploits that: worker threads replay the chain's proposal stream (a
+//! [`StreamSplit`] replica), evaluate the upcoming proposals' densities
+//! into a [`SharedProbeOracle`] ahead of time, and the chain thread
+//! consumes accept/reject decisions in order, almost always hitting the
+//! warmed cache.
+//!
+//! ## Determinism guarantee
+//!
+//! The pipelined run is **bit-identical** to the sequential sampler, by
+//! construction rather than by tolerance:
+//!
+//! - the accept/reject RNG stream never leaves the chain thread (see
+//!   [`mhbc_mcmc::MetropolisHastings`]'s split streams);
+//! - workers only *warm* the cache — dependency rows are a deterministic
+//!   function of `(graph, source)`, so a warmed value equals the value the
+//!   chain would have computed itself;
+//! - the chain thread runs the exact same accumulation code
+//!   (`SingleAccumulator` / `JointAccumulator`) in the exact same order as
+//!   the sequential sampler; and
+//! - the reported `spd_passes` is the number of *distinct* sources
+//!   evaluated (`SharedProbeOracle::cached_sources`), which equals the
+//!   sequential miss count because the proposal set is identical.
+//!
+//! Hence `bc`, `bc_corrected`, acceptance counts, and `spd_passes` agree
+//! exactly across `threads = 1, 2, 8, …` — the property the
+//! `prefetch_determinism` integration tests pin down. Only the cache
+//! hit/miss *split* (an implementation statistic) may vary with timing.
+//!
+//! ## Speculation window and fallback
+//!
+//! Workers run at most [`PrefetchConfig::depth`] proposals ahead of the
+//! chain (a courtesy bound on cache growth ahead of consumption), yielding
+//! when the window is full. If the chain outpaces its workers it computes
+//! the density itself — nobody ever blocks on a slow worker. Proposals that
+//! are *state-dependent* (the F8 degree-walk ablation) cannot be replayed
+//! ahead of time; [`mhbc_mcmc::Proposal::propose_iid`] returns `None` for
+//! them and the entry points here fall back to the sequential samplers, as
+//! they also do for `threads <= 1`.
+
+use crate::joint::{self, JointAccumulator, JointProposal, JointState};
+use crate::oracle::SharedProbeOracle;
+use crate::single::{SingleAccumulator, SingleSpaceConfig, SingleSpaceEstimate};
+use crate::{
+    CoreError, JointSpaceConfig, JointSpaceEstimate, JointSpaceSampler, SingleSpaceSampler,
+};
+use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_mcmc::{fn_target, MetropolisHastings, Proposal, StreamSplit, UniformProposal};
+use mhbc_spd::SpdWorkspacePool;
+use rand::{rngs::SmallRng, RngExt, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Threading knobs for the speculative pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Total density-evaluation threads, chain thread included: `threads`
+    /// of 0 or 1 runs the plain sequential sampler; `t >= 2` spawns
+    /// `t - 1` prefetch workers alongside the chain thread.
+    pub threads: usize,
+    /// How many proposals ahead of the chain the workers may speculate
+    /// (clamped to at least the worker count). Larger windows tolerate
+    /// burstier schedulers; the cache holds at most `depth` rows beyond
+    /// what the chain has consumed.
+    pub depth: u64,
+}
+
+impl PrefetchConfig {
+    /// Default speculation depth.
+    pub const DEFAULT_DEPTH: u64 = 1024;
+
+    /// Sequential execution (no workers).
+    pub fn sequential() -> Self {
+        PrefetchConfig { threads: 1, depth: Self::DEFAULT_DEPTH }
+    }
+
+    /// `threads` total evaluation threads with the default window.
+    pub fn with_threads(threads: usize) -> Self {
+        PrefetchConfig { threads, depth: Self::DEFAULT_DEPTH }
+    }
+
+    /// Overrides the speculation window.
+    pub fn with_depth(mut self, depth: u64) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Whether this configuration actually spawns workers.
+    pub fn is_parallel(&self) -> bool {
+        self.threads >= 2
+    }
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// Validates a single-space configuration, returning `n`.
+pub(crate) fn validate_single(
+    g: &CsrGraph,
+    r: Vertex,
+    config: &SingleSpaceConfig,
+) -> Result<usize, CoreError> {
+    let n = g.num_vertices();
+    if n < 3 {
+        return Err(CoreError::GraphTooSmall { num_vertices: n });
+    }
+    if r as usize >= n {
+        return Err(CoreError::ProbeOutOfRange { probe: r, num_vertices: n });
+    }
+    if let Some(v0) = config.initial {
+        if v0 as usize >= n {
+            return Err(CoreError::ProbeOutOfRange { probe: v0, num_vertices: n });
+        }
+    }
+    Ok(n)
+}
+
+/// Derives a single-space chain's `(initial state, proposal stream,
+/// acceptance stream)` from its seed — the one canonical derivation used by
+/// the sequential sampler, the pipelined chain thread, *and* the workers'
+/// stream replicas, so all three agree draw for draw.
+pub(crate) fn derive_streams(
+    seed: u64,
+    initial: Option<Vertex>,
+    n: usize,
+) -> (Vertex, SmallRng, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let initial = initial.unwrap_or_else(|| rng.random_range(0..n as Vertex));
+    let accept_rng = rng.split_stream();
+    (initial, rng, accept_rng)
+}
+
+/// Joint-space analogue of [`derive_streams`].
+pub(crate) fn derive_joint_streams(
+    seed: u64,
+    initial: Option<(usize, Vertex)>,
+    k: usize,
+    n: usize,
+) -> (JointState, SmallRng, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let initial: JointState = match initial {
+        Some((i, v)) => (i as u32, v),
+        None => (rng.random_range(0..k as u32), rng.random_range(0..n as Vertex)),
+    };
+    let accept_rng = rng.split_stream();
+    (initial, rng, accept_rng)
+}
+
+/// Publishes the chain's progress to the workers' speculation window; on
+/// drop (normal completion *or* panic) it releases the window entirely so
+/// no worker can spin forever.
+pub(crate) struct Progress<'a>(pub(crate) &'a AtomicU64);
+
+impl Progress<'_> {
+    #[inline]
+    pub(crate) fn advance_to(&self, t: u64) {
+        self.0.store(t, Ordering::Release);
+    }
+}
+
+impl Drop for Progress<'_> {
+    fn drop(&mut self) {
+        self.0.store(u64::MAX, Ordering::Release);
+    }
+}
+
+/// A worker's view of the speculation window: which strided share of the
+/// proposal stream it owns and how far past the chain it may run.
+pub(crate) struct Lane<'a> {
+    pub(crate) lane: u64,
+    pub(crate) lanes: u64,
+    pub(crate) depth: u64,
+    pub(crate) progress: &'a AtomicU64,
+}
+
+/// One prefetch worker: replays the proposal stream, warming its strided
+/// share `{t : (t - 1) ≡ lane (mod lanes)}` of the upcoming proposals,
+/// never speculating more than `depth` past the chain's progress. The one
+/// copy of the speculation-window protocol — `run_single`, `run_joint`,
+/// and the ensemble's per-chain squads all spawn exactly this.
+pub(crate) fn prefetch_lane<P, S>(
+    mut proposal: P,
+    mut rng: SmallRng,
+    iterations: u64,
+    window: Lane<'_>,
+    mut warm: impl FnMut(S),
+) where
+    P: Proposal<S>,
+{
+    for t in 1..=iterations {
+        let Some(state) = proposal.propose_iid(&mut rng) else {
+            return; // state-dependent proposal: nothing to speculate on
+        };
+        if (t - 1) % window.lanes == window.lane {
+            while t > window.progress.load(Ordering::Acquire).saturating_add(window.depth) {
+                std::thread::yield_now();
+            }
+            warm(state);
+        }
+    }
+}
+
+/// Runs the single-space sampler (§4.2) with `prefetch.threads` evaluation
+/// threads. Bit-identical to `SingleSpaceSampler::run` for every thread
+/// count — see the module docs for why — and falls back to the sequential
+/// sampler when `threads <= 1`.
+pub fn run_single(
+    g: &CsrGraph,
+    r: Vertex,
+    config: &SingleSpaceConfig,
+    prefetch: &PrefetchConfig,
+) -> Result<SingleSpaceEstimate, CoreError> {
+    let n = validate_single(g, r, config)?;
+    if !prefetch.is_parallel() {
+        return Ok(SingleSpaceSampler::new(g, r, config.clone())?.run());
+    }
+    let workers = (prefetch.threads - 1) as u64;
+    let depth = prefetch.depth.max(workers);
+    let (initial, prop_rng, acc_rng) = derive_streams(config.seed, config.initial, n);
+    let oracle = SharedProbeOracle::new(g, &[r]);
+    let pool = SpdWorkspacePool::with_workers(g, prefetch.threads);
+    let progress = AtomicU64::new(0);
+    let iterations = config.iterations;
+
+    let (acc, acceptance_rate) = crossbeam::thread::scope(|scope| {
+        for lane in 0..workers {
+            let wrng = prop_rng.clone();
+            let (oracle, pool, progress) = (&oracle, &pool, &progress);
+            scope.spawn(move |_| {
+                let mut calc = pool.checkout();
+                prefetch_lane(
+                    UniformProposal::new(n),
+                    wrng,
+                    iterations,
+                    Lane { lane, lanes: workers, depth, progress },
+                    |v: Vertex| {
+                        oracle.warm(v, &mut calc);
+                    },
+                );
+            });
+        }
+
+        // The chain thread: identical code path to the sequential sampler,
+        // reading densities through the shared (pre-warmed) cache.
+        let mut calc = pool.checkout();
+        let oracle_ref = &oracle;
+        let target = fn_target(|v: &Vertex| oracle_ref.dep(*v, 0, &mut calc));
+        let mut chain = MetropolisHastings::with_streams(
+            target,
+            UniformProposal::new(n),
+            initial,
+            prop_rng,
+            acc_rng,
+        );
+        let mut acc = SingleAccumulator::new(config, n);
+        acc.absorb_initial(chain.current_density());
+        let window = Progress(&progress);
+        for t in 1..=iterations {
+            window.advance_to(t);
+            let out = chain.step();
+            acc.absorb(&out);
+        }
+        (acc, chain.stats().acceptance_rate())
+    })
+    .expect("pipeline threads joined");
+
+    Ok(acc.finish(r, acceptance_rate, oracle.cached_sources() as u64, oracle.stats()))
+}
+
+/// Runs the joint-space sampler (§4.3) with `prefetch.threads` evaluation
+/// threads; bit-identical to `JointSpaceSampler::run`, with sequential
+/// fallback for `threads <= 1`.
+pub fn run_joint(
+    g: &CsrGraph,
+    probes: &[Vertex],
+    config: &JointSpaceConfig,
+    prefetch: &PrefetchConfig,
+) -> Result<JointSpaceEstimate, CoreError> {
+    let (n, k) = joint::validate_joint(g, probes, config)?;
+    if !prefetch.is_parallel() {
+        return Ok(JointSpaceSampler::new(g, probes, config.clone())?.run());
+    }
+    let workers = (prefetch.threads - 1) as u64;
+    let depth = prefetch.depth.max(workers);
+    let (initial, prop_rng, acc_rng) = derive_joint_streams(config.seed, config.initial, k, n);
+    let oracle = SharedProbeOracle::new(g, probes);
+    let pool = SpdWorkspacePool::with_workers(g, prefetch.threads + 1);
+    let progress = AtomicU64::new(0);
+    let iterations = config.iterations;
+
+    let (acc, acceptance_rate) = crossbeam::thread::scope(|scope| {
+        for lane in 0..workers {
+            let wrng = prop_rng.clone();
+            let (oracle, pool, progress) = (&oracle, &pool, &progress);
+            scope.spawn(move |_| {
+                let mut calc = pool.checkout();
+                prefetch_lane(
+                    JointProposal { k: k as u32, n: n as u32 },
+                    wrng,
+                    iterations,
+                    Lane { lane, lanes: workers, depth, progress },
+                    |(_, v): JointState| {
+                        oracle.warm(v, &mut calc);
+                    },
+                );
+            });
+        }
+
+        let mut calc = pool.checkout();
+        let mut absorb_calc = pool.checkout();
+        let oracle_ref = &oracle;
+        let target = fn_target(|s: &JointState| oracle_ref.dep(s.1, s.0 as usize, &mut calc));
+        let mut chain = MetropolisHastings::with_streams(
+            target,
+            JointProposal { k: k as u32, n: n as u32 },
+            initial,
+            prop_rng,
+            acc_rng,
+        );
+        let mut acc = JointAccumulator::new(k, config.trace_pair);
+        let mut absorb = |chain_state: JointState, acc: &mut JointAccumulator| {
+            let (j, v) = chain_state;
+            oracle_ref.with_deps(v, &mut absorb_calc, |row| acc.absorb(j as usize, row));
+        };
+        absorb(*chain.state(), &mut acc);
+        let window = Progress(&progress);
+        for t in 1..=iterations {
+            window.advance_to(t);
+            chain.step();
+            absorb(*chain.state(), &mut acc);
+        }
+        (acc, chain.stats().acceptance_rate())
+    })
+    .expect("pipeline threads joined");
+
+    Ok(acc.finish(
+        probes.to_vec(),
+        iterations,
+        acceptance_rate,
+        oracle.cached_sources() as u64,
+        oracle.stats(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+
+    fn fingerprint(e: &SingleSpaceEstimate) -> (u64, u64, u64, u64) {
+        (e.bc.to_bits(), e.bc_corrected.to_bits(), e.acceptance_rate.to_bits(), e.spd_passes)
+    }
+
+    #[test]
+    fn pipelined_single_matches_sequential_bitwise() {
+        let g = generators::barbell(6, 2);
+        let config = SingleSpaceConfig::new(2_500, 97);
+        let seq = SingleSpaceSampler::new(&g, 6, config.clone()).unwrap().run();
+        for threads in [2usize, 3, 5] {
+            let par = run_single(&g, 6, &config, &PrefetchConfig::with_threads(threads)).unwrap();
+            assert_eq!(fingerprint(&seq), fingerprint(&par), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn pipelined_joint_matches_sequential_bitwise() {
+        let g = generators::barbell(5, 3);
+        let probes = [5u32, 6, 7];
+        let config = JointSpaceConfig::new(2_000, 41).with_trace_pair(0, 1);
+        let seq = JointSpaceSampler::new(&g, &probes, config.clone()).unwrap().run();
+        let par = run_joint(&g, &probes, &config, &PrefetchConfig::with_threads(3)).unwrap();
+        assert_eq!(seq.counts, par.counts);
+        assert_eq!(seq.spd_passes, par.spd_passes);
+        assert_eq!(seq.acceptance_rate.to_bits(), par.acceptance_rate.to_bits());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(seq.relative[i][j].to_bits(), par.relative[i][j].to_bits(), "({i},{j})");
+            }
+        }
+        assert_eq!(seq.trace.as_ref().map(|t| t.len()), par.trace.as_ref().map(|t| t.len()));
+    }
+
+    #[test]
+    fn sequential_fallback_for_thread_counts_below_two() {
+        let g = generators::barbell(4, 1);
+        let config = SingleSpaceConfig::new(300, 5);
+        let seq = SingleSpaceSampler::new(&g, 4, config.clone()).unwrap().run();
+        for threads in [0usize, 1] {
+            let fb = run_single(&g, 4, &config, &PrefetchConfig::with_threads(threads)).unwrap();
+            assert_eq!(fingerprint(&seq), fingerprint(&fb));
+        }
+    }
+
+    #[test]
+    fn tiny_speculation_window_still_exact() {
+        let g = generators::lollipop(5, 3);
+        let config = SingleSpaceConfig::new(800, 13).with_trace();
+        let seq = SingleSpaceSampler::new(&g, 5, config.clone()).unwrap().run();
+        let par =
+            run_single(&g, 5, &config, &PrefetchConfig::with_threads(3).with_depth(1)).unwrap();
+        assert_eq!(fingerprint(&seq), fingerprint(&par));
+        assert_eq!(seq.trace.unwrap(), par.trace.unwrap());
+        assert_eq!(seq.density_series.unwrap(), par.density_series.unwrap());
+    }
+
+    #[test]
+    fn pipeline_validates_like_the_sampler() {
+        let g = generators::path(10);
+        assert!(matches!(
+            run_single(&g, 99, &SingleSpaceConfig::new(10, 0), &PrefetchConfig::with_threads(2)),
+            Err(CoreError::ProbeOutOfRange { .. })
+        ));
+        let tiny = generators::path(2);
+        assert!(matches!(
+            run_single(&tiny, 0, &SingleSpaceConfig::new(10, 0), &PrefetchConfig::with_threads(2)),
+            Err(CoreError::GraphTooSmall { .. })
+        ));
+    }
+}

@@ -3,8 +3,8 @@
 use crate::oracle::{OracleStats, ProbeOracle};
 use crate::CoreError;
 use mhbc_graph::{CsrGraph, Vertex};
-use mhbc_mcmc::{MetropolisHastings, TargetDensity, UniformProposal};
-use rand::{rngs::SmallRng, RngExt, SeedableRng};
+use mhbc_mcmc::{MetropolisHastings, StepOutcome, TargetDensity, UniformProposal};
+use rand::rngs::SmallRng;
 
 /// Target density of the single-space chain: `f(v) = δ_{v•}(r)` — the
 /// unnormalised form of the optimal distribution `P_r[v]` (Eq 5).
@@ -128,22 +128,18 @@ pub struct SingleStepInfo {
     pub estimate: f64,
 }
 
-/// The paper's single-space Metropolis–Hastings sampler (§4.2).
-///
-/// State space `V(G)`; proposal uniform over `V(G)` (independence MH);
-/// acceptance `min{1, δ_{v'•}(r)/δ_{v•}(r)}` (Eq 6); estimator the chain
-/// average of `δ_{v•}(r)/(|V|−1)` (Eq 7). Provides an `(ε, δ)`-guarantee
-/// with `T ≥ µ(r)²/(2ε²) ln(2/δ)` iterations (Theorem 1 / Ineq 14); see
-/// [`crate::planner`].
-pub struct SingleSpaceSampler<'g> {
-    chain: MetropolisHastings<SingleTarget<'g>, UniformProposal, SmallRng>,
-    r: Vertex,
+/// The Eq 7 (and support-corrected) estimator state, factored out of the
+/// sampler so the sequential path and the prefetch pipeline run *the same
+/// accumulation code in the same order* — the basis of the pipeline's
+/// bit-identical-output guarantee.
+pub(crate) struct SingleAccumulator {
     n: usize,
-    config: SingleSpaceConfig,
+    burn_in: u64,
+    count_rejections: bool,
+    record_trace: bool,
     iteration: u64,
     sum_delta: f64,
     counted: u64,
-    // Support-corrected estimator accumulators (see SingleSpaceEstimate).
     proposals_support: u64,
     inv_delta_sum: f64,
     support_counted: u64,
@@ -151,31 +147,13 @@ pub struct SingleSpaceSampler<'g> {
     density_series: Vec<f64>,
 }
 
-impl<'g> SingleSpaceSampler<'g> {
-    /// Builds a sampler for probe vertex `r` on `g` (weighted or not).
-    pub fn new(g: &'g CsrGraph, r: Vertex, config: SingleSpaceConfig) -> Result<Self, CoreError> {
-        let n = g.num_vertices();
-        if n < 3 {
-            return Err(CoreError::GraphTooSmall { num_vertices: n });
-        }
-        if r as usize >= n {
-            return Err(CoreError::ProbeOutOfRange { probe: r, num_vertices: n });
-        }
-        if let Some(v0) = config.initial {
-            if v0 as usize >= n {
-                return Err(CoreError::ProbeOutOfRange { probe: v0, num_vertices: n });
-            }
-        }
-        let mut rng = SmallRng::seed_from_u64(config.seed);
-        let initial = config.initial.unwrap_or_else(|| rng.random_range(0..n as Vertex));
-        let target = SingleTarget { oracle: ProbeOracle::new(g, &[r]) };
-        let chain = MetropolisHastings::new(target, UniformProposal::new(n), initial, rng);
-
-        let mut sampler = SingleSpaceSampler {
-            chain,
-            r,
+impl SingleAccumulator {
+    pub(crate) fn new(config: &SingleSpaceConfig, n: usize) -> Self {
+        SingleAccumulator {
             n,
-            config,
+            burn_in: config.burn_in,
+            count_rejections: config.count_rejections,
+            record_trace: config.record_trace,
             iteration: 0,
             sum_delta: 0.0,
             counted: 0,
@@ -184,22 +162,128 @@ impl<'g> SingleSpaceSampler<'g> {
             support_counted: 0,
             trace: Vec::new(),
             density_series: Vec::new(),
-        };
-        // The initial state is sample 0 of the multiset (unless burnt in).
-        if sampler.config.burn_in == 0 {
-            let d0 = sampler.chain.current_density();
-            sampler.sum_delta += d0;
-            sampler.counted = 1;
-            if d0 > 0.0 {
-                sampler.inv_delta_sum += 1.0 / d0;
-                sampler.support_counted += 1;
+        }
+    }
+
+    /// Absorbs the initial state (sample 0 of the multiset) unless burnt in.
+    pub(crate) fn absorb_initial(&mut self, d0: f64) {
+        if self.burn_in > 0 {
+            return;
+        }
+        self.sum_delta += d0;
+        self.counted = 1;
+        if d0 > 0.0 {
+            self.inv_delta_sum += 1.0 / d0;
+            self.support_counted += 1;
+        }
+        if self.record_trace {
+            self.density_series.push(d0);
+            self.trace.push(self.estimate());
+        }
+    }
+
+    /// Absorbs one chain step.
+    pub(crate) fn absorb(&mut self, out: &StepOutcome) {
+        self.iteration += 1;
+        if out.proposed_density > 0.0 {
+            self.proposals_support += 1;
+        }
+        if self.iteration > self.burn_in {
+            if self.count_rejections || out.accepted {
+                self.sum_delta += out.density;
             }
-            if sampler.config.record_trace {
-                sampler.density_series.push(d0);
-                sampler.trace.push(sampler.estimate());
+            self.counted += 1;
+            if out.density > 0.0 {
+                self.inv_delta_sum += 1.0 / out.density;
+                self.support_counted += 1;
+            }
+            if self.record_trace {
+                self.density_series.push(out.density);
+                self.trace.push(self.estimate());
             }
         }
-        Ok(sampler)
+    }
+
+    pub(crate) fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    pub(crate) fn estimate(&self) -> f64 {
+        if self.counted == 0 {
+            return 0.0;
+        }
+        self.sum_delta / (self.counted as f64 * (self.n as f64 - 1.0))
+    }
+
+    pub(crate) fn estimate_corrected(&self) -> f64 {
+        if self.iteration == 0 || self.support_counted == 0 || self.inv_delta_sum <= 0.0 {
+            return 0.0;
+        }
+        let p_hat = self.proposals_support as f64 / self.iteration as f64;
+        p_hat * self.support_counted as f64 / ((self.n as f64 - 1.0) * self.inv_delta_sum)
+    }
+
+    /// Finalises into the public estimate (shared by both execution modes).
+    pub(crate) fn finish(
+        self,
+        r: Vertex,
+        acceptance_rate: f64,
+        spd_passes: u64,
+        oracle_stats: OracleStats,
+    ) -> SingleSpaceEstimate {
+        let bc = self.estimate();
+        let bc_corrected = self.estimate_corrected();
+        SingleSpaceEstimate {
+            bc,
+            bc_corrected,
+            r,
+            iterations: self.iteration,
+            acceptance_rate,
+            spd_passes,
+            oracle_stats,
+            trace: if self.record_trace { Some(self.trace) } else { None },
+            density_series: if self.record_trace { Some(self.density_series) } else { None },
+        }
+    }
+}
+
+/// The paper's single-space Metropolis–Hastings sampler (§4.2).
+///
+/// State space `V(G)`; proposal uniform over `V(G)` (independence MH);
+/// acceptance `min{1, δ_{v'•}(r)/δ_{v•}(r)}` (Eq 6); estimator the chain
+/// average of `δ_{v•}(r)/(|V|−1)` (Eq 7). Provides an `(ε, δ)`-guarantee
+/// with `T ≥ µ(r)²/(2ε²) ln(2/δ)` iterations (Theorem 1 / Ineq 14); see
+/// [`crate::planner`].
+///
+/// This type is the *sequential* streaming sampler. For a multi-threaded
+/// run with bit-identical output, see [`crate::pipeline::run_single`] —
+/// same chain, same estimates, with proposal densities evaluated
+/// speculatively by worker threads.
+pub struct SingleSpaceSampler<'g> {
+    chain: MetropolisHastings<SingleTarget<'g>, UniformProposal, SmallRng>,
+    r: Vertex,
+    config: SingleSpaceConfig,
+    acc: SingleAccumulator,
+}
+
+impl<'g> SingleSpaceSampler<'g> {
+    /// Builds a sampler for probe vertex `r` on `g` (weighted or not).
+    pub fn new(g: &'g CsrGraph, r: Vertex, config: SingleSpaceConfig) -> Result<Self, CoreError> {
+        let n = crate::pipeline::validate_single(g, r, &config)?;
+        let (initial, prop_rng, acc_rng) =
+            crate::pipeline::derive_streams(config.seed, config.initial, n);
+        let target = SingleTarget { oracle: ProbeOracle::new(g, &[r]) };
+        let chain = MetropolisHastings::with_streams(
+            target,
+            UniformProposal::new(n),
+            initial,
+            prop_rng,
+            acc_rng,
+        );
+
+        let mut acc = SingleAccumulator::new(&config, n);
+        acc.absorb_initial(chain.current_density());
+        Ok(SingleSpaceSampler { chain, r, config, acc })
     }
 
     /// The probe vertex.
@@ -209,53 +293,29 @@ impl<'g> SingleSpaceSampler<'g> {
 
     /// Current estimate `B̂C(r)` from the samples counted so far.
     pub fn estimate(&self) -> f64 {
-        if self.counted == 0 {
-            return 0.0;
-        }
-        self.sum_delta / (self.counted as f64 * (self.n as f64 - 1.0))
+        self.acc.estimate()
     }
 
     /// Current support-corrected estimate (see
     /// [`SingleSpaceEstimate::bc_corrected`]); 0 until proposals exist.
     pub fn estimate_corrected(&self) -> f64 {
-        if self.iteration == 0 || self.support_counted == 0 || self.inv_delta_sum <= 0.0 {
-            return 0.0;
-        }
-        let p_hat = self.proposals_support as f64 / self.iteration as f64;
-        p_hat * self.support_counted as f64 / ((self.n as f64 - 1.0) * self.inv_delta_sum)
+        self.acc.estimate_corrected()
     }
 
     /// Performs one MH iteration and updates the estimator.
     pub fn step(&mut self) -> SingleStepInfo {
         let out = self.chain.step();
-        self.iteration += 1;
-        if out.proposed_density > 0.0 {
-            self.proposals_support += 1;
-        }
-        if self.iteration > self.config.burn_in {
-            if self.config.count_rejections || out.accepted {
-                self.sum_delta += out.density;
-            }
-            self.counted += 1;
-            if out.density > 0.0 {
-                self.inv_delta_sum += 1.0 / out.density;
-                self.support_counted += 1;
-            }
-            if self.config.record_trace {
-                self.density_series.push(out.density);
-                self.trace.push(self.estimate());
-            }
-        }
+        self.acc.absorb(&out);
         SingleStepInfo {
-            iteration: self.iteration,
+            iteration: self.acc.iteration(),
             accepted: out.accepted,
-            estimate: self.estimate(),
+            estimate: self.acc.estimate(),
         }
     }
 
     /// Runs the configured number of iterations and finalises.
     pub fn run(mut self) -> SingleSpaceEstimate {
-        for _ in self.iteration..self.config.iterations {
+        for _ in self.acc.iteration()..self.config.iterations {
             self.step();
         }
         self.finish()
@@ -263,24 +323,9 @@ impl<'g> SingleSpaceSampler<'g> {
 
     /// Finalises early (fewer than `config.iterations` steps).
     pub fn finish(self) -> SingleSpaceEstimate {
-        let bc_corrected = self.estimate_corrected();
-        let stats = self.chain.stats().clone();
+        let acceptance_rate = self.chain.stats().acceptance_rate();
         let target = self.chain.into_target();
-        SingleSpaceEstimate {
-            bc: if self.counted == 0 {
-                0.0
-            } else {
-                self.sum_delta / (self.counted as f64 * (self.n as f64 - 1.0))
-            },
-            bc_corrected,
-            r: self.r,
-            iterations: self.iteration,
-            acceptance_rate: stats.acceptance_rate(),
-            spd_passes: target.oracle.spd_passes(),
-            oracle_stats: target.oracle.stats(),
-            trace: if self.config.record_trace { Some(self.trace) } else { None },
-            density_series: if self.config.record_trace { Some(self.density_series) } else { None },
-        }
+        self.acc.finish(self.r, acceptance_rate, target.oracle.spd_passes(), target.oracle.stats())
     }
 }
 

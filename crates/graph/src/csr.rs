@@ -131,6 +131,22 @@ impl CsrGraph {
         self.targets.len()
     }
 
+    /// Raw CSR view `(offsets, targets)` for kernel-style loops.
+    ///
+    /// `offsets` has length `n + 1` and the adjacency of `v` is
+    /// `targets[offsets[v]..offsets[v + 1]]`. Hoisting both slices once lets
+    /// tight per-edge loops (the SPD kernels) avoid re-deriving the slice per
+    /// vertex; for everything else prefer [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn csr(&self) -> (&[usize], &[Vertex]) {
+        (&self.offsets, &self.targets)
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
+    }
+
     /// Returns a copy of this graph with the given per-edge weight function
     /// applied; `f` receives each undirected edge `(u, v)` with `u < v` and
     /// must return a strictly positive, finite weight.
@@ -278,6 +294,22 @@ mod tests {
         let g1 = CsrGraph::from_edges(1, &[]).unwrap();
         assert_eq!(g1.num_vertices(), 1);
         assert_eq!(g1.degree(0), 0);
+    }
+
+    #[test]
+    fn raw_csr_view_matches_neighbors() {
+        let g = CsrGraph::from_edges(5, &[(4, 0), (2, 0), (0, 3), (0, 1)]).unwrap();
+        let (offsets, targets) = g.csr();
+        assert_eq!(offsets.len(), 6);
+        for v in 0..5u32 {
+            assert_eq!(
+                &targets[offsets[v as usize]..offsets[v as usize + 1]],
+                g.neighbors(v),
+                "vertex {v}"
+            );
+        }
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(CsrGraph::from_edges(0, &[]).unwrap().max_degree(), 0);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! touching the chain.
 //!
 //! - [`MetropolisHastings`] — the chain runner; caches the current state's
-//!   density so each step costs exactly one density evaluation.
+//!   density so each step costs exactly one density evaluation, and draws
+//!   proposals and accept/reject uniforms from two split RNG streams
+//!   ([`StreamSplit`]) so independence-chain proposal sequences are
+//!   reproducible by prefetch workers.
 //! - [`Proposal`] — proposal distributions: [`UniformProposal`] (the paper's
 //!   choice: independence MH with `q = 1/|V|`), [`WeightedProposal`]
 //!   (independence with arbitrary weights, e.g. degree-biased), and
@@ -46,6 +49,8 @@ pub mod bounds;
 mod chain;
 pub mod diagnostics;
 mod proposal;
+mod stream;
 
 pub use chain::{fn_target, ChainStats, FnTarget, MetropolisHastings, StepOutcome, TargetDensity};
 pub use proposal::{Proposal, UniformProposal, WeightedProposal};
+pub use stream::StreamSplit;

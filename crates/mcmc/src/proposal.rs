@@ -14,6 +14,20 @@ pub trait Proposal<S> {
 
     /// Hastings ratio `q(current | proposed) / q(proposed | current)`.
     fn ratio(&self, current: &S, proposed: &S) -> f64;
+
+    /// Draws a candidate **without reference to any current state**, for
+    /// proposals whose law is state-independent (independence chains).
+    ///
+    /// Implementations that override this MUST consume `rng` exactly as
+    /// [`Proposal::propose`] does, so a worker replaying the proposal stream
+    /// stays draw-for-draw in sync with the chain. State-*dependent*
+    /// proposals (e.g. neighbourhood random walks) keep the default `None`,
+    /// which tells the prefetch pipeline to fall back to sequential
+    /// evaluation.
+    fn propose_iid<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<S> {
+        let _ = rng;
+        None
+    }
 }
 
 /// Independence proposal, uniform over `0..n` — the paper's proposal for
@@ -51,6 +65,10 @@ impl Proposal<u32> for UniformProposal {
 
     fn ratio(&self, _current: &u32, _proposed: &u32) -> f64 {
         1.0
+    }
+
+    fn propose_iid<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<u32> {
+        Some(rng.random_range(0..self.n))
     }
 }
 
@@ -101,6 +119,10 @@ impl Proposal<u32> for WeightedProposal {
     fn ratio(&self, current: &u32, proposed: &u32) -> f64 {
         // q(current)/q(proposed) for an independence proposal.
         self.weights[*current as usize] / self.weights[*proposed as usize]
+    }
+
+    fn propose_iid<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<u32> {
+        Some(self.propose(&0, rng))
     }
 }
 
@@ -164,5 +186,17 @@ mod tests {
     #[should_panic(expected = "weights sum to zero")]
     fn rejects_all_zero_weights() {
         let _ = WeightedProposal::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn propose_iid_matches_propose_draw_for_draw() {
+        let mut u = UniformProposal::new(9);
+        let mut w = WeightedProposal::new(&[1.0, 2.0, 3.0]);
+        let mut a = SmallRng::seed_from_u64(6);
+        let mut b = SmallRng::seed_from_u64(6);
+        for _ in 0..200 {
+            assert_eq!(u.propose_iid(&mut a), Some(u.propose(&0, &mut b)));
+            assert_eq!(w.propose_iid(&mut a), Some(w.propose(&2, &mut b)));
+        }
     }
 }

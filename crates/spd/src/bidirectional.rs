@@ -294,8 +294,8 @@ mod tests {
                         continue;
                     }
                     let r = bb.query(&g, s, t, false, &mut rng).unwrap();
-                    assert_eq!(r.distance, spd.dist[t as usize], "seed {seed}, {s}->{t}");
-                    assert_eq!(r.sigma, spd.sigma[t as usize], "seed {seed}, {s}->{t}");
+                    assert_eq!(r.distance, spd.dist(t), "seed {seed}, {s}->{t}");
+                    assert_eq!(r.sigma, spd.sigma(t), "seed {seed}, {s}->{t}");
                 }
             }
         }

@@ -25,6 +25,11 @@
 //!   and sampling (the KADABRA baseline's primitive \[7\]).
 //! - [`naive`] — independent `O(n³)` reference implementations used by the
 //!   test suites to cross-validate everything above.
+//! - [`SpdWorkspacePool`] — a checkout pool of [`DependencyCalculator`]
+//!   workspaces for multi-threaded samplers (the prefetch pipeline and the
+//!   chain ensembles).
+//! - [`legacy`] — the pre-rewrite `VecDeque` BFS kernel, kept only as the
+//!   bit-exactness and performance baseline for the frontier kernel.
 //!
 //! ## Conventions
 //!
@@ -47,15 +52,17 @@
 //! // The SPD rooted at 0 sees one shortest path to each vertex.
 //! let mut spd = BfsSpd::new(g.num_vertices());
 //! spd.compute(&g, 0);
-//! assert_eq!(spd.dist[3], 3);
-//! assert_eq!(spd.sigma[3], 1.0);
+//! assert_eq!(spd.dist(3), 3);
+//! assert_eq!(spd.sigma(3), 1.0);
 //! ```
 
 pub mod bidirectional;
 mod brandes;
 mod dependency;
+pub mod legacy;
 pub mod naive;
 pub mod path_sampler;
+mod pool;
 mod unweighted;
 mod weighted;
 
@@ -64,6 +71,7 @@ pub use brandes::{
     exact_betweenness_par, DependencyProfile,
 };
 pub use dependency::DependencyCalculator;
+pub use pool::{PooledCalculator, SpdWorkspacePool};
 pub use unweighted::{BfsSpd, UNREACHED};
 pub use weighted::DijkstraSpd;
 

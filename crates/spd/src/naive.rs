@@ -19,8 +19,8 @@ pub fn all_pairs_unweighted(g: &CsrGraph) -> (Vec<Vec<u32>>, Vec<Vec<f64>>) {
     let mut spd = BfsSpd::new(n);
     for s in 0..n as Vertex {
         spd.compute(g, s);
-        dist.push(spd.dist.clone());
-        sigma.push(spd.sigma.clone());
+        dist.push((0..n as Vertex).map(|v| spd.dist(v)).collect());
+        sigma.push((0..n as Vertex).map(|v| spd.sigma(v)).collect());
     }
     (dist, sigma)
 }
@@ -33,8 +33,8 @@ pub fn all_pairs_weighted(g: &CsrGraph) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     let mut spd = DijkstraSpd::new(n);
     for s in 0..n as Vertex {
         spd.compute(g, s);
-        dist.push(spd.dist.clone());
-        sigma.push(spd.sigma.clone());
+        dist.push((0..n as Vertex).map(|v| spd.dist(v)).collect());
+        sigma.push((0..n as Vertex).map(|v| spd.sigma(v)).collect());
     }
     (dist, sigma)
 }

@@ -21,10 +21,11 @@ pub fn sample_shortest_path<R: Rng + ?Sized>(
     t: Vertex,
     rng: &mut R,
 ) -> Option<Vec<Vertex>> {
-    if spd.dist[t as usize] == UNREACHED {
+    let dt = spd.dist(t);
+    if dt == UNREACHED {
         return None;
     }
-    let len = spd.dist[t as usize] as usize;
+    let len = dt as usize;
     let mut path = vec![0 as Vertex; len + 1];
     path[len] = t;
     let mut cur = t;
@@ -39,15 +40,15 @@ pub fn sample_shortest_path<R: Rng + ?Sized>(
 /// Chooses a predecessor of `w` in the SPD with probability proportional to
 /// its σ value.
 fn pick_parent<R: Rng + ?Sized>(g: &CsrGraph, spd: &BfsSpd, w: Vertex, rng: &mut R) -> Vertex {
-    let dw = spd.dist[w as usize];
+    let dw = spd.dist(w);
     debug_assert!(dw != UNREACHED && dw > 0);
     // Total parent weight equals sigma[w] by definition of the SPD.
-    let mut remaining = rng.random::<f64>() * spd.sigma[w as usize];
+    let mut remaining = rng.random::<f64>() * spd.sigma(w);
     let mut last_parent = None;
     for &u in g.neighbors(w) {
-        if spd.dist[u as usize] != UNREACHED && spd.dist[u as usize] + 1 == dw {
+        if spd.is_parent(u, w) {
             last_parent = Some(u);
-            remaining -= spd.sigma[u as usize];
+            remaining -= spd.sigma(u);
             if remaining <= 0.0 {
                 return u;
             }
@@ -84,7 +85,7 @@ mod tests {
             let path = sample_shortest_path(&g, &spd, t, &mut rng).unwrap();
             assert_eq!(path[0], 0);
             assert_eq!(*path.last().unwrap(), t);
-            assert_eq!(path.len() as u32 - 1, spd.dist[t as usize]);
+            assert_eq!(path.len() as u32 - 1, spd.dist(t));
             for pair in path.windows(2) {
                 assert!(g.has_edge(pair[0], pair[1]), "non-edge in sampled path");
             }
@@ -116,7 +117,7 @@ mod tests {
         let g = generators::grid(3, 3, false);
         let mut spd = BfsSpd::new(9);
         spd.compute(&g, 0);
-        assert_eq!(spd.sigma[8], 6.0);
+        assert_eq!(spd.sigma(8), 6.0);
         let mut rng = SmallRng::seed_from_u64(84);
         let mut counts: HashMap<Vec<Vertex>, usize> = HashMap::new();
         let trials = 60_000;

@@ -1,0 +1,160 @@
+//! A checkout pool of SPD workspaces for multi-threaded samplers.
+//!
+//! Every [`DependencyCalculator`] owns `O(|V|)` of reusable buffers, so
+//! threads that evaluate dependency scores should *check one out* rather
+//! than allocate their own per task. The prefetch pipeline and the chain
+//! ensembles in `mhbc-core` hold a pool for the lifetime of a run; workers
+//! grab a workspace on entry and return it on drop.
+
+use crate::DependencyCalculator;
+use mhbc_graph::CsrGraph;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// A pool of [`DependencyCalculator`] workspaces sized for one graph.
+///
+/// [`SpdWorkspacePool::checkout`] pops a free workspace (or lazily allocates
+/// one if the pool is empty), and the returned guard gives it back when
+/// dropped — so the number of live allocations equals the peak number of
+/// concurrent users, not the number of checkout calls.
+///
+/// ```
+/// use mhbc_graph::generators;
+/// use mhbc_spd::SpdWorkspacePool;
+///
+/// let g = generators::barbell(4, 1);
+/// let pool = SpdWorkspacePool::new(&g);
+/// let bridge = {
+///     let mut calc = pool.checkout();
+///     calc.dependency_on(&g, 0, 4)
+/// }; // workspace returned here
+/// assert!(bridge > 0.0);
+/// assert_eq!(pool.idle(), 1);
+/// ```
+pub struct SpdWorkspacePool<'g> {
+    graph: &'g CsrGraph,
+    free: Mutex<Vec<DependencyCalculator>>,
+}
+
+impl<'g> SpdWorkspacePool<'g> {
+    /// An empty pool for `g`; workspaces are allocated on first checkout.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        SpdWorkspacePool { graph, free: Mutex::new(Vec::new()) }
+    }
+
+    /// A pool pre-warmed with `workers` ready workspaces, so the first
+    /// checkout wave allocates nothing.
+    pub fn with_workers(graph: &'g CsrGraph, workers: usize) -> Self {
+        let free = (0..workers).map(|_| DependencyCalculator::new(graph)).collect();
+        SpdWorkspacePool { graph, free: Mutex::new(free) }
+    }
+
+    /// Checks out a workspace; allocates only if none are idle.
+    pub fn checkout(&self) -> PooledCalculator<'_, 'g> {
+        let calc = self
+            .free
+            .lock()
+            .expect("pool lock poisoned")
+            .pop()
+            .unwrap_or_else(|| DependencyCalculator::new(self.graph));
+        PooledCalculator { pool: self, calc: Some(calc) }
+    }
+
+    /// Number of idle workspaces currently held by the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("pool lock poisoned").len()
+    }
+
+    /// Total SPD passes performed by all *idle* workspaces (checked-out ones
+    /// are counted once they return).
+    pub fn idle_passes(&self) -> u64 {
+        self.free.lock().expect("pool lock poisoned").iter().map(|c| c.passes()).sum()
+    }
+}
+
+/// RAII guard over a checked-out [`DependencyCalculator`]; derefs to it and
+/// returns it to the pool on drop.
+pub struct PooledCalculator<'p, 'g> {
+    pool: &'p SpdWorkspacePool<'g>,
+    calc: Option<DependencyCalculator>,
+}
+
+impl Deref for PooledCalculator<'_, '_> {
+    type Target = DependencyCalculator;
+
+    fn deref(&self) -> &DependencyCalculator {
+        self.calc.as_ref().expect("present until drop")
+    }
+}
+
+impl DerefMut for PooledCalculator<'_, '_> {
+    fn deref_mut(&mut self) -> &mut DependencyCalculator {
+        self.calc.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledCalculator<'_, '_> {
+    fn drop(&mut self) {
+        if let Some(calc) = self.calc.take() {
+            self.pool.free.lock().expect("pool lock poisoned").push(calc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhbc_graph::generators;
+
+    #[test]
+    fn checkout_reuses_returned_workspaces() {
+        let g = generators::path(6);
+        let pool = SpdWorkspacePool::new(&g);
+        {
+            let mut a = pool.checkout();
+            let _ = a.dependencies(&g, 0);
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 1);
+        {
+            let b = pool.checkout();
+            // The same workspace came back: its pass counter carried over.
+            assert_eq!(b.passes(), 1);
+        }
+        assert_eq!(pool.idle_passes(), 1);
+    }
+
+    #[test]
+    fn concurrent_checkouts_allocate_at_peak_only() {
+        let g = generators::barbell(4, 1);
+        let pool = SpdWorkspacePool::with_workers(&g, 2);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        let c = pool.checkout(); // beyond the pre-warm: lazily allocated
+        assert_eq!(pool.idle(), 0);
+        drop((a, b, c));
+        assert_eq!(pool.idle(), 3);
+    }
+
+    #[test]
+    fn pooled_results_match_direct_computation() {
+        let g = generators::barbell(5, 2);
+        let pool = SpdWorkspacePool::new(&g);
+        let mut reference = DependencyCalculator::new(&g);
+        crossbeam::thread::scope(|scope| {
+            for t in 0..3u32 {
+                let pool = &pool;
+                let g = &g;
+                scope.spawn(move |_| {
+                    let mut calc = pool.checkout();
+                    for s in 0..g.num_vertices() as u32 {
+                        let _ = calc.dependency_on(g, s, (s + t) % g.num_vertices() as u32);
+                    }
+                });
+            }
+        })
+        .expect("threads joined");
+        assert_eq!(pool.idle_passes(), 3 * g.num_vertices() as u64);
+        assert_eq!(pool.checkout().dependency_on(&g, 0, 5), reference.dependency_on(&g, 0, 5));
+    }
+}

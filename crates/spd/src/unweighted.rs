@@ -1,10 +1,21 @@
 //! BFS shortest-path DAGs for unweighted graphs.
+//!
+//! This is the hot kernel of the whole suite: every Metropolis–Hastings
+//! proposal costs one pass here (§4.1), so the implementation is tuned as a
+//! frontier-swap BFS with epoch-stamped state. See [`BfsSpd`] for the
+//! invariants.
 
 use mhbc_graph::{CsrGraph, Vertex};
-use std::collections::VecDeque;
 
 /// Sentinel for unreachable vertices in [`BfsSpd::dist`].
 pub const UNREACHED: u32 = u32::MAX;
+
+/// Bits of a packed distance entry that hold the BFS level.
+const LEVEL_BITS: u32 = 24;
+/// Mask extracting the level from a packed entry.
+const LEVEL_MASK: u32 = (1 << LEVEL_BITS) - 1;
+/// Number of epochs before the stamp space wraps and a full reset runs.
+const EPOCH_PERIOD: u32 = 1 << (32 - LEVEL_BITS);
 
 /// The shortest-path DAG (SPD, §2.1) rooted at a source vertex of an
 /// unweighted graph: distances, shortest-path counts σ, and the BFS
@@ -14,17 +25,57 @@ pub const UNREACHED: u32 = u32::MAX;
 /// [`BfsSpd::new`] and call [`BfsSpd::compute`] per source. Predecessors are
 /// not materialised; parent tests use the distance criterion
 /// `d(s, u) + 1 == d(s, w)` on demand (saves one `O(m)` array per pass and
-/// keeps the kernel allocation-free, per the perf-book guidance on reusing
-/// workhorse collections).
+/// keeps the kernel allocation-free).
+///
+/// # Kernel design and invariants
+///
+/// The forward pass is a *frontier-swap* BFS rather than a `VecDeque`: the
+/// settle-order array itself stores the frontiers, and each level is the
+/// slice `order[level_starts[l]..level_starts[l + 1]]`. Processing level `l`
+/// appends level `l + 1` in place, so frontiers are never copied and the
+/// produced order is identical to queue order.
+///
+/// Distances are *epoch-stamped*: each `u32` entry of the internal distance
+/// array packs `(epoch << 24) | level`, and a pass begins by bumping the
+/// epoch — every stale entry is implicitly "unreached" because its high
+/// bits no longer match (the 8-bit epoch space wraps every 256 passes, at
+/// which point one full reset runs; amortised `O(n / 256)` per pass). This
+/// removes the per-pass clearing loop, keeps distance loads at 4 bytes
+/// (random-access bandwidth is what bounds this kernel), and makes the two
+/// hot tests single-load comparisons:
+///
+/// - forward discovery: `packed < epoch << 24` ⇔ not yet reached this pass;
+/// - parent test: `packed == (epoch << 24) | (level - 1)` ⇔ `u` is one
+///   level above `w`, with no possibility of a stale false positive.
+///
+/// σ needs no reset either: it is *assigned* on discovery and only
+/// accumulated afterwards, and is read only for vertices proven reached via
+/// the stamped distance.
+///
+/// The backward scans ([`BfsSpd::accumulate_dependencies`],
+/// [`BfsSpd::accumulate_scaled_dependencies`]) walk the recorded level
+/// boundaries deepest-first (reverse order within each level, i.e. exactly
+/// the reverse of the settle order, so accumulation order — and therefore
+/// every floating-point sum — is bit-identical to the queue-based kernel in
+/// [`crate::legacy`]). The parent test against the packed key of
+/// `level - 1` costs one distance load per edge, versus the legacy kernel's
+/// two loads plus an add.
+///
+/// BFS levels are limited to `2^24 - 2` (graphs of diameter beyond ~16.7M
+/// panic); vertex counts are unrestricted.
 #[derive(Debug, Clone)]
 pub struct BfsSpd {
-    /// `dist[v]` = `d(s, v)`, or [`UNREACHED`].
-    pub dist: Vec<u32>,
-    /// `sigma[v]` = number of shortest `s`–`v` paths (`σ_{sv}`).
-    pub sigma: Vec<f64>,
+    /// `(epoch << 24) | level` per vertex; stale epochs mean unreached.
+    packed: Vec<u32>,
+    /// `sigma[v]` = number of shortest `s`–`v` paths; valid only for
+    /// vertices reached in the current epoch.
+    sigma: Vec<f64>,
     /// Vertices in nondecreasing-distance (BFS) order; only reached ones.
-    pub order: Vec<Vertex>,
-    queue: VecDeque<Vertex>,
+    order: Vec<Vertex>,
+    /// `level_starts[l]..level_starts[l + 1]` indexes level `l` in `order`;
+    /// the last entry is `order.len()`.
+    level_starts: Vec<usize>,
+    epoch: u32,
     source: Vertex,
 }
 
@@ -32,10 +83,14 @@ impl BfsSpd {
     /// Workspace for graphs with `n` vertices.
     pub fn new(n: usize) -> Self {
         BfsSpd {
-            dist: vec![UNREACHED; n],
+            packed: vec![0; n],
             sigma: vec![0.0; n],
             order: Vec::with_capacity(n),
-            queue: VecDeque::new(),
+            level_starts: Vec::new(),
+            // Epoch 1 with all-zero stamps (epoch field 0): a fresh
+            // workspace reports every vertex unreached, matching the legacy
+            // kernel's UNREACHED-initialised fields.
+            epoch: 1,
             source: 0,
         }
     }
@@ -45,50 +100,153 @@ impl BfsSpd {
         self.source
     }
 
+    /// Base stamp of the current epoch; entries below it are stale.
+    #[inline(always)]
+    fn base(&self) -> u32 {
+        self.epoch << LEVEL_BITS
+    }
+
+    /// `dist[v]` = `d(s, v)`, or [`UNREACHED`] if `v` was not reached by the
+    /// last [`BfsSpd::compute`] call.
+    #[inline]
+    pub fn dist(&self, v: Vertex) -> u32 {
+        let p = self.packed[v as usize];
+        if p >> LEVEL_BITS == self.epoch {
+            p & LEVEL_MASK
+        } else {
+            UNREACHED
+        }
+    }
+
+    /// `σ_{sv}`: number of shortest `s`–`v` paths (0 if unreached).
+    #[inline]
+    pub fn sigma(&self, v: Vertex) -> f64 {
+        if self.packed[v as usize] >> LEVEL_BITS == self.epoch {
+            self.sigma[v as usize]
+        } else {
+            0.0
+        }
+    }
+
+    /// Vertices in BFS settle order (source first); only reached ones.
+    #[inline]
+    pub fn order(&self) -> &[Vertex] {
+        &self.order
+    }
+
+    /// Level boundaries into [`BfsSpd::order`]: level `l` is
+    /// `order[level_starts()[l]..level_starts()[l + 1]]`, and the number of
+    /// BFS levels is `level_starts().len() - 1`.
+    #[inline]
+    pub fn level_starts(&self) -> &[usize] {
+        &self.level_starts
+    }
+
     /// Computes the SPD rooted at `s` in `O(|V| + |E|)`.
     ///
     /// # Panics
-    /// If the workspace size does not match `g` or if `s` is out of range.
+    /// If the workspace size does not match `g`, if `s` is out of range, or
+    /// if the BFS exceeds `2^24 - 2` levels.
     pub fn compute(&mut self, g: &CsrGraph, s: Vertex) {
         let n = g.num_vertices();
-        assert_eq!(self.dist.len(), n, "workspace sized for a different graph");
+        assert_eq!(self.packed.len(), n, "workspace sized for a different graph");
         assert!((s as usize) < n, "source {s} out of range");
 
-        // Reset only what the previous pass touched.
-        for &v in &self.order {
-            self.dist[v as usize] = UNREACHED;
-            self.sigma[v as usize] = 0.0;
+        // Epoch bump replaces the per-pass clearing loop. On the wrap —
+        // once every EPOCH_PERIOD passes — one full reset runs so stale
+        // stamps from a reused epoch value cannot alias.
+        self.epoch += 1;
+        if self.epoch == EPOCH_PERIOD {
+            self.packed.iter_mut().for_each(|p| *p = 0);
+            self.epoch = 1;
         }
-        self.order.clear();
-        self.queue.clear();
+        let base = self.base();
+        let mut order = std::mem::take(&mut self.order);
+        let mut level_starts = std::mem::take(&mut self.level_starts);
+        order.clear();
+        level_starts.clear();
         self.source = s;
 
-        self.dist[s as usize] = 0;
-        self.sigma[s as usize] = 1.0;
-        self.queue.push_back(s);
-        while let Some(u) = self.queue.pop_front() {
-            self.order.push(u);
-            let du = self.dist[u as usize];
-            let su = self.sigma[u as usize];
-            for &v in g.neighbors(u) {
-                let dv = &mut self.dist[v as usize];
-                if *dv == UNREACHED {
-                    *dv = du + 1;
-                    self.queue.push_back(v);
-                }
-                if self.dist[v as usize] == du + 1 {
-                    self.sigma[v as usize] += su;
+        let packed = &mut self.packed[..];
+        let sigma = &mut self.sigma[..];
+        packed[s as usize] = base;
+        sigma[s as usize] = 1.0;
+        order.push(s);
+        level_starts.push(0);
+        level_starts.push(1);
+
+        let (offsets, targets) = g.csr();
+        let mut level: u32 = 0;
+        let mut lo = 0usize;
+        while lo < order.len() {
+            let hi = order.len();
+            assert!(level < LEVEL_MASK - 1, "BFS level overflow (diameter > 2^24 - 2)");
+            let child_key = base | (level + 1);
+            for i in lo..hi {
+                // SAFETY: `i < hi <= order.len()`, every vertex id in
+                // `order`/`targets` is validated `< n` at graph
+                // construction, `offsets` has length `n + 1` with
+                // `offsets[u] <= offsets[u + 1] <= targets.len()`, and
+                // `packed`/`sigma` have length `n` (asserted on entry).
+                // Eliding the per-edge bounds checks is part of this
+                // kernel's speedup budget.
+                unsafe {
+                    let u = *order.get_unchecked(i) as usize;
+                    let su = *sigma.get_unchecked(u);
+                    let (a, b) = (*offsets.get_unchecked(u), *offsets.get_unchecked(u + 1));
+                    for &v in targets.get_unchecked(a..b) {
+                        let v = v as usize;
+                        // One distance load classifies the edge. Relative
+                        // to the epoch base: `rel <= level` means already
+                        // settled at this or an earlier level (the common
+                        // no-op — one compare), `rel == level + 1` is
+                        // another shortest path, and anything larger is a
+                        // stale stamp from a previous pass (discovery) —
+                        // stale stamps wrap to `>= 2^24 > level + 1`.
+                        let rel = (*packed.get_unchecked(v)).wrapping_sub(base);
+                        if rel <= level {
+                            continue;
+                        }
+                        if rel == level + 1 {
+                            *sigma.get_unchecked_mut(v) += su;
+                        } else {
+                            *packed.get_unchecked_mut(v) = child_key;
+                            *sigma.get_unchecked_mut(v) = su;
+                            order.push(v as Vertex);
+                        }
+                    }
                 }
             }
+            lo = hi;
+            level += 1;
+            if order.len() > hi {
+                level_starts.push(order.len());
+            }
+            // Once every vertex is discovered, the remaining (deepest)
+            // frontier's scan is provably all no-ops: it can discover
+            // nothing, and a σ-contribution would need a neighbour one
+            // level deeper, which cannot exist. Skipping it drops a large
+            // share of edge visits on small-diameter graphs — a structural
+            // saving the queue-based kernel cannot express, because it
+            // only learns a level is deepest by scanning it.
+            if order.len() == n {
+                break;
+            }
         }
+        self.order = order;
+        self.level_starts = level_starts;
     }
 
     /// Whether `u` is a predecessor (parent) of `w` in this SPD, i.e.
     /// `u ∈ P_s(w)` in the paper's notation.
     #[inline]
     pub fn is_parent(&self, u: Vertex, w: Vertex) -> bool {
-        let (du, dw) = (self.dist[u as usize], self.dist[w as usize]);
-        du != UNREACHED && dw != UNREACHED && du + 1 == dw
+        let (pu, pw) = (self.packed[u as usize], self.packed[w as usize]);
+        let base = self.base();
+        // Reached entries of the current epoch are exactly those >= base
+        // (no larger epoch exists), and levels never saturate the low bits,
+        // so pu + 1 cannot carry into the epoch field.
+        pu >= base && pw >= base && pu + 1 == pw
     }
 
     /// Number of vertices reached (including the source).
@@ -99,17 +257,42 @@ impl BfsSpd {
     /// Accumulates Brandes dependency scores `δ_{s•}(v)` (Eq 2/4) into
     /// `delta`, which is cleared and resized to `n`.
     ///
-    /// Runs in `O(|E|)` by scanning `order` backwards and applying
-    /// `δ_{s•}(u) += σ_su / σ_sw · (1 + δ_{s•}(w))` over each SPD edge.
+    /// Runs in `O(|E|)` by scanning the recorded levels deepest-first and
+    /// applying `δ_{s•}(u) += σ_su / σ_sw · (1 + δ_{s•}(w))` over each SPD
+    /// edge; the parent test is one packed-distance comparison per edge.
+    ///
+    /// # Panics
+    /// If `g` does not match the workspace size (the graph-match assertion
+    /// also guards the unchecked indexing below).
     pub fn accumulate_dependencies(&self, g: &CsrGraph, delta: &mut Vec<f64>) {
+        assert_eq!(g.num_vertices(), self.packed.len(), "graph does not match workspace");
         delta.clear();
-        delta.resize(self.dist.len(), 0.0);
-        for &w in self.order.iter().rev() {
-            let coeff = (1.0 + delta[w as usize]) / self.sigma[w as usize];
-            let dw = self.dist[w as usize];
-            for &u in g.neighbors(w) {
-                if self.dist[u as usize] != UNREACHED && self.dist[u as usize] + 1 == dw {
-                    delta[u as usize] += self.sigma[u as usize] * coeff;
+        delta.resize(self.packed.len(), 0.0);
+        let delta = &mut delta[..];
+        let (packed, sigma) = (&self.packed[..], &self.sigma[..]);
+        let base = self.base();
+        let (offsets, targets) = g.csr();
+        // 0 before the first compute call: accumulate nothing (all zeros).
+        let levels = self.level_starts.len().saturating_sub(1);
+        // Level 1 is skipped: its vertices' only parent is the source, so
+        // its whole scan would accumulate into `delta[source]`, which is
+        // zeroed below anyway (the legacy kernel pays for that scan).
+        for lvl in (2..levels).rev() {
+            let parent_key = base | (lvl as u32 - 1);
+            let (start, end) = (self.level_starts[lvl], self.level_starts[lvl + 1]);
+            for &w in self.order[start..end].iter().rev() {
+                let w = w as usize;
+                // SAFETY: as in `compute` — all vertex ids are < n and the
+                // arrays have length n / n + 1.
+                unsafe {
+                    let coeff = (1.0 + *delta.get_unchecked(w)) / *sigma.get_unchecked(w);
+                    let (a, b) = (*offsets.get_unchecked(w), *offsets.get_unchecked(w + 1));
+                    for &u in targets.get_unchecked(a..b) {
+                        let u = u as usize;
+                        if *packed.get_unchecked(u) == parent_key {
+                            *delta.get_unchecked_mut(u) += *sigma.get_unchecked(u) * coeff;
+                        }
+                    }
                 }
             }
         }
@@ -122,26 +305,37 @@ impl BfsSpd {
     /// length-scaled dependency is then `d(s, v) · g_s(v)`, which prevents
     /// vertices from profiting merely by sitting next to a sampled source.
     pub fn accumulate_scaled_dependencies(&self, g: &CsrGraph, scaled: &mut Vec<f64>) {
+        assert_eq!(g.num_vertices(), self.packed.len(), "graph does not match workspace");
         scaled.clear();
-        scaled.resize(self.dist.len(), 0.0);
-        for &w in self.order.iter().rev() {
-            let dw = self.dist[w as usize];
-            if dw == 0 {
-                continue; // the source itself seeds nothing
-            }
-            let coeff = (1.0 / dw as f64 + scaled[w as usize]) / self.sigma[w as usize];
-            for &u in g.neighbors(w) {
-                if self.dist[u as usize] != UNREACHED && self.dist[u as usize] + 1 == dw {
-                    scaled[u as usize] += self.sigma[u as usize] * coeff;
+        scaled.resize(self.packed.len(), 0.0);
+        let scaled = &mut scaled[..];
+        let (packed, sigma) = (&self.packed[..], &self.sigma[..]);
+        let base = self.base();
+        let (offsets, targets) = g.csr();
+        // 0 before the first compute call: accumulate nothing (all zeros).
+        let levels = self.level_starts.len().saturating_sub(1);
+        // As in `accumulate_dependencies`, level 1 feeds only the source's
+        // (discarded) entry and is skipped.
+        for lvl in (2..levels).rev() {
+            let parent_key = base | (lvl as u32 - 1);
+            let inv_dw = 1.0 / lvl as f64;
+            let (start, end) = (self.level_starts[lvl], self.level_starts[lvl + 1]);
+            for &w in self.order[start..end].iter().rev() {
+                let w = w as usize;
+                let coeff = (inv_dw + scaled[w]) / sigma[w];
+                for &u in &targets[offsets[w]..offsets[w + 1]] {
+                    let u = u as usize;
+                    if packed[u] == parent_key {
+                        scaled[u] += sigma[u] * coeff;
+                    }
                 }
             }
         }
         // Convert g_s(v) to d(s, v) * g_s(v) in place.
-        for (v, s) in scaled.iter_mut().enumerate() {
-            if self.dist[v] != UNREACHED && self.dist[v] > 0 {
-                *s *= self.dist[v] as f64;
-            } else {
-                *s = 0.0;
+        for lvl in 1..levels {
+            let (start, end) = (self.level_starts[lvl], self.level_starts[lvl + 1]);
+            for &v in &self.order[start..end] {
+                scaled[v as usize] *= lvl as f64;
             }
         }
         scaled[self.source as usize] = 0.0;
@@ -158,9 +352,12 @@ mod tests {
         let g = generators::path(5);
         let mut spd = BfsSpd::new(5);
         spd.compute(&g, 0);
-        assert_eq!(spd.dist, vec![0, 1, 2, 3, 4]);
-        assert_eq!(spd.sigma, vec![1.0; 5]);
-        assert_eq!(spd.order.len(), 5);
+        for v in 0..5 {
+            assert_eq!(spd.dist(v), v);
+            assert_eq!(spd.sigma(v), 1.0);
+        }
+        assert_eq!(spd.order().len(), 5);
+        assert_eq!(spd.level_starts(), &[0, 1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -169,11 +366,12 @@ mod tests {
         let g = CsrGraphFixture::diamond();
         let mut spd = BfsSpd::new(4);
         spd.compute(&g, 0);
-        assert_eq!(spd.dist[3], 2);
-        assert_eq!(spd.sigma[3], 2.0);
+        assert_eq!(spd.dist(3), 2);
+        assert_eq!(spd.sigma(3), 2.0);
         assert!(spd.is_parent(1, 3));
         assert!(spd.is_parent(2, 3));
         assert!(!spd.is_parent(0, 3));
+        assert_eq!(spd.level_starts(), &[0, 1, 3, 4]);
     }
 
     #[test]
@@ -183,10 +381,10 @@ mod tests {
         spd.compute(&g, 0);
         assert_eq!(spd.reached(), 6);
         spd.compute(&g, 1);
-        assert_eq!(spd.dist[1], 0);
-        assert_eq!(spd.dist[0], 1);
-        assert_eq!(spd.dist[2], 2);
-        assert_eq!(spd.sigma[2], 1.0);
+        assert_eq!(spd.dist(1), 0);
+        assert_eq!(spd.dist(0), 1);
+        assert_eq!(spd.dist(2), 2);
+        assert_eq!(spd.sigma(2), 1.0);
     }
 
     #[test]
@@ -194,8 +392,77 @@ mod tests {
         let g = mhbc_graph::CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let mut spd = BfsSpd::new(4);
         spd.compute(&g, 0);
-        assert_eq!(spd.dist[2], UNREACHED);
+        assert_eq!(spd.dist(2), UNREACHED);
+        assert_eq!(spd.sigma(2), 0.0);
         assert_eq!(spd.reached(), 2);
+    }
+
+    #[test]
+    fn stale_epochs_never_alias_parent_tests() {
+        // Pass 1 reaches {2, 3}; pass 2 reaches {0, 1}. Stale stamps for
+        // 2 and 3 (dist 0 and 1 in the old epoch) must not satisfy the
+        // parent test or report as reached.
+        let g = mhbc_graph::CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut spd = BfsSpd::new(4);
+        spd.compute(&g, 2);
+        assert_eq!(spd.dist(3), 1);
+        spd.compute(&g, 0);
+        assert_eq!(spd.dist(2), UNREACHED);
+        assert_eq!(spd.dist(3), UNREACHED);
+        assert!(!spd.is_parent(2, 3));
+        assert!(!spd.is_parent(2, 1));
+        assert!(spd.is_parent(0, 1));
+    }
+
+    #[test]
+    fn fresh_workspace_reports_nothing_reached() {
+        let g = generators::path(4);
+        let spd = BfsSpd::new(4);
+        assert_eq!(spd.reached(), 0);
+        for v in 0..4 {
+            assert_eq!(spd.dist(v), UNREACHED, "vertex {v}");
+            assert_eq!(spd.sigma(v), 0.0, "vertex {v}");
+            assert!(!spd.is_parent(v, (v + 1) % 4));
+        }
+        // Accumulating before any compute yields all zeros, like the legacy
+        // kernel did.
+        let mut delta = vec![9.9];
+        spd.accumulate_dependencies(&g, &mut delta);
+        assert_eq!(delta, vec![0.0; 4]);
+        spd.accumulate_scaled_dependencies(&g, &mut delta);
+        assert_eq!(delta, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "graph does not match workspace")]
+    fn accumulate_rejects_mismatched_graph() {
+        let big = generators::path(8);
+        let small = generators::path(3);
+        let mut spd = BfsSpd::new(8);
+        spd.compute(&big, 0);
+        let mut delta = Vec::new();
+        spd.accumulate_dependencies(&small, &mut delta);
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_cleanly() {
+        // Drive the 8-bit epoch space through several wraps and check
+        // results stay correct throughout.
+        let g = mhbc_graph::CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let mut spd = BfsSpd::new(5);
+        for pass in 0..(3 * super::EPOCH_PERIOD as usize + 7) {
+            let (s, expect_reached) = if pass % 2 == 0 { (0u32, 3) } else { (3u32, 2) };
+            spd.compute(&g, s);
+            assert_eq!(spd.reached(), expect_reached, "pass {pass}");
+            assert_eq!(spd.dist(s), 0, "pass {pass}");
+            if pass % 2 == 0 {
+                assert_eq!(spd.dist(2), 2);
+                assert_eq!(spd.dist(4), UNREACHED);
+            } else {
+                assert_eq!(spd.dist(4), 1);
+                assert_eq!(spd.dist(0), UNREACHED);
+            }
+        }
     }
 
     #[test]
@@ -221,6 +488,45 @@ mod tests {
         assert_eq!(delta[2], 0.5);
         assert_eq!(delta[0], 0.0);
         assert_eq!(delta[3], 0.0);
+    }
+
+    #[test]
+    fn matches_legacy_kernel_bitwise_on_generators() {
+        use crate::legacy::LegacyBfsSpd;
+        for g in [
+            generators::barbell(6, 3),
+            generators::grid(7, 5, false),
+            generators::lollipop(5, 4),
+            generators::star(12),
+        ] {
+            let n = g.num_vertices();
+            let mut new = BfsSpd::new(n);
+            let mut old = LegacyBfsSpd::new(n);
+            for s in 0..n as Vertex {
+                new.compute(&g, s);
+                old.compute(&g, s);
+                assert_eq!(new.order(), &old.order[..], "order, source {s}");
+                for v in 0..n as Vertex {
+                    assert_eq!(new.dist(v), old.dist[v as usize], "dist {v}, source {s}");
+                    assert_eq!(
+                        new.sigma(v).to_bits(),
+                        old.sigma[v as usize].to_bits(),
+                        "sigma {v}, source {s}"
+                    );
+                }
+                let (mut d1, mut d2) = (Vec::new(), Vec::new());
+                new.accumulate_dependencies(&g, &mut d1);
+                old.accumulate_dependencies(&g, &mut d2);
+                for v in 0..n {
+                    assert_eq!(d1[v].to_bits(), d2[v].to_bits(), "delta {v}, source {s}");
+                }
+                new.accumulate_scaled_dependencies(&g, &mut d1);
+                old.accumulate_scaled_dependencies(&g, &mut d2);
+                for v in 0..n {
+                    assert_eq!(d1[v].to_bits(), d2[v].to_bits(), "scaled {v}, source {s}");
+                }
+            }
+        }
     }
 
     struct CsrGraphFixture;

@@ -42,16 +42,23 @@ impl PartialOrd for HeapItem {
 /// ties (e.g. integer-valued weights) are handled exactly, and nearly-equal
 /// real-valued sums are merged, which is the conventional treatment of
 /// floating-point path ties.
+///
+/// Like [`crate::BfsSpd`], the workspace resets are *epoch-stamped*: each
+/// vertex carries a stamp `2·epoch + settled_bit`, and a pass begins by
+/// bumping the epoch, so neither distances, σ, nor the settled flags are
+/// cleared per pass — stale entries are recognised by their old stamps.
 #[derive(Debug, Clone)]
 pub struct DijkstraSpd {
-    /// `dist[v]` = weighted `d(s, v)`, `f64::INFINITY` when unreachable.
-    pub dist: Vec<f64>,
-    /// `sigma[v]` = number of shortest `s`–`v` paths.
-    pub sigma: Vec<f64>,
+    /// `dist[v]`: valid only when `stamp[v] >= 2 * epoch`.
+    dist: Vec<f64>,
+    /// `sigma[v]`: valid only when `stamp[v] >= 2 * epoch`.
+    sigma: Vec<f64>,
     /// Vertices in settle order (nondecreasing distance); only reached ones.
-    pub order: Vec<Vertex>,
+    order: Vec<Vertex>,
     heap: BinaryHeap<HeapItem>,
-    settled: Vec<bool>,
+    /// `2 * epoch` = discovered this pass, `2 * epoch + 1` = settled.
+    stamp: Vec<u64>,
+    epoch: u64,
     source: Vertex,
 }
 
@@ -68,7 +75,10 @@ impl DijkstraSpd {
             sigma: vec![0.0; n],
             order: Vec::with_capacity(n),
             heap: BinaryHeap::new(),
-            settled: vec![false; n],
+            stamp: vec![0; n],
+            // Epoch 1 with all-zero stamps: a fresh workspace reports every
+            // vertex unreached (stamp 0 < 2 * epoch).
+            epoch: 1,
             source: 0,
         }
     }
@@ -76,6 +86,33 @@ impl DijkstraSpd {
     /// The source of the last `compute` call.
     pub fn source(&self) -> Vertex {
         self.source
+    }
+
+    /// Weighted `d(s, v)`, or `f64::INFINITY` if `v` was not reached by the
+    /// last [`DijkstraSpd::compute`] call.
+    #[inline]
+    pub fn dist(&self, v: Vertex) -> f64 {
+        if self.stamp[v as usize] >= 2 * self.epoch {
+            self.dist[v as usize]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `σ_{sv}`: number of shortest `s`–`v` paths (0 if unreached).
+    #[inline]
+    pub fn sigma(&self, v: Vertex) -> f64 {
+        if self.stamp[v as usize] >= 2 * self.epoch {
+            self.sigma[v as usize]
+        } else {
+            0.0
+        }
+    }
+
+    /// Vertices in settle order (source first); only reached ones.
+    #[inline]
+    pub fn order(&self) -> &[Vertex] {
+        &self.order
     }
 
     /// Computes the weighted SPD rooted at `s`.
@@ -90,27 +127,29 @@ impl DijkstraSpd {
         assert_eq!(self.dist.len(), n, "workspace sized for a different graph");
         assert!((s as usize) < n, "source {s} out of range");
 
-        for &v in &self.order {
-            self.dist[v as usize] = f64::INFINITY;
-            self.sigma[v as usize] = 0.0;
-            self.settled[v as usize] = false;
-        }
+        // Epoch bump replaces the per-pass clearing loop (u64 epochs never
+        // wrap in practice).
+        self.epoch += 1;
+        let discovered = 2 * self.epoch;
+        let settled = discovered + 1;
         self.order.clear();
         self.heap.clear();
         self.source = s;
 
         self.dist[s as usize] = 0.0;
         self.sigma[s as usize] = 1.0;
+        self.stamp[s as usize] = discovered;
         self.heap.push(HeapItem { dist: 0.0, v: s });
         while let Some(HeapItem { dist: du, v: u }) = self.heap.pop() {
-            if self.settled[u as usize] {
+            if self.stamp[u as usize] == settled {
                 continue; // stale lazy-deleted entry
             }
-            self.settled[u as usize] = true;
+            self.stamp[u as usize] = settled;
             self.order.push(u);
             let su = self.sigma[u as usize];
             for (v, w) in g.neighbors_weighted(u) {
-                let vd = self.dist[v as usize];
+                let seen = self.stamp[v as usize] >= discovered;
+                let vd = if seen { self.dist[v as usize] } else { f64::INFINITY };
                 let nd = du + w;
                 if vd.is_finite() && ties(nd, vd) {
                     // Another shortest path into v through u.
@@ -118,6 +157,7 @@ impl DijkstraSpd {
                 } else if nd < vd {
                     self.dist[v as usize] = nd;
                     self.sigma[v as usize] = su;
+                    self.stamp[v as usize] = discovered;
                     self.heap.push(HeapItem { dist: nd, v });
                 }
             }
@@ -128,7 +168,7 @@ impl DijkstraSpd {
     /// `d(s, u) + w(u, w) == d(s, w)` up to the tie tolerance.
     #[inline]
     pub fn is_parent(&self, g: &CsrGraph, u: Vertex, w: Vertex) -> bool {
-        let (du, dw) = (self.dist[u as usize], self.dist[w as usize]);
+        let (du, dw) = (self.dist(u), self.dist(w));
         if !du.is_finite() || !dw.is_finite() {
             return false;
         }
@@ -145,15 +185,23 @@ impl DijkstraSpd {
 
     /// Accumulates Brandes dependency scores `δ_{s•}(v)` into `delta`
     /// (cleared and resized), scanning the settle order backwards.
+    ///
+    /// # Panics
+    /// If `g` does not match the workspace size.
     pub fn accumulate_dependencies(&self, g: &CsrGraph, delta: &mut Vec<f64>) {
+        assert_eq!(g.num_vertices(), self.dist.len(), "graph does not match workspace");
         delta.clear();
         delta.resize(self.dist.len(), 0.0);
+        let discovered = 2 * self.epoch;
         for &w in self.order.iter().rev() {
             let coeff = (1.0 + delta[w as usize]) / self.sigma[w as usize];
             let dw = self.dist[w as usize];
             for (u, wt) in g.neighbors_weighted(w) {
+                if self.stamp[u as usize] < discovered {
+                    continue;
+                }
                 let du = self.dist[u as usize];
-                if du.is_finite() && du < dw && ties(du + wt, dw) {
+                if du < dw && ties(du + wt, dw) {
                     delta[u as usize] += self.sigma[u as usize] * coeff;
                 }
             }
@@ -174,8 +222,10 @@ mod tests {
         let g = CsrGraph::from_weighted_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)]).unwrap();
         let mut spd = DijkstraSpd::new(3);
         spd.compute(&g, 0);
-        assert_eq!(spd.dist, vec![0.0, 2.0, 5.0]);
-        assert_eq!(spd.sigma, vec![1.0, 1.0, 1.0]);
+        for (v, (d, s)) in [(0.0, 1.0), (2.0, 1.0), (5.0, 1.0)].iter().enumerate() {
+            assert_eq!(spd.dist(v as Vertex), *d);
+            assert_eq!(spd.sigma(v as Vertex), *s);
+        }
     }
 
     #[test]
@@ -186,8 +236,8 @@ mod tests {
                 .unwrap();
         let mut spd = DijkstraSpd::new(4);
         spd.compute(&g, 0);
-        assert_eq!(spd.dist[3], 3.0);
-        assert_eq!(spd.sigma[3], 2.0);
+        assert_eq!(spd.dist(3), 3.0);
+        assert_eq!(spd.sigma(3), 2.0);
     }
 
     #[test]
@@ -197,8 +247,8 @@ mod tests {
             CsrGraph::from_weighted_edges(3, &[(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)]).unwrap();
         let mut spd = DijkstraSpd::new(3);
         spd.compute(&g, 0);
-        assert_eq!(spd.dist[2], 3.0);
-        assert_eq!(spd.sigma[2], 1.0);
+        assert_eq!(spd.dist(2), 3.0);
+        assert_eq!(spd.sigma(2), 1.0);
         assert!(spd.is_parent(&g, 1, 2));
         assert!(!spd.is_parent(&g, 0, 2));
     }
@@ -208,7 +258,8 @@ mod tests {
         let g = CsrGraph::from_weighted_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
         let mut spd = DijkstraSpd::new(4);
         spd.compute(&g, 0);
-        assert!(spd.dist[2].is_infinite());
+        assert!(spd.dist(2).is_infinite());
+        assert_eq!(spd.sigma(2), 0.0);
         assert_eq!(spd.reached(), 2);
     }
 
@@ -222,9 +273,9 @@ mod tests {
         for s in [0u32, 17, 42] {
             bfs.compute(&g, s);
             dij.compute(&gw, s);
-            for v in 0..80usize {
-                assert_eq!(bfs.dist[v] as f64, dij.dist[v], "dist mismatch at {v}");
-                assert_eq!(bfs.sigma[v], dij.sigma[v], "sigma mismatch at {v}");
+            for v in 0..80u32 {
+                assert_eq!(bfs.dist(v) as f64, dij.dist(v), "dist mismatch at {v}");
+                assert_eq!(bfs.sigma(v), dij.sigma(v), "sigma mismatch at {v}");
             }
             let (mut d1, mut d2) = (Vec::new(), Vec::new());
             bfs.accumulate_dependencies(&g, &mut d1);
@@ -241,7 +292,31 @@ mod tests {
         let mut spd = DijkstraSpd::new(3);
         spd.compute(&g, 0);
         spd.compute(&g, 2);
-        assert_eq!(spd.dist, vec![2.0, 1.0, 0.0]);
+        assert_eq!(spd.dist(0), 2.0);
+        assert_eq!(spd.dist(1), 1.0);
+        assert_eq!(spd.dist(2), 0.0);
         assert_eq!(spd.source(), 2);
+    }
+
+    #[test]
+    fn fresh_workspace_reports_nothing_reached() {
+        let spd = DijkstraSpd::new(3);
+        assert_eq!(spd.reached(), 0);
+        for v in 0..3 {
+            assert!(spd.dist(v).is_infinite(), "vertex {v}");
+            assert_eq!(spd.sigma(v), 0.0, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn stale_stamps_do_not_leak_across_components() {
+        let g = CsrGraph::from_weighted_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let mut spd = DijkstraSpd::new(4);
+        spd.compute(&g, 2);
+        assert_eq!(spd.dist(3), 1.0);
+        spd.compute(&g, 0);
+        assert!(spd.dist(2).is_infinite());
+        assert!(spd.dist(3).is_infinite());
+        assert!(!spd.is_parent(&g, 2, 3));
     }
 }

@@ -49,7 +49,56 @@ proptest! {
         spd.compute(&g, s);
         let exact = sigma_u128(&g, s);
         for v in 0..n {
-            prop_assert_eq!(spd.sigma[v], exact[v] as f64, "vertex {}", v);
+            prop_assert_eq!(spd.sigma(v as Vertex), exact[v] as f64, "vertex {}", v);
+        }
+    }
+
+    /// The frontier-swap kernel reproduces the legacy `VecDeque` kernel's
+    /// `dist`/`sigma`/`delta` (and scaled delta) bit-for-bit on random
+    /// graphs, including across workspace reuse.
+    #[test]
+    fn frontier_kernel_matches_legacy_bitwise(n in 4usize..40, seed in any::<u64>()) {
+        let g = connected_graph(n, 0.15, seed);
+        let mut new = BfsSpd::new(n);
+        let mut old = mhbc_spd::legacy::LegacyBfsSpd::new(n);
+        let (mut d1, mut d2) = (Vec::new(), Vec::new());
+        for s in 0..n as Vertex {
+            new.compute(&g, s);
+            old.compute(&g, s);
+            prop_assert_eq!(new.order(), &old.order[..], "order, source {}", s);
+            for v in 0..n as Vertex {
+                prop_assert_eq!(new.dist(v), old.dist[v as usize], "dist {}", v);
+                prop_assert_eq!(
+                    new.sigma(v).to_bits(),
+                    old.sigma[v as usize].to_bits(),
+                    "sigma {}", v
+                );
+            }
+            new.accumulate_dependencies(&g, &mut d1);
+            old.accumulate_dependencies(&g, &mut d2);
+            for v in 0..n {
+                prop_assert_eq!(d1[v].to_bits(), d2[v].to_bits(), "delta {}", v);
+            }
+            new.accumulate_scaled_dependencies(&g, &mut d1);
+            old.accumulate_scaled_dependencies(&g, &mut d2);
+            for v in 0..n {
+                prop_assert_eq!(d1[v].to_bits(), d2[v].to_bits(), "scaled {}", v);
+            }
+        }
+    }
+
+    /// The recorded level boundaries partition the settle order by distance.
+    #[test]
+    fn level_starts_partition_order_by_distance(n in 4usize..40, seed in any::<u64>()) {
+        let g = connected_graph(n, 0.15, seed);
+        let mut spd = BfsSpd::new(n);
+        spd.compute(&g, 0);
+        let starts = spd.level_starts().to_vec();
+        prop_assert_eq!(*starts.last().unwrap(), spd.reached());
+        for lvl in 0..starts.len() - 1 {
+            for &v in &spd.order()[starts[lvl]..starts[lvl + 1]] {
+                prop_assert_eq!(spd.dist(v) as usize, lvl, "vertex {}", v);
+            }
         }
     }
 
@@ -107,9 +156,9 @@ proptest! {
         let mut dij = DijkstraSpd::new(n);
         bfs.compute(&g, s);
         dij.compute(&gw, s);
-        for v in 0..n {
-            prop_assert_eq!(bfs.dist[v] as f64, dij.dist[v]);
-            prop_assert_eq!(bfs.sigma[v], dij.sigma[v]);
+        for v in 0..n as Vertex {
+            prop_assert_eq!(bfs.dist(v) as f64, dij.dist(v));
+            prop_assert_eq!(bfs.sigma(v), dij.sigma(v));
         }
     }
 
@@ -139,8 +188,8 @@ proptest! {
                     continue;
                 }
                 let r = bb.query(&g, s, t, false, &mut rng).unwrap();
-                prop_assert_eq!(r.distance, spd.dist[t as usize], "{} -> {}", s, t);
-                prop_assert_eq!(r.sigma, spd.sigma[t as usize], "{} -> {}", s, t);
+                prop_assert_eq!(r.distance, spd.dist(t), "{} -> {}", s, t);
+                prop_assert_eq!(r.sigma, spd.sigma(t), "{} -> {}", s, t);
             }
         }
     }

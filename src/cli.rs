@@ -2,7 +2,7 @@
 //! command execution, kept binary-free so the logic is unit-testable.
 
 use mhbc_core::planner::{plan_single, MuSource};
-use mhbc_core::{JointSpaceConfig, JointSpaceSampler, SingleSpaceConfig, SingleSpaceSampler};
+use mhbc_core::{pipeline, JointSpaceConfig, PrefetchConfig, SingleSpaceConfig};
 use mhbc_graph::{algo, io, CsrGraph, Vertex};
 use std::io::BufRead;
 
@@ -10,20 +10,40 @@ use std::io::BufRead;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Estimate BC of one vertex: `estimate <edge-list> <vertex>`.
-    Estimate { path: String, vertex: Vertex, iterations: u64, seed: u64, exact: bool },
+    Estimate {
+        path: String,
+        vertex: Vertex,
+        iterations: u64,
+        seed: u64,
+        exact: bool,
+        threads: usize,
+        prefetch_depth: u64,
+    },
     /// Relative ranking of several vertices: `rank <edge-list> <v1,v2,...>`.
-    Rank { path: String, vertices: Vec<Vertex>, iterations: u64, seed: u64 },
+    Rank {
+        path: String,
+        vertices: Vec<Vertex>,
+        iterations: u64,
+        seed: u64,
+        threads: usize,
+        prefetch_depth: u64,
+    },
     /// Plan an (epsilon, delta) budget: `plan <edge-list> <vertex> <eps> <delta>`.
     Plan { path: String, vertex: Vertex, epsilon: f64, delta: f64 },
 }
 
 /// CLI usage string.
 pub const USAGE: &str = "usage:
-  mhbc estimate <edge-list> <vertex> [--iters N] [--seed S] [--exact]
-  mhbc rank     <edge-list> <v1,v2,...> [--iters N] [--seed S]
+  mhbc estimate <edge-list> <vertex> [--iters N] [--seed S] [--exact] [--threads T] [--prefetch K]
+  mhbc rank     <edge-list> <v1,v2,...> [--iters N] [--seed S] [--threads T] [--prefetch K]
   mhbc plan     <edge-list> <vertex> <epsilon> <delta>
 
-Edge lists are whitespace-separated `u v [w]` lines; `#`/`%` comments allowed.";
+Edge lists are whitespace-separated `u v [w]` lines; `#`/`%` comments allowed.
+--threads T   total density-evaluation threads (default 1 = sequential;
+              T >= 2 enables the speculative prefetch pipeline — results are
+              bit-identical to --threads 1).
+--prefetch K  speculation window: how many proposals ahead the prefetch
+              workers may evaluate (default 1024).";
 
 /// Parses `args` (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, String> {
@@ -31,6 +51,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut iterations = 10_000u64;
     let mut seed = 42u64;
     let mut exact = false;
+    let mut threads = 1usize;
+    let mut prefetch_depth = PrefetchConfig::DEFAULT_DEPTH;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -48,6 +70,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| "missing/invalid value for --seed".to_string())?;
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| "missing/invalid value for --threads".to_string())?;
+            }
+            "--prefetch" => {
+                i += 1;
+                prefetch_depth = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k| k > 0)
+                    .ok_or_else(|| "missing/invalid value for --prefetch".to_string())?;
+            }
             "--exact" => exact = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => pos.push(other),
@@ -64,13 +101,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             iterations,
             seed,
             exact,
+            threads,
+            prefetch_depth,
         }),
         ["rank", path, list] => {
             let vertices = list.split(',').map(parse_vertex).collect::<Result<Vec<_>, _>>()?;
             if vertices.len() < 2 {
                 return Err("rank needs at least two comma-separated vertices".into());
             }
-            Ok(Command::Rank { path: path.to_string(), vertices, iterations, seed })
+            Ok(Command::Rank {
+                path: path.to_string(),
+                vertices,
+                iterations,
+                seed,
+                threads,
+                prefetch_depth,
+            })
         }
         ["plan", path, vertex, eps, delta] => Ok(Command::Plan {
             path: path.to_string(),
@@ -109,11 +155,12 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             .ok_or_else(|| format!("vertex {input} is not in the largest component"))
     };
     match cmd {
-        Command::Estimate { vertex, iterations, seed, exact, .. } => {
+        Command::Estimate { vertex, iterations, seed, exact, threads, prefetch_depth, .. } => {
             let r = internal(*vertex)?;
-            let est = SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(*iterations, *seed))
-                .map_err(|e| e.to_string())?
-                .run();
+            let prefetch = PrefetchConfig::with_threads(*threads).with_depth(*prefetch_depth);
+            let est =
+                pipeline::run_single(g, r, &SingleSpaceConfig::new(*iterations, *seed), &prefetch)
+                    .map_err(|e| e.to_string())?;
             let mut out = vec![
                 format!("graph: {g}"),
                 format!(
@@ -121,8 +168,11 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
                     est.bc, est.bc_corrected
                 ),
                 format!(
-                    "iterations {} | acceptance {:.3} | SPD passes {}",
-                    est.iterations, est.acceptance_rate, est.spd_passes
+                    "iterations {} | acceptance {:.3} | SPD passes {} | threads {}",
+                    est.iterations,
+                    est.acceptance_rate,
+                    est.spd_passes,
+                    (*threads).max(1)
                 ),
             ];
             if *exact {
@@ -131,11 +181,16 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             }
             Ok(out)
         }
-        Command::Rank { vertices, iterations, seed, .. } => {
+        Command::Rank { vertices, iterations, seed, threads, prefetch_depth, .. } => {
             let probes = vertices.iter().map(|&v| internal(v)).collect::<Result<Vec<_>, _>>()?;
-            let est = JointSpaceSampler::new(g, &probes, JointSpaceConfig::new(*iterations, *seed))
-                .map_err(|e| e.to_string())?
-                .run();
+            let prefetch = PrefetchConfig::with_threads(*threads).with_depth(*prefetch_depth);
+            let est = pipeline::run_joint(
+                g,
+                &probes,
+                &JointSpaceConfig::new(*iterations, *seed),
+                &prefetch,
+            )
+            .map_err(|e| e.to_string())?;
             let mut ranked: Vec<(Vertex, f64)> =
                 vertices.iter().enumerate().map(|(i, &v)| (v, est.ratio(i, 0))).collect();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -184,9 +239,31 @@ mod tests {
                 vertex: 5,
                 iterations: 99,
                 seed: 42,
-                exact: true
+                exact: true,
+                threads: 1,
+                prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             }
         );
+    }
+
+    #[test]
+    fn parses_threads_and_prefetch_flags() {
+        let cmd = parse(&strs(&["estimate", "g.txt", "5", "--threads", "4", "--prefetch", "64"]))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Estimate {
+                path: "g.txt".into(),
+                vertex: 5,
+                iterations: 10_000,
+                seed: 42,
+                exact: false,
+                threads: 4,
+                prefetch_depth: 64,
+            }
+        );
+        assert!(parse(&strs(&["estimate", "g.txt", "5", "--threads"])).is_err());
+        assert!(parse(&strs(&["estimate", "g.txt", "5", "--prefetch", "0"])).is_err());
     }
 
     #[test]
@@ -198,7 +275,9 @@ mod tests {
                 path: "g.txt".into(),
                 vertices: vec![1, 2, 3],
                 iterations: 10_000,
-                seed: 7
+                seed: 7,
+                threads: 1,
+                prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             }
         );
         let cmd = parse(&strs(&["plan", "g.txt", "4", "0.05", "0.1"])).unwrap();
@@ -240,10 +319,37 @@ mod tests {
             iterations: 5_000,
             seed: 1,
             exact: true,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
         };
         let out = execute(&cmd, &lcc, &map).unwrap();
         assert!(out.iter().any(|l| l.contains("BC(5)")));
         assert!(out.iter().any(|l| l.contains("exact")));
+    }
+
+    #[test]
+    fn threaded_estimate_matches_sequential_output() {
+        let g = mhbc_graph::generators::barbell(5, 1);
+        let mut text = String::new();
+        for (u, v, _) in g.edges() {
+            text.push_str(&format!("{u} {v}\n"));
+        }
+        let (lcc, map) = load_graph(Cursor::new(text)).unwrap();
+        let mk = |threads| Command::Estimate {
+            path: String::new(),
+            vertex: 5,
+            iterations: 2_000,
+            seed: 9,
+            exact: false,
+            threads,
+            prefetch_depth: 32,
+        };
+        let seq = execute(&mk(1), &lcc, &map).unwrap();
+        let par = execute(&mk(3), &lcc, &map).unwrap();
+        // Identical estimate line; the stats line differs only in the
+        // reported thread count.
+        assert_eq!(seq[1], par[1]);
+        assert!(par[2].contains("threads 3"));
     }
 
     #[test]
@@ -259,6 +365,8 @@ mod tests {
             vertices: vec![6, 7],
             iterations: 20_000,
             seed: 3,
+            threads: 2,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
         };
         let out = execute(&cmd, &lcc, &map).unwrap();
         // The middle path vertex 7 carries more pairs than 6.
@@ -276,6 +384,8 @@ mod tests {
             iterations: 10,
             seed: 0,
             exact: false,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
         };
         assert!(execute(&cmd, &g, &map).unwrap_err().contains("99"));
     }

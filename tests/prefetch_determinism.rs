@@ -1,0 +1,136 @@
+//! Tier-1 guarantee of the speculative prefetch pipeline: for every thread
+//! count, the pipelined samplers produce **bit-identical** results to the
+//! sequential ones — same `bc`, `bc_corrected`, acceptance statistics, and
+//! `spd_passes`. Parallelism buys wall-clock only, never a different answer.
+
+use mhbc_core::{
+    pipeline, run_ensemble, EnsembleConfig, JointSpaceConfig, JointSpaceSampler, PrefetchConfig,
+    SingleSpaceConfig, SingleSpaceSampler,
+};
+use mhbc_graph::generators;
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Everything the determinism guarantee covers, as raw bits.
+fn single_fingerprint(e: &mhbc_core::SingleSpaceEstimate) -> (u64, u64, u64, u64, u64) {
+    (
+        e.bc.to_bits(),
+        e.bc_corrected.to_bits(),
+        e.acceptance_rate.to_bits(),
+        e.spd_passes,
+        e.iterations,
+    )
+}
+
+#[test]
+fn single_space_bit_identical_across_thread_counts() {
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let graphs = [
+        ("ba", generators::barabasi_albert(300, 3, &mut rng)),
+        ("lollipop", generators::lollipop(10, 6)),
+        ("grid", generators::grid(12, 12, false)),
+    ];
+    for (name, g) in &graphs {
+        let r = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap();
+        for seed in [1u64, 99] {
+            let config = SingleSpaceConfig::new(1_500, seed);
+            let seq = SingleSpaceSampler::new(g, r, config.clone()).unwrap().run();
+            for threads in [1usize, 2, 8] {
+                let par =
+                    pipeline::run_single(g, r, &config, &PrefetchConfig::with_threads(threads))
+                        .unwrap();
+                assert_eq!(
+                    single_fingerprint(&seq),
+                    single_fingerprint(&par),
+                    "{name}, seed {seed}, threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_space_traces_are_bit_identical_too() {
+    let g = generators::barbell(8, 2);
+    let config = SingleSpaceConfig::new(1_200, 7).with_trace();
+    let seq = SingleSpaceSampler::new(&g, 8, config.clone()).unwrap().run();
+    let par = pipeline::run_single(&g, 8, &config, &PrefetchConfig::with_threads(8)).unwrap();
+    let (st, pt) = (seq.trace.unwrap(), par.trace.unwrap());
+    assert_eq!(st.len(), pt.len());
+    for (i, (a, b)) in st.iter().zip(&pt).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "trace entry {i}");
+    }
+    assert_eq!(seq.density_series.unwrap(), par.density_series.unwrap());
+}
+
+#[test]
+fn single_space_ablation_configs_stay_identical() {
+    // Burn-in and accepted-only change the accumulation rules; the pipeline
+    // must follow them identically.
+    let g = generators::lollipop(7, 5);
+    for config in [
+        SingleSpaceConfig::new(900, 3).with_burn_in(100),
+        SingleSpaceConfig::new(900, 3).accepted_only(),
+        SingleSpaceConfig::new(900, 3).with_initial(2),
+    ] {
+        let seq = SingleSpaceSampler::new(&g, 7, config.clone()).unwrap().run();
+        let par = pipeline::run_single(&g, 7, &config, &PrefetchConfig::with_threads(4)).unwrap();
+        assert_eq!(single_fingerprint(&seq), single_fingerprint(&par));
+    }
+}
+
+#[test]
+fn joint_space_bit_identical_across_thread_counts() {
+    let g = generators::barbell(7, 3);
+    let probes = [7u32, 8, 9, 0];
+    let config = JointSpaceConfig::new(2_000, 17);
+    let seq = JointSpaceSampler::new(&g, &probes, config.clone()).unwrap().run();
+    for threads in [1usize, 2, 8] {
+        let par = pipeline::run_joint(&g, &probes, &config, &PrefetchConfig::with_threads(threads))
+            .unwrap();
+        assert_eq!(seq.counts, par.counts, "threads {threads}");
+        assert_eq!(seq.spd_passes, par.spd_passes, "threads {threads}");
+        assert_eq!(
+            seq.acceptance_rate.to_bits(),
+            par.acceptance_rate.to_bits(),
+            "threads {threads}"
+        );
+        for i in 0..probes.len() {
+            for j in 0..probes.len() {
+                assert_eq!(
+                    seq.relative[i][j].to_bits(),
+                    par.relative[i][j].to_bits(),
+                    "({i},{j}), threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ensemble_bit_identical_with_and_without_prefetch_squads() {
+    let g = generators::barbell(6, 2);
+    let base = EnsembleConfig::new(4, 1_000, 23);
+    let seq = run_ensemble(&g, 6, &base).unwrap();
+    for threads in [2usize, 4] {
+        let cfg = base.clone().with_prefetch(PrefetchConfig::with_threads(threads));
+        let par = run_ensemble(&g, 6, &cfg).unwrap();
+        assert_eq!(seq.bc.to_bits(), par.bc.to_bits(), "threads {threads}");
+        assert_eq!(seq.bc_corrected.to_bits(), par.bc_corrected.to_bits());
+        assert_eq!(seq.acceptance_rate.to_bits(), par.acceptance_rate.to_bits());
+        assert_eq!(seq.spd_passes, par.spd_passes);
+        assert_eq!(seq.r_hat.to_bits(), par.r_hat.to_bits());
+        for (a, b) in seq.per_chain.iter().zip(&par.per_chain) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn weighted_graphs_flow_through_the_pipeline_unchanged() {
+    let mut rng = SmallRng::seed_from_u64(55);
+    let g = generators::assign_uniform_weights(&generators::barbell(6, 2), 1.0, 4.0, &mut rng);
+    let config = SingleSpaceConfig::new(800, 31);
+    let seq = SingleSpaceSampler::new(&g, 6, config.clone()).unwrap().run();
+    let par = pipeline::run_single(&g, 6, &config, &PrefetchConfig::with_threads(4)).unwrap();
+    assert_eq!(single_fingerprint(&seq), single_fingerprint(&par));
+}
