@@ -9,10 +9,12 @@
 //!
 //! Results print as markdown and are mirrored to `results/<id>.csv`. The
 //! `perf` subcommand (not part of `all`) additionally writes the
-//! performance-trajectory artifact `BENCH_kernels.json` to the current
-//! directory: frontier-vs-legacy kernel ns/edge on the T3 workload,
-//! samples/sec at 1/2/4 threads through the prefetch pipeline, and the
-//! oracle hit rate.
+//! performance-trajectory artifacts to the current directory:
+//! `BENCH_kernels.json` (frontier-vs-legacy kernel ns/edge on the T3
+//! workload, samples/sec at 1/2/4 threads through the prefetch pipeline,
+//! oracle hit rate) and `BENCH_preproc.json` (graph-reduction ratio,
+//! reduced-pass ns/edge, and sampler samples/sec at
+//! `--preprocess off/prune/full` per T3 graph).
 
 use mhbc_baselines::{BbSampler, DistanceSampler, RkSampler, UniformSourceSampler};
 use mhbc_bench::report::{e5, f, Table};
@@ -847,9 +849,10 @@ fn f8(ctx: &Ctx) {
 
 // -------------------------------------------------------------- PERF ----
 
-/// Kernel + pipeline throughput trajectory: emits `BENCH_kernels.json` to
-/// the current directory (the repo root in CI) so successive PRs accumulate
-/// comparable numbers. Also prints the same figures as markdown tables.
+/// Kernel + pipeline + preprocessing throughput trajectory: emits
+/// `BENCH_kernels.json` and `BENCH_preproc.json` to the current directory
+/// (the repo root in CI) so successive PRs accumulate comparable numbers.
+/// Also prints the same figures as markdown tables.
 fn perf(ctx: &Ctx) {
     use mhbc_core::{pipeline, PrefetchConfig};
     use mhbc_spd::{legacy::LegacyBfsSpd, BfsSpd};
@@ -994,6 +997,148 @@ fn perf(ctx: &Ctx) {
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     eprintln!("[perf] wrote BENCH_kernels.json (host cores: {cores})");
+
+    // --- Preprocessing: reduction ratio, reduced-kernel ns/edge, and
+    // sampler throughput at --preprocess off/prune/full, per T3 graph.
+    // Emits `BENCH_preproc.json` next to `BENCH_kernels.json`.
+    use mhbc_graph::reduce::{reduce, ReduceLevel, ReducedGraph};
+    use mhbc_spd::{SpdView, ViewCalculator};
+
+    let levels = [ReduceLevel::Off, ReduceLevel::Prune, ReduceLevel::Full];
+    let mut tpre = Table::new(
+        "PERF/preproc - graph reduction: size, reduced-pass ns per original edge, sampler samples/sec",
+        &["graph", "level", "n_H", "m_H", "work ratio", "ns/edge", "samples/sec", "vs off"],
+    );
+    let mut pre_json = String::new();
+    let mut log_full_sum = 0.0;
+    let mut sep_full_speedup = f64::NAN;
+    for ds in &suite {
+        let g = &ds.graph;
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        // Reductions are built once per level; build cost is amortised over
+        // the whole run in real use and recorded separately here.
+        let mut reds: Vec<(ReduceLevel, Option<ReducedGraph>, f64)> = Vec::new();
+        for level in levels {
+            let started = Instant::now();
+            let red = match level {
+                ReduceLevel::Off => None,
+                level => Some(reduce(g, level).expect("unweighted suite reduces at any level")),
+            };
+            reds.push((level, red, started.elapsed().as_secs_f64() * 1e3));
+        }
+        let full = reds[2].1.as_ref().expect("full reduction built");
+        // Probe: the highest-degree vertex that survives the full reduction
+        // (so the same probe is valid at every level).
+        let r = (0..n as Vertex)
+            .filter(|&v| full.is_retained(v))
+            .max_by_key(|&v| g.degree(v))
+            .expect("some vertex survives");
+
+        let iterations = ctx.budget(n) * 4;
+        let config = SingleSpaceConfig::new(iterations, SEED);
+        let kernel_passes: u32 = if ctx.quick { 20 } else { 60 };
+        // Interleaved min-of-rounds, levels alternating inside each round so
+        // scheduler noise hits all levels alike; round 0 is the warm-up.
+        let mut sampler_best = [f64::MAX; 3];
+        let mut kernel_best = [f64::MAX; 3];
+        let mut spd_passes = [0u64; 3];
+        let mut row = Vec::new();
+        for round in 0..rounds {
+            for (li, (_, red, _)) in reds.iter().enumerate() {
+                let view = SpdView::from_option(g, red.as_ref());
+                let started = Instant::now();
+                let est =
+                    pipeline::run_single_view(view, r, &config, &PrefetchConfig::sequential())
+                        .expect("valid config");
+                let secs = started.elapsed().as_secs_f64();
+                if round > 0 {
+                    sampler_best[li] = sampler_best[li].min(secs);
+                }
+                spd_passes[li] = est.spd_passes;
+
+                // Raw reduced-pass cost, normalised per *original* edge so
+                // levels are comparable: one dependency row per pass,
+                // sources cycling over the original id space.
+                let mut calc = ViewCalculator::new(view);
+                let started = Instant::now();
+                let mut s = 0u32;
+                for _ in 0..kernel_passes {
+                    calc.dependency_on_many(s % n as u32, &[r], &mut row);
+                    s = s.wrapping_add(97);
+                }
+                let ns = started.elapsed().as_secs_f64() * 1e9 / (kernel_passes as f64 * m as f64);
+                if round > 0 {
+                    kernel_best[li] = kernel_best[li].min(ns);
+                }
+            }
+        }
+
+        let mut level_json = String::new();
+        let off_rate = iterations as f64 / sampler_best[0];
+        for (li, (level, red, build_ms)) in reds.iter().enumerate() {
+            let (n_h, m_h, ratio) = match red {
+                None => (n, m, 1.0),
+                Some(red) => {
+                    let s = red.stats();
+                    (s.reduced_vertices, s.reduced_edges, s.work_ratio())
+                }
+            };
+            let rate = iterations as f64 / sampler_best[li];
+            tpre.push(vec![
+                ds.name.into(),
+                level.as_str().into(),
+                n_h.to_string(),
+                m_h.to_string(),
+                format!("{ratio:.2}x"),
+                format!("{:.2}", kernel_best[li]),
+                format!("{rate:.0}"),
+                format!("{:.2}x", rate / off_rate),
+            ]);
+            if !level_json.is_empty() {
+                level_json.push_str(", ");
+            }
+            level_json.push_str(&format!(
+                "\"{}\": {{\"reduced_vertices\": {n_h}, \"reduced_edges\": {m_h}, \
+                 \"work_ratio\": {ratio:.3}, \"build_ms\": {build_ms:.2}, \
+                 \"kernel_ns_per_edge\": {:.3}, \"samples_per_sec\": {rate:.1}, \
+                 \"spd_passes\": {}}}",
+                level.as_str(),
+                kernel_best[li],
+                spd_passes[li],
+            ));
+        }
+        let full_speedup = (iterations as f64 / sampler_best[2]) / off_rate;
+        log_full_sum += full_speedup.ln();
+        if ds.name == "sep" {
+            sep_full_speedup = full_speedup;
+        }
+        if !pre_json.is_empty() {
+            pre_json.push_str(",\n");
+        }
+        pre_json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"vertices\": {n}, \"edges\": {m}, \"probe\": {r}, \
+             \"iterations\": {iterations},\n     \"levels\": {{{level_json}}},\n     \
+             \"full_speedup\": {full_speedup:.3}}}",
+            ds.name
+        ));
+    }
+    let full_geomean = (log_full_sum / suite.len() as f64).exp();
+    tpre.emit(&ctx.out, "perf_preproc").expect("emit perf_preproc");
+
+    let json = format!(
+        "{{\n  \"schema\": \"mhbc-bench-preproc-v1\",\n  \"generated_by\": \"experiments perf\",\n  \
+         \"quick\": {},\n  \"host_cores\": {cores},\n  \"method\": \"single-thread sequential \
+         sampler, min-of-interleaved-rounds; ns/edge is one reduced dependency pass per \
+         original edge\",\n  \"graphs\": [\n{pre_json}\n  ],\n  \
+         \"samples_per_sec_geomean_full_over_off\": {full_geomean:.3},\n  \
+         \"sep_full_speedup\": {sep_full_speedup:.3}\n}}\n",
+        ctx.quick,
+    );
+    std::fs::write("BENCH_preproc.json", &json).expect("write BENCH_preproc.json");
+    eprintln!(
+        "[perf] wrote BENCH_preproc.json (full/off samples/sec geomean: {full_geomean:.3}, \
+         sep: {sep_full_speedup:.3})"
+    );
 }
 
 // ---------------------------------------------------------------- F9 ----

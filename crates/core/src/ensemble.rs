@@ -22,7 +22,7 @@ use crate::CoreError;
 use mhbc_graph::{CsrGraph, Vertex};
 use mhbc_mcmc::diagnostics::RunningMoments;
 use mhbc_mcmc::{fn_target, MetropolisHastings, UniformProposal};
-use mhbc_spd::SpdWorkspacePool;
+use mhbc_spd::{SpdView, SpdWorkspacePool};
 use parking_lot::Mutex;
 use std::sync::atomic::AtomicU64;
 
@@ -93,15 +93,14 @@ pub struct EnsembleEstimate {
 
 /// One chain of the ensemble; identical numerics whatever the prefetch
 /// setting (densities are a pure function of the source vertex).
-fn run_chain(
-    g: &CsrGraph,
-    oracle: &SharedProbeOracle<'_>,
-    pool: &SpdWorkspacePool<'_>,
+fn run_chain<'g>(
+    n: usize,
+    oracle: &SharedProbeOracle<'g>,
+    pool: &SpdWorkspacePool<'g>,
     seed: u64,
     iterations: u64,
     progress: &AtomicU64,
 ) -> ChainResult {
-    let n = g.num_vertices();
     let mut calc = pool.checkout();
     let (initial, prop_rng, acc_rng) = derive_streams(seed, None, n);
     // The closure makes the shared oracle the chain's density.
@@ -164,20 +163,35 @@ pub fn run_ensemble(
     r: Vertex,
     config: &EnsembleConfig,
 ) -> Result<EnsembleEstimate, CoreError> {
-    let n = g.num_vertices();
+    run_ensemble_view(SpdView::direct(g), r, config)
+}
+
+/// [`run_ensemble`] evaluating densities through `view` (direct or
+/// reduced); chains keep their original-id state space, so estimates are
+/// bit-identical to the direct run whenever the view's densities are (see
+/// [`crate::SingleSpaceSampler::for_view`]).
+pub fn run_ensemble_view(
+    view: SpdView<'_>,
+    r: Vertex,
+    config: &EnsembleConfig,
+) -> Result<EnsembleEstimate, CoreError> {
+    let n = view.num_vertices();
     if n < 3 {
         return Err(CoreError::GraphTooSmall { num_vertices: n });
     }
     if r as usize >= n {
         return Err(CoreError::ProbeOutOfRange { probe: r, num_vertices: n });
     }
+    if !view.is_retained(r) {
+        return Err(CoreError::PrunedProbe { probe: r });
+    }
     let chains = config.chains;
     assert!(chains >= 1, "need at least one chain");
     let workers_per_chain = config.prefetch.threads.saturating_sub(1) as u64;
     let depth = config.prefetch.depth.max(workers_per_chain);
 
-    let oracle = SharedProbeOracle::new(g, &[r]);
-    let pool = SpdWorkspacePool::with_workers(g, chains * config.prefetch.threads.max(1));
+    let oracle = SharedProbeOracle::for_view(view, &[r]);
+    let pool = SpdWorkspacePool::for_view_workers(view, chains * config.prefetch.threads.max(1));
     let progress: Vec<AtomicU64> = (0..chains).map(|_| AtomicU64::new(0)).collect();
     let results: Mutex<Vec<(usize, ChainResult)>> = Mutex::new(Vec::with_capacity(chains));
     let iterations = config.iterations;
@@ -188,7 +202,7 @@ pub fn run_ensemble(
             let (oracle, pool, results) = (&oracle, &pool, &results);
             let chain_progress = &progress[c];
             scope.spawn(move |_| {
-                let res = run_chain(g, oracle, pool, chain_seed, iterations, chain_progress);
+                let res = run_chain(n, oracle, pool, chain_seed, iterations, chain_progress);
                 results.lock().push((c, res));
             });
             // The chain's prefetch squad replays its proposal stream.
@@ -340,6 +354,27 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(seq.r_hat.to_bits(), pre.r_hat.to_bits());
+    }
+
+    #[test]
+    fn reduced_ensemble_is_deterministic_and_prefetch_invariant() {
+        use mhbc_graph::reduce::{reduce, ReduceLevel};
+        let g = generators::lollipop(6, 3);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        let view = SpdView::preprocessed(&g, &red);
+        let base = EnsembleConfig::new(3, 1_500, 4);
+        let seq = run_ensemble_view(view, 0, &base).expect("valid config");
+        let pre = run_ensemble_view(
+            view,
+            0,
+            &base.clone().with_prefetch(PrefetchConfig::with_threads(3)),
+        )
+        .expect("valid config");
+        assert_eq!(seq.bc.to_bits(), pre.bc.to_bits());
+        assert_eq!(seq.bc_corrected.to_bits(), pre.bc_corrected.to_bits());
+        assert_eq!(seq.spd_passes, pre.spd_passes);
+        // Pendant + twin structure caps distinct rows well below n.
+        assert!(seq.spd_passes < g.num_vertices() as u64);
     }
 
     #[test]

@@ -14,6 +14,11 @@ pub enum CoreError {
     /// The graph has fewer than 3 vertices; betweenness is identically zero
     /// and the samplers' estimator denominators degenerate.
     GraphTooSmall { num_vertices: usize },
+    /// The probe was pruned into a pendant tree by the active reduction:
+    /// its exact betweenness is available in closed form
+    /// (`mhbc_graph::reduce::ReducedGraph::exact_pruned_bc`), so sampling
+    /// it through the reduction is both unsupported and pointless.
+    PrunedProbe { probe: Vertex },
 }
 
 impl std::fmt::Display for CoreError {
@@ -28,6 +33,14 @@ impl std::fmt::Display for CoreError {
             CoreError::DuplicateProbe { probe } => write!(f, "duplicate probe vertex {probe}"),
             CoreError::GraphTooSmall { num_vertices } => {
                 write!(f, "graph with {num_vertices} vertices has no betweenness to estimate")
+            }
+            CoreError::PrunedProbe { probe } => {
+                write!(
+                    f,
+                    "probe vertex {probe} was pruned into a pendant tree by the reduction; \
+                     its exact betweenness is available in closed form \
+                     (ReducedGraph::exact_pruned_bc) — no sampling needed"
+                )
             }
         }
     }

@@ -5,6 +5,7 @@ use crate::oracle::{OracleStats, ProbeOracle};
 use crate::CoreError;
 use mhbc_graph::{CsrGraph, Vertex};
 use mhbc_mcmc::{MetropolisHastings, Proposal, TargetDensity};
+use mhbc_spd::SpdView;
 use rand::{rngs::SmallRng, Rng, RngExt};
 
 /// Chain state: `(probe index into R, source vertex)` — the pair `⟨r, v⟩`
@@ -224,11 +225,11 @@ pub struct JointSpaceSampler<'g> {
 
 /// Validates a joint-space configuration, returning `(n, k)`.
 pub(crate) fn validate_joint(
-    g: &CsrGraph,
+    view: &SpdView<'_>,
     probes: &[Vertex],
     config: &JointSpaceConfig,
 ) -> Result<(usize, usize), CoreError> {
-    let n = g.num_vertices();
+    let n = view.num_vertices();
     if n < 3 {
         return Err(CoreError::GraphTooSmall { num_vertices: n });
     }
@@ -238,6 +239,9 @@ pub(crate) fn validate_joint(
     for (i, &p) in probes.iter().enumerate() {
         if p as usize >= n {
             return Err(CoreError::ProbeOutOfRange { probe: p, num_vertices: n });
+        }
+        if !view.is_retained(p) {
+            return Err(CoreError::PrunedProbe { probe: p });
         }
         if probes[..i].contains(&p) {
             return Err(CoreError::DuplicateProbe { probe: p });
@@ -272,10 +276,24 @@ impl<'g> JointSpaceSampler<'g> {
         probes: &[Vertex],
         config: JointSpaceConfig,
     ) -> Result<Self, CoreError> {
-        let (n, k) = validate_joint(g, probes, &config)?;
+        Self::for_view(SpdView::direct(g), probes, config)
+    }
+
+    /// Builds a sampler evaluating densities through `view`. As for
+    /// [`crate::SingleSpaceSampler::for_view`], the joint state space stays
+    /// `R × V(G)` in original ids and the target density `δ_{v•}(r)` is
+    /// mapped exactly through the reduction, so the stationary law (Eq 18)
+    /// needs no correction factor. Every probe must survive the reduction
+    /// ([`CoreError::PrunedProbe`] otherwise).
+    pub fn for_view(
+        view: SpdView<'g>,
+        probes: &[Vertex],
+        config: JointSpaceConfig,
+    ) -> Result<Self, CoreError> {
+        let (n, k) = validate_joint(&view, probes, &config)?;
         let (initial, prop_rng, acc_rng) =
             crate::pipeline::derive_joint_streams(config.seed, config.initial, k, n);
-        let target = JointTarget { oracle: ProbeOracle::new(g, probes) };
+        let target = JointTarget { oracle: ProbeOracle::for_view(view, probes) };
         let chain = MetropolisHastings::with_streams(
             target,
             JointProposal { k: k as u32, n: n as u32 },
@@ -477,6 +495,44 @@ mod tests {
         assert!(matches!(
             JointSpaceSampler::new(&g, &[1, 2], JointSpaceConfig::new(10, 0).with_trace_pair(0, 5)),
             Err(CoreError::ProbeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn reduced_view_matches_direct_on_pendant_free_dyadic_graphs() {
+        use mhbc_graph::reduce::{reduce, ReduceLevel};
+        let g = generators::cycle(12);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        let probes = [0u32, 3, 7];
+        let config = JointSpaceConfig::new(3_000, 23);
+        let direct = JointSpaceSampler::new(&g, &probes, config.clone()).unwrap().run();
+        let through = JointSpaceSampler::for_view(SpdView::preprocessed(&g, &red), &probes, config)
+            .unwrap()
+            .run();
+        assert_eq!(direct.counts, through.counts);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    direct.relative[i][j].to_bits(),
+                    through.relative[i][j].to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_view_rejects_pruned_probes() {
+        use mhbc_graph::reduce::{reduce, ReduceLevel};
+        let g = generators::lollipop(5, 3);
+        let red = reduce(&g, ReduceLevel::Prune).unwrap();
+        assert!(matches!(
+            JointSpaceSampler::for_view(
+                SpdView::preprocessed(&g, &red),
+                &[0, 6],
+                JointSpaceConfig::new(10, 0)
+            ),
+            Err(CoreError::PrunedProbe { probe: 6 })
         ));
     }
 

@@ -34,6 +34,18 @@
 //! Both samplers work unchanged on weighted graphs (the kernel switches to
 //! Dijkstra SPDs, §2.1).
 //!
+//! ## Preprocessing (graph reduction)
+//!
+//! Every sampler and pipeline entry point has a `*_view` / `for_view`
+//! variant taking an [`mhbc_spd::SpdView`]: the graph together with an
+//! optional [`mhbc_graph::reduce::ReducedGraph`] (degree-1 pruning, twin
+//! collapsing, BFS relabelling). The chain's state space, proposal stream,
+//! and stationary distribution are **unchanged** — densities are mapped
+//! exactly through the reduction (see [`SingleSpaceSampler::for_view`] for
+//! the argument) — while each density evaluation costs one SPD pass over
+//! the smaller, cache-friendlier reduced CSR, shared across structurally
+//! equivalent sources via [`mhbc_spd::SpdView::row_key`] coalescing.
+//!
 //! ## Paper § → module map
 //!
 //! | Paper §/result | Topic | Where |
@@ -85,9 +97,11 @@ pub mod pipeline;
 pub mod planner;
 mod single;
 
-pub use ensemble::{run_ensemble, run_parallel_ensemble, EnsembleConfig, EnsembleEstimate};
+pub use ensemble::{
+    run_ensemble, run_ensemble_view, run_parallel_ensemble, EnsembleConfig, EnsembleEstimate,
+};
 pub use error::CoreError;
 pub use extended::{extended_relative_sampled, ExtendedEstimate};
 pub use joint::{JointSpaceConfig, JointSpaceEstimate, JointSpaceSampler, JointStepInfo};
-pub use pipeline::{run_joint, run_single, PrefetchConfig};
+pub use pipeline::{run_joint, run_joint_view, run_single, run_single_view, PrefetchConfig};
 pub use single::{SingleSpaceConfig, SingleSpaceEstimate, SingleSpaceSampler, SingleStepInfo};

@@ -11,14 +11,23 @@
 //! produces `δ_{v•}(x)` for every `x` (Eq 4), so the per-probe marginal cost
 //! is zero.
 //!
+//! Both oracles evaluate through an [`SpdView`] — a graph together with
+//! (optionally) its reduction from `mhbc_graph::reduce`. With a reduction
+//! active, cache entries are keyed by [`SpdView::row_key`] rather than by
+//! source vertex: structurally equivalent sources (twins of equal pendant
+//! weight; pendant vertices of the same attachment and branch shape) have
+//! *identical* dependency rows, so a whole equivalence class costs one SPD
+//! pass over the reduced CSR instead of one per member. Direct views key by
+//! vertex id, which reproduces the pre-reduction behaviour exactly.
+//!
 //! Capacity-limited oracles evict with a second-chance (CLOCK) policy: each
-//! cached source carries a referenced bit that hits set and the clock hand
+//! cached row carries a referenced bit that hits set and the clock hand
 //! clears, so the chain's hot working set — exactly the high-dependency
 //! sources the stationary law revisits — survives evictions that a
 //! wholesale flush would destroy.
 
 use mhbc_graph::{CsrGraph, Vertex};
-use mhbc_spd::DependencyCalculator;
+use mhbc_spd::{SpdView, ViewCalculator};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,22 +53,42 @@ impl OracleStats {
     }
 }
 
-/// One CLOCK ring slot: a cached source row plus its second-chance bit.
+/// Validates a probe set against a view: non-empty, in range, and (for
+/// reduced views) retained — pruned probes have closed-form exact BC and
+/// must not reach the samplers.
+fn validate_probes(view: &SpdView<'_>, probes: &[Vertex]) -> Vec<bool> {
+    assert!(!probes.is_empty(), "probe set must be non-empty");
+    let n = view.num_vertices();
+    let mut flag = vec![false; n];
+    for &p in probes {
+        assert!((p as usize) < n, "probe {p} out of range");
+        assert!(
+            view.is_retained(p),
+            "probe {p} was pruned by the reduction; use ReducedGraph::exact_pruned_bc"
+        );
+        flag[p as usize] = true;
+    }
+    flag
+}
+
+/// One CLOCK ring slot: a cached dependency row plus its second-chance bit.
 struct Slot {
-    source: Vertex,
+    key: u64,
     row: Box<[f64]>,
     referenced: bool,
 }
 
-/// Memoises `δ_{source•}(r)` for a fixed probe set, keyed by source vertex.
+/// Memoises `δ_{source•}(r)` for a fixed probe set, keyed by the source's
+/// [`SpdView::row_key`] (equal to the vertex id on direct views).
 ///
 /// Unbounded by default; [`ProbeOracle::with_capacity_limit`] bounds the
-/// number of cached sources with second-chance eviction (see module docs).
+/// number of cached rows with second-chance eviction (see module docs).
 pub struct ProbeOracle<'g> {
-    graph: &'g CsrGraph,
+    view: SpdView<'g>,
     probes: Vec<Vertex>,
-    calc: DependencyCalculator,
-    index: HashMap<Vertex, usize>,
+    probe_flag: Vec<bool>,
+    calc: ViewCalculator<'g>,
+    index: HashMap<u64, usize>,
     slots: Vec<Slot>,
     hand: usize,
     stats: OracleStats,
@@ -67,17 +96,22 @@ pub struct ProbeOracle<'g> {
 }
 
 impl<'g> ProbeOracle<'g> {
-    /// Oracle for the given probe set (panics on empty probes or
+    /// Oracle evaluating directly on `graph` (panics on empty probes or
     /// out-of-range ids — the samplers validate beforehand).
     pub fn new(graph: &'g CsrGraph, probes: &[Vertex]) -> Self {
-        assert!(!probes.is_empty(), "probe set must be non-empty");
-        for &p in probes {
-            assert!((p as usize) < graph.num_vertices(), "probe {p} out of range");
-        }
+        Self::for_view(SpdView::direct(graph), probes)
+    }
+
+    /// Oracle evaluating through `view` (direct or reduced). With a
+    /// reduction, every probe must be retained (panics otherwise; the
+    /// samplers surface this as a `CoreError` first).
+    pub fn for_view(view: SpdView<'g>, probes: &[Vertex]) -> Self {
+        let probe_flag = validate_probes(&view, probes);
         ProbeOracle {
-            graph,
+            view,
             probes: probes.to_vec(),
-            calc: DependencyCalculator::new(graph),
+            probe_flag,
+            calc: ViewCalculator::new(view),
             index: HashMap::new(),
             slots: Vec::new(),
             hand: 0,
@@ -86,7 +120,7 @@ impl<'g> ProbeOracle<'g> {
         }
     }
 
-    /// Bounds the cache to `entries` sources, evicted one at a time by the
+    /// Bounds the cache to `entries` rows, evicted one at a time by the
     /// second-chance (CLOCK) policy: the hand sweeps the ring clearing
     /// referenced bits and replaces the first slot whose bit is already
     /// clear. Sources the chain keeps revisiting keep their bit set and
@@ -101,17 +135,23 @@ impl<'g> ProbeOracle<'g> {
         &self.probes
     }
 
+    /// The view this oracle evaluates against.
+    pub fn view(&self) -> SpdView<'g> {
+        self.view
+    }
+
     /// `δ_{source•}(r)` for every probe `r`, cached.
     pub fn deps(&mut self, source: Vertex) -> &[f64] {
-        if let Some(&i) = self.index.get(&source) {
+        let key = self.view.row_key(source, self.probe_flag[source as usize]);
+        if let Some(&i) = self.index.get(&key) {
             self.stats.hits += 1;
             self.slots[i].referenced = true;
             return &self.slots[i].row;
         }
         self.stats.misses += 1;
         let mut row = Vec::with_capacity(self.probes.len());
-        self.calc.dependency_on_many(self.graph, source, &self.probes, &mut row);
-        let slot = Slot { source, row: row.into_boxed_slice(), referenced: false };
+        self.calc.dependency_on_many(source, &self.probes, &mut row);
+        let slot = Slot { key, row: row.into_boxed_slice(), referenced: false };
         let i = if self.slots.len() < self.capacity {
             self.slots.push(slot);
             self.slots.len() - 1
@@ -124,13 +164,13 @@ impl<'g> ProbeOracle<'g> {
                 if self.slots[h].referenced {
                     self.slots[h].referenced = false;
                 } else {
-                    self.index.remove(&self.slots[h].source);
+                    self.index.remove(&self.slots[h].key);
                     self.slots[h] = slot;
                     break h;
                 }
             }
         };
-        self.index.insert(source, i);
+        self.index.insert(key, i);
         &self.slots[i].row
     }
 
@@ -144,12 +184,13 @@ impl<'g> ProbeOracle<'g> {
         self.stats
     }
 
-    /// Number of SPD passes performed (equals `stats().misses`).
+    /// Number of SPD passes performed (equals `stats().misses` while the
+    /// cache is unbounded).
     pub fn spd_passes(&self) -> u64 {
         self.calc.passes()
     }
 
-    /// Number of distinct sources currently cached.
+    /// Number of distinct dependency rows currently cached.
     pub fn cached_sources(&self) -> usize {
         self.slots.len()
     }
@@ -161,30 +202,37 @@ impl<'g> ProbeOracle<'g> {
 /// cache ahead of the chain thread).
 ///
 /// Lookups take a read lock; misses compute the SPD pass *outside* any lock
-/// (each caller thread supplies its own [`DependencyCalculator`], usually
-/// checked out of an [`mhbc_spd::SpdWorkspacePool`]) and then insert under a
-/// short write lock. Duplicate concurrent computations of the same source
-/// are possible but harmless (last write wins with equal values) — which is
-/// why [`SharedProbeOracle::cached_sources`], not the miss counter, is the
-/// deterministic "distinct SPD passes" figure the pipelined samplers report.
+/// (each caller thread supplies its own [`ViewCalculator`], usually checked
+/// out of an [`mhbc_spd::SpdWorkspacePool`] bound to the same view) and
+/// then insert under a short write lock. Duplicate concurrent computations
+/// of the same row are possible but harmless (last write wins with equal
+/// values — rows are a pure function of the view and the row key) — which
+/// is why [`SharedProbeOracle::cached_sources`], not the miss counter, is
+/// the deterministic "distinct SPD passes" figure the pipelined samplers
+/// report.
 pub struct SharedProbeOracle<'g> {
-    graph: &'g CsrGraph,
+    view: SpdView<'g>,
     probes: Vec<Vertex>,
-    cache: RwLock<HashMap<Vertex, Box<[f64]>>>,
+    probe_flag: Vec<bool>,
+    cache: RwLock<HashMap<u64, Box<[f64]>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl<'g> SharedProbeOracle<'g> {
-    /// Shared oracle for the given probe set.
+    /// Shared oracle evaluating directly on `graph`.
     pub fn new(graph: &'g CsrGraph, probes: &[Vertex]) -> Self {
-        assert!(!probes.is_empty(), "probe set must be non-empty");
-        for &p in probes {
-            assert!((p as usize) < graph.num_vertices(), "probe {p} out of range");
-        }
+        Self::for_view(SpdView::direct(graph), probes)
+    }
+
+    /// Shared oracle evaluating through `view` (direct or reduced). With a
+    /// reduction, every probe must be retained.
+    pub fn for_view(view: SpdView<'g>, probes: &[Vertex]) -> Self {
+        let probe_flag = validate_probes(&view, probes);
         SharedProbeOracle {
-            graph,
+            view,
             probes: probes.to_vec(),
+            probe_flag,
             cache: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -196,47 +244,54 @@ impl<'g> SharedProbeOracle<'g> {
         &self.probes
     }
 
+    /// The view this oracle evaluates against.
+    pub fn view(&self) -> SpdView<'g> {
+        self.view
+    }
+
     /// Runs `f` over the cached (or freshly computed) row
     /// `δ_{source•}(probes)` without copying it out.
     pub fn with_deps<T>(
         &self,
         source: Vertex,
-        calc: &mut DependencyCalculator,
+        calc: &mut ViewCalculator<'g>,
         f: impl FnOnce(&[f64]) -> T,
     ) -> T {
-        if let Some(row) = self.cache.read().get(&source) {
+        let key = self.view.row_key(source, self.probe_flag[source as usize]);
+        if let Some(row) = self.cache.read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return f(row);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut row = Vec::with_capacity(self.probes.len());
-        calc.dependency_on_many(self.graph, source, &self.probes, &mut row);
+        calc.dependency_on_many(source, &self.probes, &mut row);
         let out = f(&row);
-        self.cache.write().insert(source, row.into_boxed_slice());
+        self.cache.write().insert(key, row.into_boxed_slice());
         out
     }
 
     /// `δ_{source•}(r)` for every probe, using `calc` for cache misses.
-    pub fn deps(&self, source: Vertex, calc: &mut DependencyCalculator) -> Vec<f64> {
+    pub fn deps(&self, source: Vertex, calc: &mut ViewCalculator<'g>) -> Vec<f64> {
         self.with_deps(source, calc, |row| row.to_vec())
     }
 
     /// Single-probe convenience (no allocation).
-    pub fn dep(&self, source: Vertex, idx: usize, calc: &mut DependencyCalculator) -> f64 {
+    pub fn dep(&self, source: Vertex, idx: usize, calc: &mut ViewCalculator<'g>) -> f64 {
         self.with_deps(source, calc, |row| row[idx])
     }
 
-    /// Ensures `source` is cached, computing it with `calc` if needed;
-    /// returns whether a computation happened. This is the prefetch
+    /// Ensures `source`'s row is cached, computing it with `calc` if
+    /// needed; returns whether a computation happened. This is the prefetch
     /// workers' entry point: it touches no statistics, so warming the cache
     /// never perturbs the chain-observable hit/miss history.
-    pub fn warm(&self, source: Vertex, calc: &mut DependencyCalculator) -> bool {
-        if self.cache.read().contains_key(&source) {
+    pub fn warm(&self, source: Vertex, calc: &mut ViewCalculator<'g>) -> bool {
+        let key = self.view.row_key(source, self.probe_flag[source as usize]);
+        if self.cache.read().contains_key(&key) {
             return false;
         }
         let mut row = Vec::with_capacity(self.probes.len());
-        calc.dependency_on_many(self.graph, source, &self.probes, &mut row);
-        self.cache.write().insert(source, row.into_boxed_slice());
+        calc.dependency_on_many(source, &self.probes, &mut row);
+        self.cache.write().insert(key, row.into_boxed_slice());
         true
     }
 
@@ -248,8 +303,8 @@ impl<'g> SharedProbeOracle<'g> {
         }
     }
 
-    /// Number of distinct sources cached — the deterministic SPD-pass count
-    /// for a run whose proposal set is fixed (see type docs).
+    /// Number of distinct dependency rows cached — the deterministic
+    /// SPD-pass count for a run whose proposal set is fixed (see type docs).
     pub fn cached_sources(&self) -> usize {
         self.cache.read().len()
     }
@@ -259,6 +314,8 @@ impl<'g> SharedProbeOracle<'g> {
 mod tests {
     use super::*;
     use mhbc_graph::generators;
+    use mhbc_graph::reduce::{reduce, ReduceLevel};
+    use mhbc_spd::DependencyCalculator;
 
     #[test]
     fn caches_repeat_evaluations() {
@@ -283,6 +340,37 @@ mod tests {
                 assert_eq!(row[i], calc.dependency_on(&g, src, p), "src {src} probe {p}");
             }
         }
+    }
+
+    #[test]
+    fn reduced_oracle_coalesces_equivalent_sources() {
+        // Star: all leaves share a dependency row (one SPD pass covers
+        // them), the centre has its own, and the probe leaf is isolated
+        // from its twins by the probe exception.
+        let g = generators::star(8);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        let view = SpdView::preprocessed(&g, &red);
+        let probe = 0u32; // the centre (retained; leaves are pruned)
+        assert!(red.is_retained(probe));
+        let mut o = ProbeOracle::for_view(view, &[probe]);
+        let mut reference = DependencyCalculator::new(&g);
+        for v in 0..g.num_vertices() as Vertex {
+            let got = o.dep(v, 0);
+            let want = reference.dependency_on(&g, v, probe);
+            assert!((got - want).abs() < 1e-12, "source {v}: {got} vs {want}");
+        }
+        // 8 sources evaluated, but leaves coalesce: centre + leaf class.
+        assert_eq!(o.cached_sources(), 2);
+        assert_eq!(o.stats().misses, 2);
+        assert_eq!(o.stats().hits, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "pruned by the reduction")]
+    fn pruned_probes_are_rejected_at_construction() {
+        let g = generators::lollipop(5, 3);
+        let red = reduce(&g, ReduceLevel::Prune).unwrap();
+        let _ = ProbeOracle::for_view(SpdView::preprocessed(&g, &red), &[7]);
     }
 
     #[test]
@@ -338,7 +426,7 @@ mod tests {
         let g = generators::barbell(4, 2);
         let probes = [0u32, 4, 9];
         let shared = SharedProbeOracle::new(&g, &probes);
-        let mut calc = DependencyCalculator::new(&g);
+        let mut calc = ViewCalculator::new(SpdView::direct(&g));
         let mut reference = DependencyCalculator::new(&g);
         for src in 0..g.num_vertices() as Vertex {
             let row = shared.deps(src, &mut calc);
@@ -357,10 +445,23 @@ mod tests {
     }
 
     #[test]
+    fn shared_reduced_oracle_coalesces_rows() {
+        let g = generators::star(8);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        let view = SpdView::preprocessed(&g, &red);
+        let shared = SharedProbeOracle::for_view(view, &[0]);
+        let mut calc = ViewCalculator::new(view);
+        for v in 0..g.num_vertices() as Vertex {
+            let _ = shared.dep(v, 0, &mut calc);
+        }
+        assert_eq!(shared.cached_sources(), 2, "centre + coalesced leaf class");
+    }
+
+    #[test]
     fn warm_populates_without_touching_stats() {
         let g = generators::barbell(4, 1);
         let shared = SharedProbeOracle::new(&g, &[4]);
-        let mut calc = DependencyCalculator::new(&g);
+        let mut calc = ViewCalculator::new(SpdView::direct(&g));
         assert!(shared.warm(0, &mut calc));
         assert!(!shared.warm(0, &mut calc), "second warm is a no-op");
         assert_eq!(shared.stats(), OracleStats::default());
@@ -379,7 +480,7 @@ mod tests {
                 let shared = &shared;
                 let g = &g;
                 scope.spawn(move |_| {
-                    let mut calc = DependencyCalculator::new(g);
+                    let mut calc = ViewCalculator::new(SpdView::direct(g));
                     let mut reference = DependencyCalculator::new(g);
                     for i in 0..n {
                         let v = (i + t * 3) % n;

@@ -18,7 +18,9 @@
 //! - the accept/reject RNG stream never leaves the chain thread (see
 //!   [`mhbc_mcmc::MetropolisHastings`]'s split streams);
 //! - workers only *warm* the cache — dependency rows are a deterministic
-//!   function of `(graph, source)`, so a warmed value equals the value the
+//!   function of the evaluation view and the source's row key (graph and
+//!   source directly; with a reduction active, the reduced CSR and the
+//!   source's equivalence class), so a warmed value equals the value the
 //!   chain would have computed itself;
 //! - the chain thread runs the exact same accumulation code
 //!   (`SingleAccumulator` / `JointAccumulator`) in the exact same order as
@@ -51,7 +53,7 @@ use crate::{
 };
 use mhbc_graph::{CsrGraph, Vertex};
 use mhbc_mcmc::{fn_target, MetropolisHastings, Proposal, StreamSplit, UniformProposal};
-use mhbc_spd::SpdWorkspacePool;
+use mhbc_spd::{SpdView, SpdWorkspacePool};
 use rand::{rngs::SmallRng, RngExt, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -101,18 +103,22 @@ impl Default for PrefetchConfig {
     }
 }
 
-/// Validates a single-space configuration, returning `n`.
+/// Validates a single-space configuration, returning `n` (the *original*
+/// vertex count — the sampler state space, whatever the view's reduction).
 pub(crate) fn validate_single(
-    g: &CsrGraph,
+    view: &SpdView<'_>,
     r: Vertex,
     config: &SingleSpaceConfig,
 ) -> Result<usize, CoreError> {
-    let n = g.num_vertices();
+    let n = view.num_vertices();
     if n < 3 {
         return Err(CoreError::GraphTooSmall { num_vertices: n });
     }
     if r as usize >= n {
         return Err(CoreError::ProbeOutOfRange { probe: r, num_vertices: n });
+    }
+    if !view.is_retained(r) {
+        return Err(CoreError::PrunedProbe { probe: r });
     }
     if let Some(v0) = config.initial {
         if v0 as usize >= n {
@@ -217,15 +223,29 @@ pub fn run_single(
     config: &SingleSpaceConfig,
     prefetch: &PrefetchConfig,
 ) -> Result<SingleSpaceEstimate, CoreError> {
-    let n = validate_single(g, r, config)?;
+    run_single_view(SpdView::direct(g), r, config, prefetch)
+}
+
+/// [`run_single`] evaluating densities through `view` — the preprocessing
+/// entry point. The chain, its proposal stream, and the estimator all live
+/// in **original** vertex ids; see [`SingleSpaceSampler::for_view`] for why
+/// the stationary distribution needs no correction. Output is bit-identical
+/// across thread counts for a fixed view.
+pub fn run_single_view(
+    view: SpdView<'_>,
+    r: Vertex,
+    config: &SingleSpaceConfig,
+    prefetch: &PrefetchConfig,
+) -> Result<SingleSpaceEstimate, CoreError> {
+    let n = validate_single(&view, r, config)?;
     if !prefetch.is_parallel() {
-        return Ok(SingleSpaceSampler::new(g, r, config.clone())?.run());
+        return Ok(SingleSpaceSampler::for_view(view, r, config.clone())?.run());
     }
     let workers = (prefetch.threads - 1) as u64;
     let depth = prefetch.depth.max(workers);
     let (initial, prop_rng, acc_rng) = derive_streams(config.seed, config.initial, n);
-    let oracle = SharedProbeOracle::new(g, &[r]);
-    let pool = SpdWorkspacePool::with_workers(g, prefetch.threads);
+    let oracle = SharedProbeOracle::for_view(view, &[r]);
+    let pool = SpdWorkspacePool::for_view_workers(view, prefetch.threads);
     let progress = AtomicU64::new(0);
     let iterations = config.iterations;
 
@@ -283,15 +303,26 @@ pub fn run_joint(
     config: &JointSpaceConfig,
     prefetch: &PrefetchConfig,
 ) -> Result<JointSpaceEstimate, CoreError> {
-    let (n, k) = joint::validate_joint(g, probes, config)?;
+    run_joint_view(SpdView::direct(g), probes, config, prefetch)
+}
+
+/// [`run_joint`] evaluating densities through `view`; every probe must
+/// survive the reduction ([`CoreError::PrunedProbe`] otherwise).
+pub fn run_joint_view(
+    view: SpdView<'_>,
+    probes: &[Vertex],
+    config: &JointSpaceConfig,
+    prefetch: &PrefetchConfig,
+) -> Result<JointSpaceEstimate, CoreError> {
+    let (n, k) = joint::validate_joint(&view, probes, config)?;
     if !prefetch.is_parallel() {
-        return Ok(JointSpaceSampler::new(g, probes, config.clone())?.run());
+        return Ok(JointSpaceSampler::for_view(view, probes, config.clone())?.run());
     }
     let workers = (prefetch.threads - 1) as u64;
     let depth = prefetch.depth.max(workers);
     let (initial, prop_rng, acc_rng) = derive_joint_streams(config.seed, config.initial, k, n);
-    let oracle = SharedProbeOracle::new(g, probes);
-    let pool = SpdWorkspacePool::with_workers(g, prefetch.threads + 1);
+    let oracle = SharedProbeOracle::for_view(view, probes);
+    let pool = SpdWorkspacePool::for_view_workers(view, prefetch.threads + 1);
     let progress = AtomicU64::new(0);
     let iterations = config.iterations;
 
@@ -408,6 +439,33 @@ mod tests {
         assert_eq!(fingerprint(&seq), fingerprint(&par));
         assert_eq!(seq.trace.unwrap(), par.trace.unwrap());
         assert_eq!(seq.density_series.unwrap(), par.density_series.unwrap());
+    }
+
+    #[test]
+    fn pipelined_reduced_single_matches_sequential_bitwise() {
+        use mhbc_graph::reduce::{reduce, ReduceLevel};
+        let g = generators::lollipop(6, 3);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        let view = SpdView::preprocessed(&g, &red);
+        let config = SingleSpaceConfig::new(1_500, 77);
+        let seq = run_single_view(view, 0, &config, &PrefetchConfig::sequential()).unwrap();
+        for threads in [2usize, 4] {
+            let par =
+                run_single_view(view, 0, &config, &PrefetchConfig::with_threads(threads)).unwrap();
+            assert_eq!(fingerprint(&seq), fingerprint(&par), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn pipelined_reduced_run_rejects_pruned_probes() {
+        use mhbc_graph::reduce::{reduce, ReduceLevel};
+        let g = generators::lollipop(6, 3);
+        let red = reduce(&g, ReduceLevel::Prune).unwrap();
+        let view = SpdView::preprocessed(&g, &red);
+        assert!(matches!(
+            run_single_view(view, 8, &SingleSpaceConfig::new(10, 0), &PrefetchConfig::sequential()),
+            Err(CoreError::PrunedProbe { probe: 8 })
+        ));
     }
 
     #[test]

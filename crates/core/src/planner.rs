@@ -14,7 +14,7 @@ use crate::optimal::theorem2_report;
 use crate::CoreError;
 use mhbc_graph::{CsrGraph, Vertex};
 use mhbc_mcmc::bounds;
-use mhbc_spd::dependency_profile_par;
+use mhbc_spd::{dependency_profile_par, dependency_profile_view_par, SpdView};
 
 /// How to obtain `µ(r)` for planning.
 #[derive(Debug, Clone, Copy)]
@@ -81,18 +81,39 @@ pub fn plan_single(
     delta: f64,
     mu_source: MuSource,
 ) -> Result<Plan, PlanError> {
-    if r as usize >= g.num_vertices() {
-        return Err(PlanError::Core(CoreError::ProbeOutOfRange {
-            probe: r,
-            num_vertices: g.num_vertices(),
-        }));
+    plan_single_view(SpdView::direct(g), r, epsilon, delta, mu_source)
+}
+
+/// [`plan_single`] evaluating through a view: with a reduction active, the
+/// exact `µ(r)` computation pays one SPD pass over the *reduced* CSR per
+/// distinct dependency row instead of one full-graph pass per vertex — the
+/// same saving the plan itself promises for the sampling run. `µ(r)` is
+/// invariant under the reduction (densities are mapped exactly).
+pub fn plan_single_view(
+    view: SpdView<'_>,
+    r: Vertex,
+    epsilon: f64,
+    delta: f64,
+    mu_source: MuSource,
+) -> Result<Plan, PlanError> {
+    let n = view.num_vertices();
+    if r as usize >= n {
+        return Err(PlanError::Core(CoreError::ProbeOutOfRange { probe: r, num_vertices: n }));
+    }
+    if !view.is_retained(r) {
+        return Err(PlanError::Core(CoreError::PrunedProbe { probe: r }));
     }
     let mu = match mu_source {
-        MuSource::Exact { threads } => {
-            dependency_profile_par(g, r, threads).mu().ok_or(PlanError::ZeroBetweenness)?
-        }
+        MuSource::Exact { threads } => match view.reduced() {
+            None => dependency_profile_par(view.graph(), r, threads)
+                .mu()
+                .ok_or(PlanError::ZeroBetweenness)?,
+            Some(_) => dependency_profile_view_par(view, r, threads)
+                .mu()
+                .ok_or(PlanError::ZeroBetweenness)?,
+        },
         MuSource::TheoremTwo => {
-            theorem2_report(g, r, 0.0).mu_bound.ok_or(PlanError::NotASeparator)?
+            theorem2_report(view.graph(), r, 0.0).mu_bound.ok_or(PlanError::NotASeparator)?
         }
         MuSource::Provided(mu) => mu,
     };
@@ -164,6 +185,36 @@ mod tests {
         assert!(matches!(
             plan_single(&g, 99, 0.1, 0.1, MuSource::Provided(2.0)).unwrap_err(),
             PlanError::Core(CoreError::ProbeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_through_reduction_matches_direct_plan() {
+        use mhbc_graph::reduce::{reduce, ReduceLevel};
+        let g = generators::lollipop(7, 4);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        let r = 6; // the path's clique attachment: retained, positive BC
+        let direct = plan_single(&g, r, 0.05, 0.05, MuSource::Exact { threads: 1 }).unwrap();
+        let through = plan_single_view(
+            SpdView::preprocessed(&g, &red),
+            r,
+            0.05,
+            0.05,
+            MuSource::Exact { threads: 1 },
+        )
+        .unwrap();
+        assert!((direct.mu - through.mu).abs() < 1e-9, "{} vs {}", direct.mu, through.mu);
+        assert_eq!(direct.iterations, through.iterations);
+        // A pruned probe plans as a dedicated error.
+        assert!(matches!(
+            plan_single_view(
+                SpdView::preprocessed(&g, &red),
+                9,
+                0.05,
+                0.05,
+                MuSource::Provided(2.0)
+            ),
+            Err(PlanError::Core(CoreError::PrunedProbe { probe: 9 }))
         ));
     }
 

@@ -4,6 +4,7 @@ use crate::oracle::{OracleStats, ProbeOracle};
 use crate::CoreError;
 use mhbc_graph::{CsrGraph, Vertex};
 use mhbc_mcmc::{MetropolisHastings, StepOutcome, TargetDensity, UniformProposal};
+use mhbc_spd::SpdView;
 use rand::rngs::SmallRng;
 
 /// Target density of the single-space chain: `f(v) = δ_{v•}(r)` — the
@@ -269,10 +270,40 @@ pub struct SingleSpaceSampler<'g> {
 impl<'g> SingleSpaceSampler<'g> {
     /// Builds a sampler for probe vertex `r` on `g` (weighted or not).
     pub fn new(g: &'g CsrGraph, r: Vertex, config: SingleSpaceConfig) -> Result<Self, CoreError> {
-        let n = crate::pipeline::validate_single(g, r, &config)?;
+        Self::for_view(SpdView::direct(g), r, config)
+    }
+
+    /// Builds a sampler evaluating densities through `view` — directly on
+    /// the graph, or through its reduction (`mhbc_graph::reduce`).
+    ///
+    /// # Stationary distribution under a reduction
+    ///
+    /// The chain's state space stays the **original** vertex set `V(G)`
+    /// whatever the view: proposals are uniform over `V(G)`, and the target
+    /// density of state `v` is `δ_{v•}(r)` mapped *exactly* through the
+    /// reduction (`mhbc_spd::reduced` proves the mapping against direct
+    /// Brandes). Since the density function is pointwise identical to the
+    /// direct one, the acceptance ratios and therefore the stationary law
+    /// `P_r[v] ∝ δ_{v•}(r)` (Eq 5) are preserved with **no sampling-space
+    /// correction factor** — only the per-evaluation cost changes (one SPD
+    /// pass over the reduced CSR, shared across structurally equivalent
+    /// sources). The alternative design — running the chain on the reduced
+    /// vertex set — would require reweighting proposals by class size
+    /// `Ω(z)/n` to keep Eq 5; keeping the original space avoids that
+    /// correction entirely and keeps seeds comparable across preprocess
+    /// levels.
+    ///
+    /// Errors with [`CoreError::PrunedProbe`] if the reduction pruned `r`
+    /// (its exact betweenness is already known in closed form).
+    pub fn for_view(
+        view: SpdView<'g>,
+        r: Vertex,
+        config: SingleSpaceConfig,
+    ) -> Result<Self, CoreError> {
+        let n = crate::pipeline::validate_single(&view, r, &config)?;
         let (initial, prop_rng, acc_rng) =
             crate::pipeline::derive_streams(config.seed, config.initial, n);
-        let target = SingleTarget { oracle: ProbeOracle::new(g, &[r]) };
+        let target = SingleTarget { oracle: ProbeOracle::for_view(view, &[r]) };
         let chain = MetropolisHastings::with_streams(
             target,
             UniformProposal::new(n),
@@ -478,6 +509,90 @@ mod tests {
             SingleSpaceSampler::new(&g, 0, SingleSpaceConfig::new(10, 0).with_initial(99)),
             Err(CoreError::ProbeOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn reduced_view_is_bit_identical_on_pendant_free_dyadic_graphs() {
+        // Cycles have σ ∈ {1, 2} and dyadic dependency values, so the
+        // reduced pass (relabelled, multiplicity-aware with all-unit
+        // multiplicities) reproduces every density bit for bit — and
+        // therefore the whole chain trajectory and estimate.
+        use mhbc_graph::reduce::{reduce, ReduceLevel};
+        for n in [15usize, 16] {
+            let g = generators::cycle(n);
+            let red = reduce(&g, ReduceLevel::Full).unwrap();
+            assert_eq!(red.stats().pruned_vertices, 0);
+            assert_eq!(red.stats().collapsed_vertices, 0);
+            for seed in [3u64, 19] {
+                let direct = SingleSpaceSampler::new(&g, 0, SingleSpaceConfig::new(2_000, seed))
+                    .unwrap()
+                    .run();
+                let through = SingleSpaceSampler::for_view(
+                    SpdView::preprocessed(&g, &red),
+                    0,
+                    SingleSpaceConfig::new(2_000, seed),
+                )
+                .unwrap()
+                .run();
+                assert_eq!(direct.bc.to_bits(), through.bc.to_bits(), "cycle({n}) seed {seed}");
+                assert_eq!(direct.bc_corrected.to_bits(), through.bc_corrected.to_bits());
+                assert_eq!(direct.acceptance_rate.to_bits(), through.acceptance_rate.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_view_converges_to_the_same_limit_on_pendant_graphs() {
+        use mhbc_graph::reduce::{reduce, ReduceLevel};
+        let g = generators::lollipop(8, 4);
+        let r = 0; // a clique vertex (the pendant path prunes away entirely)
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        assert!(red.stats().pruned_vertices > 0);
+        assert!(red.is_retained(r));
+        let direct =
+            SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(40_000, 7)).unwrap().run();
+        let through = SingleSpaceSampler::for_view(
+            SpdView::preprocessed(&g, &red),
+            r,
+            SingleSpaceConfig::new(40_000, 7),
+        )
+        .unwrap()
+        .run();
+        assert!(
+            (direct.bc - through.bc).abs() < 0.02,
+            "direct {} vs reduced {}",
+            direct.bc,
+            through.bc
+        );
+        assert!((direct.bc_corrected - through.bc_corrected).abs() < 0.02);
+        // The reduced run needs strictly fewer SPD passes: pendant sources
+        // coalesce onto their attachment's row.
+        assert!(
+            through.spd_passes < direct.spd_passes,
+            "reduced {} vs direct {}",
+            through.spd_passes,
+            direct.spd_passes
+        );
+    }
+
+    #[test]
+    fn pruned_probe_is_rejected_with_a_dedicated_error() {
+        use mhbc_graph::reduce::{reduce, ReduceLevel};
+        let g = generators::lollipop(5, 3);
+        let red = reduce(&g, ReduceLevel::Prune).unwrap();
+        let r = 7; // path tail: pruned
+        assert!(!red.is_retained(r));
+        assert!(matches!(
+            SingleSpaceSampler::for_view(
+                SpdView::preprocessed(&g, &red),
+                r,
+                SingleSpaceConfig::new(10, 0)
+            ),
+            Err(CoreError::PrunedProbe { probe: 7 })
+        ));
+        // The closed form is available instead.
+        let exact = mhbc_spd::exact_betweenness_of(&g, r);
+        assert_eq!(red.exact_pruned_bc(r), Some(exact));
     }
 
     #[test]

@@ -5,13 +5,18 @@
 //! regimes the paper discusses (see DESIGN.md "Substitutions"):
 //!
 //! - [`barabasi_albert`] — scale-free graphs with power-law betweenness
-//!   (the paper cites Barabási–Albert \[3\] and Barthelemy \[4\]);
+//!   (the paper cites Barabási–Albert \[3\] and Barthelemy \[4\]), and
+//!   [`preferential_attachment_mixed`] — the same growth process with a
+//!   realistic degree-1 mass (real SNAP graphs are 15–40% pendant
+//!   vertices, which fixed-`m` BA forbids);
 //! - [`erdos_renyi_gnp`] / [`erdos_renyi_gnm`] — homogeneous random graphs;
 //! - [`watts_strogatz`] — small-world ring lattices;
 //! - [`grid`] — road-network-like lattices;
 //! - classic graphs ([`path`], [`star`], [`barbell`], …) with analytically
 //!   known betweenness, used heavily in tests;
 //! - [`planted_partition`] — community structure (Girvan–Newman motivation);
+//! - [`duplication_divergence`] — replication-built networks carrying the
+//!   twin (identical-neighbourhood) redundancy of protein/co-purchase data;
 //! - [`hub_separator`] — the balanced-vertex-separator family realising the
 //!   hypothesis of Theorem 2 (µ(r) constant).
 //!
@@ -21,16 +26,18 @@
 mod ba;
 mod classic;
 mod community;
+mod dup;
 mod er;
 mod grid;
 mod separator;
 mod ws;
 
-pub use ba::barabasi_albert;
+pub use ba::{barabasi_albert, preferential_attachment_mixed};
 pub use classic::{
     balanced_tree, barbell, complete, complete_bipartite, cycle, lollipop, path, star, wheel,
 };
 pub use community::planted_partition;
+pub use dup::duplication_divergence;
 pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
 pub use grid::grid;
 pub use separator::{hub_separator, HubSeparator};

@@ -14,6 +14,9 @@
 //!   (Erdős–Rényi, Barabási–Albert, Watts–Strogatz, grids, classic graphs,
 //!   planted communities, and the balanced-separator family of Theorem 2);
 //! - [`algo`] — traversals, connected components, and diameter estimation;
+//! - [`reduce`] — preprocessing for the samplers: degree-1 pruning with
+//!   exact betweenness corrections, twin collapsing into weighted
+//!   super-vertices, and BFS relabelling for cache locality;
 //! - [`io`] — whitespace-separated edge-list reading/writing.
 //!
 //! Vertices are dense `u32` indices in `0..n`. All random generators take a
@@ -41,6 +44,7 @@ mod builder;
 mod csr;
 pub mod generators;
 pub mod io;
+pub mod reduce;
 mod stats;
 
 pub use builder::GraphBuilder;

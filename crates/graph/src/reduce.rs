@@ -1,0 +1,928 @@
+//! Graph reduction: degree-1 pruning, equivalent-vertex collapsing, and
+//! cache-locality relabelling.
+//!
+//! Every Metropolis–Hastings iteration costs one SPD pass over the graph
+//! (§4.1), so shrinking and reordering the graph *before* sampling cuts the
+//! per-sample price of every estimator in the suite. This module builds a
+//! [`ReducedGraph`]: a smaller, relabelled CSR together with the exact
+//! bookkeeping needed to answer original-graph queries from it.
+//!
+//! # The three transformations
+//!
+//! **Degree-1 pruning.** A vertex of degree 1 (and, iteratively, whole
+//! pendant trees) can never be an *interior* vertex of a shortest path
+//! between two surviving vertices. Pruning vertex `v` (with accumulated
+//! subtree weight `ω(v)`) whose sole live neighbour is `u` credits `u` with
+//! the exact betweenness of every pair it separates:
+//!
+//! ```text
+//! c(u) += 2 · ω(v) · (C − ω(v) − ω(u)),      then      ω(u) += ω(v)
+//! ```
+//!
+//! where `C` is the size of the component and `ω(x)` counts the original
+//! vertices already merged into `x` (including `x` itself). The credit is
+//! the number of ordered pairs `(s, t)` with `s` in `v`'s pendant subtree
+//! and `t` in the rest of the component minus `u`'s own merged set — exactly
+//! the pairs for which `u` is an interior vertex and which no later prune or
+//! reduced-graph pass will count again (pairs between two subtrees hanging
+//! off `u` are credited when the *first* of the two is pruned, because the
+//! second still counts as "rest" at that moment). Summed to fixpoint, the
+//! credits `c(x)` are **exact**: a pruned vertex's betweenness is final at
+//! prune time, and a retained vertex's betweenness is `c(x)` plus the
+//! vertex-weighted Brandes sum over the reduced graph (every shortest path
+//! between retained vertices avoids pendant trees, and a reduced pair
+//! `(s, t)` stands for `ω(s)·ω(t)` original pairs).
+//!
+//! **Equivalent-vertex collapsing** (level [`ReduceLevel::Full`] only).
+//! Vertices with identical sorted neighbourhoods are interchangeable under
+//! a graph automorphism, so one super-vertex with a *multiplicity* `μ`
+//! represents the whole class:
+//!
+//! - *false twins*: identical open neighbourhoods `N(u) = N(v)` (such
+//!   vertices are necessarily non-adjacent; mutual distance 2);
+//! - *true twins*: identical closed neighbourhoods `N[u] = N[v]` (such
+//!   vertices are necessarily adjacent; mutual distance 1).
+//!
+//! Shortest-path counts on the pruned graph are recovered from the
+//! collapsed graph by multiplying σ through intermediate classes — see the
+//! multiplicity-aware kernels in `mhbc-spd` — with two analytic corrections
+//! (same-class targets sit at distance 2 via `Σ_{u ∈ N_H(z)} μ(u)` common
+//! neighbours for false twins, and contribute nothing for true twins).
+//! Collapsing is refused on weighted graphs: class members would need
+//! identical per-neighbour weights for the automorphism argument to hold.
+//!
+//! **Relabelling.** The collapsed graph is renumbered in BFS order from its
+//! highest-degree vertex, so that the frontier of an SPD pass reads mostly
+//! consecutive adjacency ranges — the locality the memory-bound BFS kernel
+//! wants. All maps in [`ReducedGraph`] are expressed in the *final* ids.
+//!
+//! # Using a reduction
+//!
+//! `mhbc-spd` consumes [`ReducedGraph`] through its `SpdView` /
+//! `ReducedCalculator` types, which map original-id dependency queries
+//! `δ_{v•}(r)` through the reduction *exactly* — the samplers keep their
+//! original state space and stationary distribution. See that crate for the
+//! mapping formulas and their derivation.
+//!
+//! ```
+//! use mhbc_graph::{generators, reduce};
+//!
+//! // A lollipop = clique + pendant path: the path prunes away entirely and
+//! // the clique interior collapses to one super-vertex.
+//! let g = generators::lollipop(8, 4);
+//! let red = reduce::reduce(&g, reduce::ReduceLevel::Full).unwrap();
+//! assert_eq!(red.stats().pruned_vertices, 4);
+//! assert!(red.csr().num_vertices() <= 2);
+//! ```
+
+use crate::algo::connected_components;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+use std::collections::{HashMap, VecDeque};
+
+/// How much preprocessing to apply before sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceLevel {
+    /// No reduction: the identity mapping (useful for uniform benching).
+    Off,
+    /// Iterative degree-1 pruning with exact betweenness corrections.
+    Prune,
+    /// Pruning plus twin collapsing plus BFS relabelling.
+    Full,
+}
+
+impl ReduceLevel {
+    /// Parses the CLI spelling (`off` / `prune` / `full`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(ReduceLevel::Off),
+            "prune" => Some(ReduceLevel::Prune),
+            "full" => Some(ReduceLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReduceLevel::Off => "off",
+            ReduceLevel::Prune => "prune",
+            ReduceLevel::Full => "full",
+        }
+    }
+}
+
+/// Why a reduction could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReduceError {
+    /// [`ReduceLevel::Full`] on a weighted graph: collapsing requires equal
+    /// edge weights within a class, which general weighted graphs violate.
+    WeightedCollapse,
+}
+
+impl std::fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceError::WeightedCollapse => write!(
+                f,
+                "equivalent-vertex collapsing requires an unweighted graph \
+                 (use --preprocess prune for weighted graphs)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
+
+/// What a super-vertex of the reduced graph stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwinKind {
+    /// A single retained vertex (no collapsing happened here).
+    Single,
+    /// A class of false twins: identical *open* neighbourhoods, mutual
+    /// distance 2 through every common neighbour.
+    False,
+    /// A class of true twins: identical *closed* neighbourhoods, mutually
+    /// adjacent (distance 1, a unique shortest path with no interior).
+    True,
+}
+
+/// Where an original vertex ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VertexState {
+    /// Survives as a member of reduced vertex `h`, carrying pendant weight
+    /// `omega` (itself plus its pruned pendant trees).
+    Retained {
+        /// Reduced (final, relabelled) vertex id.
+        h: Vertex,
+        /// Original vertices this member represents (`>= 1`).
+        omega: u32,
+    },
+    /// Pruned into the pendant forest.
+    Pruned {
+        /// The retained original vertex its pendant tree hangs from.
+        att: Vertex,
+        /// Size of the maximal pruned subtree hanging off `att` that
+        /// contains this vertex (its *branch*), in original vertices.
+        branch: u32,
+    },
+}
+
+/// Size bookkeeping of a reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReduceStats {
+    /// Vertices and edges of the original graph.
+    pub orig_vertices: usize,
+    /// Edges of the original graph.
+    pub orig_edges: usize,
+    /// Vertices removed by pruning.
+    pub pruned_vertices: usize,
+    /// Vertices absorbed into twin classes (`Σ (μ − 1)`).
+    pub collapsed_vertices: usize,
+    /// Vertices of the reduced graph.
+    pub reduced_vertices: usize,
+    /// Edges of the reduced graph.
+    pub reduced_edges: usize,
+}
+
+impl ReduceStats {
+    /// `(n + m) / (n_H + m_H)`: how much smaller one SPD pass became.
+    pub fn work_ratio(&self) -> f64 {
+        let orig = (self.orig_vertices + self.orig_edges) as f64;
+        let red = (self.reduced_vertices + self.reduced_edges).max(1) as f64;
+        orig / red
+    }
+
+    /// `n / n_H` (`>= 1`).
+    pub fn vertex_ratio(&self) -> f64 {
+        self.orig_vertices as f64 / self.reduced_vertices.max(1) as f64
+    }
+}
+
+/// A reduced graph: the collapsed, relabelled CSR plus the exact forward
+/// and inverse maps between original and reduced vertex spaces.
+///
+/// Built by [`reduce`]; consumed by the `mhbc-spd` reduced dependency
+/// engine. All per-reduced-vertex arrays are indexed by final (relabelled)
+/// reduced ids; all per-original arrays by original ids.
+#[derive(Debug, Clone)]
+pub struct ReducedGraph {
+    level: ReduceLevel,
+    csr: CsrGraph,
+    orig_n: usize,
+    // Per reduced vertex.
+    mult: Box<[f64]>,
+    weight: Box<[f64]>,
+    sum_w2: Box<[f64]>,
+    wdeg: Box<[f64]>,
+    kind: Box<[TwinKind]>,
+    comp_total: Box<[f64]>,
+    member_offsets: Box<[usize]>,
+    member_ids: Box<[Vertex]>,
+    // Per original vertex.
+    state: Box<[VertexState]>,
+    corrections: Box<[f64]>,
+    row_group: Box<[u32]>,
+    stats: ReduceStats,
+}
+
+impl ReducedGraph {
+    /// The reduction level this graph was built at.
+    pub fn level(&self) -> ReduceLevel {
+        self.level
+    }
+
+    /// The reduced CSR (`H`), in final relabelled ids.
+    #[inline]
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Number of vertices of the *original* graph.
+    #[inline]
+    pub fn orig_vertices(&self) -> usize {
+        self.orig_n
+    }
+
+    /// Multiplicity `μ(z)`: how many retained vertices the class collapses.
+    #[inline]
+    pub fn mult(&self, z: Vertex) -> f64 {
+        self.mult[z as usize]
+    }
+
+    /// Raw multiplicity slice (kernel input).
+    #[inline]
+    pub fn mults(&self) -> &[f64] {
+        &self.mult
+    }
+
+    /// Total pendant weight `Ω(z) = Σ_{x ∈ class} ω(x)`: how many *original*
+    /// vertices the class represents.
+    #[inline]
+    pub fn weight(&self, z: Vertex) -> f64 {
+        self.weight[z as usize]
+    }
+
+    /// Raw weight slice (the backward kernel's target seeds).
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weight
+    }
+
+    /// `Σ_{x ∈ class} ω(x)²` (used by the exact all-vertices path).
+    #[inline]
+    pub fn sum_w2(&self, z: Vertex) -> f64 {
+        self.sum_w2[z as usize]
+    }
+
+    /// Multiplicity-weighted degree `Σ_{u ∈ N_H(z)} μ(u)` — the number of
+    /// common neighbours two false twins of class `z` share in the pruned
+    /// graph.
+    #[inline]
+    pub fn wdeg(&self, z: Vertex) -> f64 {
+        self.wdeg[z as usize]
+    }
+
+    /// What kind of class `z` is.
+    #[inline]
+    pub fn kind(&self, z: Vertex) -> TwinKind {
+        self.kind[z as usize]
+    }
+
+    /// Original size of the connected component `z` belongs to.
+    #[inline]
+    pub fn comp_total(&self, z: Vertex) -> f64 {
+        self.comp_total[z as usize]
+    }
+
+    /// The retained original vertices collapsed into `z`.
+    #[inline]
+    pub fn members(&self, z: Vertex) -> &[Vertex] {
+        let z = z as usize;
+        &self.member_ids[self.member_offsets[z]..self.member_offsets[z + 1]]
+    }
+
+    /// Where original vertex `v` went.
+    #[inline]
+    pub fn state(&self, v: Vertex) -> VertexState {
+        self.state[v as usize]
+    }
+
+    /// Whether original vertex `v` survives in the reduced graph.
+    #[inline]
+    pub fn is_retained(&self, v: Vertex) -> bool {
+        matches!(self.state[v as usize], VertexState::Retained { .. })
+    }
+
+    /// Pruning corrections `c(v)` (raw, unnormalised pair counts) per
+    /// original vertex. For a *pruned* vertex this is its exact raw
+    /// betweenness; for a retained vertex it is the pendant share that the
+    /// reduced-graph Brandes sum must be added to.
+    #[inline]
+    pub fn corrections(&self) -> &[f64] {
+        &self.corrections
+    }
+
+    /// Exact betweenness (Eq 1 normalisation) of a **pruned** vertex, known
+    /// in closed form from the corrections; `None` if `v` was retained.
+    pub fn exact_pruned_bc(&self, v: Vertex) -> Option<f64> {
+        match self.state[v as usize] {
+            VertexState::Pruned { .. } => {
+                let n = self.orig_n as f64;
+                Some(self.corrections[v as usize] / (n * (n - 1.0)))
+            }
+            VertexState::Retained { .. } => None,
+        }
+    }
+
+    /// Row-coalescing group of `v`: original vertices with equal groups have
+    /// *identical dependency rows* `δ_{v•}(·)` for any probe set that does
+    /// not contain them (twins share rows; pendant vertices of the same
+    /// branch shape share rows). Density caches key on this to turn whole
+    /// classes into a single SPD pass.
+    #[inline]
+    pub fn row_group(&self, v: Vertex) -> u32 {
+        self.row_group[v as usize]
+    }
+
+    /// Size bookkeeping.
+    pub fn stats(&self) -> &ReduceStats {
+        &self.stats
+    }
+}
+
+/// Builds the reduction of `g` at `level`. See the module docs for the
+/// exact semantics of each level.
+///
+/// Errors only on [`ReduceLevel::Full`] over a weighted graph
+/// ([`ReduceError::WeightedCollapse`]); pruning alone is weight-agnostic
+/// (pendant trees are forced routes whatever the edge weights).
+pub fn reduce(g: &CsrGraph, level: ReduceLevel) -> Result<ReducedGraph, ReduceError> {
+    if g.is_weighted() && level == ReduceLevel::Full {
+        return Err(ReduceError::WeightedCollapse);
+    }
+    let n = g.num_vertices();
+
+    // Component sizes (pair counting must never cross components).
+    let comps = connected_components(g);
+    let comp_sizes = comps.sizes();
+    let comp_of = |v: usize| comps.labels[v] as usize;
+
+    // ---- Degree-1 pruning to fixpoint --------------------------------
+    let mut degree: Vec<u32> = (0..n).map(|v| g.degree(v as Vertex) as u32).collect();
+    let mut omega = vec![1u64; n];
+    let mut corrections = vec![0.0f64; n];
+    let mut pruned = vec![false; n];
+    let mut parent = vec![u32::MAX; n];
+    if level != ReduceLevel::Off {
+        let mut queue: VecDeque<u32> = (0..n as u32).filter(|&v| degree[v as usize] == 1).collect();
+        while let Some(v) = queue.pop_front() {
+            let vu = v as usize;
+            if pruned[vu] || degree[vu] != 1 {
+                continue;
+            }
+            let u = *g
+                .neighbors(v)
+                .iter()
+                .find(|&&u| !pruned[u as usize])
+                .expect("degree-1 vertex has a live neighbour");
+            let uu = u as usize;
+            let c = comp_sizes[comp_of(vu)] as u64;
+            corrections[uu] += 2.0 * omega[vu] as f64 * (c - omega[vu] - omega[uu]) as f64;
+            omega[uu] += omega[vu];
+            parent[vu] = u;
+            pruned[vu] = true;
+            degree[vu] = 0;
+            degree[uu] -= 1;
+            if degree[uu] == 1 {
+                queue.push_back(u);
+            }
+        }
+    }
+    let pruned_count = pruned.iter().filter(|&&p| p).count();
+
+    // ---- Attachment / branch resolution ------------------------------
+    // att(v): the first retained vertex on v's parent chain. broot(v): the
+    // last pruned vertex before it (the root of v's branch).
+    let mut att = vec![u32::MAX; n];
+    let mut broot = vec![u32::MAX; n];
+    let mut chain: Vec<u32> = Vec::new();
+    for v in 0..n as u32 {
+        if !pruned[v as usize] || att[v as usize] != u32::MAX {
+            continue;
+        }
+        chain.clear();
+        let mut x = v;
+        while pruned[x as usize] && att[x as usize] == u32::MAX {
+            chain.push(x);
+            x = parent[x as usize];
+        }
+        let (a, root) = if pruned[x as usize] {
+            (att[x as usize], broot[x as usize])
+        } else {
+            (x, *chain.last().expect("chain non-empty"))
+        };
+        for &c in &chain {
+            att[c as usize] = a;
+            broot[c as usize] = root;
+        }
+    }
+    let mut branch_size = vec![0u32; n];
+    for v in 0..n {
+        if pruned[v] {
+            branch_size[broot[v] as usize] += 1;
+        }
+    }
+
+    // ---- Twin classes over the retained subgraph ----------------------
+    let retained: Vec<u32> = (0..n as u32).filter(|&v| !pruned[v as usize]).collect();
+    // class_pre[v]: pre-relabel class id of retained v.
+    let mut class_pre = vec![u32::MAX; n];
+    let mut classes_pre: Vec<Vec<u32>> = Vec::new();
+    if level == ReduceLevel::Full {
+        // Live (retained-only) sorted neighbour list per retained vertex.
+        let live: HashMap<u32, Vec<u32>> = retained
+            .iter()
+            .map(|&v| {
+                (v, g.neighbors(v).iter().copied().filter(|&u| !pruned[u as usize]).collect())
+            })
+            .collect();
+        // False twins: identical open neighbourhoods (degree >= 1 only —
+        // degree-0 vertices may sit in different components).
+        let mut open_groups: HashMap<&[u32], Vec<u32>> = HashMap::new();
+        for &v in &retained {
+            let key = &live[&v][..];
+            if !key.is_empty() {
+                open_groups.entry(key).or_default().push(v);
+            }
+        }
+        let mut kinds: Vec<TwinKind> = Vec::new();
+        for &v in &retained {
+            if class_pre[v as usize] != u32::MAX {
+                continue;
+            }
+            if let Some(group) = open_groups.get(&live[&v][..]) {
+                if group.len() >= 2 && group[0] == v {
+                    let id = classes_pre.len() as u32;
+                    for &m in group {
+                        class_pre[m as usize] = id;
+                    }
+                    classes_pre.push(group.clone());
+                    kinds.push(TwinKind::False);
+                }
+            }
+        }
+        // True twins among the rest: identical closed neighbourhoods. Each
+        // vertex's sorted closed key is computed once; `gidx` remembers
+        // which group it landed in so the (deterministic, retained-order)
+        // class assignment below needs no second key construction.
+        let closed_key = |v: u32| -> Vec<u32> {
+            let mut k = live[&v].clone();
+            let pos = k.partition_point(|&u| u < v);
+            k.insert(pos, v);
+            k
+        };
+        let mut closed_groups: Vec<Vec<u32>> = Vec::new();
+        let mut group_of: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut gidx = vec![usize::MAX; n];
+        for &v in &retained {
+            if class_pre[v as usize] == u32::MAX && !live[&v].is_empty() {
+                let i = *group_of.entry(closed_key(v)).or_insert_with(|| {
+                    closed_groups.push(Vec::new());
+                    closed_groups.len() - 1
+                });
+                closed_groups[i].push(v);
+                gidx[v as usize] = i;
+            }
+        }
+        for &v in &retained {
+            if class_pre[v as usize] != u32::MAX {
+                continue;
+            }
+            if gidx[v as usize] != usize::MAX {
+                let group = &closed_groups[gidx[v as usize]];
+                if group.len() >= 2 && group[0] == v {
+                    let id = classes_pre.len() as u32;
+                    for &m in group {
+                        class_pre[m as usize] = id;
+                    }
+                    classes_pre.push(group.clone());
+                    kinds.push(TwinKind::True);
+                    continue;
+                }
+            }
+            let id = classes_pre.len() as u32;
+            class_pre[v as usize] = id;
+            classes_pre.push(vec![v]);
+            kinds.push(TwinKind::Single);
+        }
+        debug_assert_eq!(kinds.len(), classes_pre.len());
+        // Build the reduction below with per-class kinds.
+        return assemble(
+            g,
+            level,
+            n,
+            &comps.labels,
+            &comp_sizes,
+            &omega,
+            corrections,
+            &pruned,
+            pruned_count,
+            &att,
+            &broot,
+            &branch_size,
+            class_pre,
+            classes_pre,
+            kinds,
+        );
+    }
+    // Off / Prune: singleton classes in ascending retained order.
+    let mut kinds = Vec::with_capacity(retained.len());
+    for &v in &retained {
+        class_pre[v as usize] = classes_pre.len() as u32;
+        classes_pre.push(vec![v]);
+        kinds.push(TwinKind::Single);
+    }
+    assemble(
+        g,
+        level,
+        n,
+        &comps.labels,
+        &comp_sizes,
+        &omega,
+        corrections,
+        &pruned,
+        pruned_count,
+        &att,
+        &broot,
+        &branch_size,
+        class_pre,
+        classes_pre,
+        kinds,
+    )
+}
+
+/// Builds H from the class partition, relabels it, and assembles the final
+/// [`ReducedGraph`].
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    g: &CsrGraph,
+    level: ReduceLevel,
+    n: usize,
+    comp_labels: &[u32],
+    comp_sizes: &[usize],
+    omega: &[u64],
+    corrections: Vec<f64>,
+    pruned: &[bool],
+    pruned_count: usize,
+    att: &[u32],
+    broot: &[u32],
+    branch_size: &[u32],
+    class_pre: Vec<u32>,
+    classes_pre: Vec<Vec<u32>>,
+    kinds: Vec<TwinKind>,
+) -> Result<ReducedGraph, ReduceError> {
+    let h_n = classes_pre.len();
+
+    // Class-level edge list (deduplicated; intra-class edges dropped).
+    let mut h_edges: Vec<(u32, u32, f64)> = Vec::new();
+    for (u, v, w) in g.edges() {
+        if pruned[u as usize] || pruned[v as usize] {
+            continue;
+        }
+        let (cu, cv) = (class_pre[u as usize], class_pre[v as usize]);
+        if cu != cv {
+            h_edges.push((cu.min(cv), cu.max(cv), w));
+        }
+    }
+    h_edges.sort_by_key(|e| (e.0, e.1));
+    h_edges.dedup_by_key(|e| (e.0, e.1));
+
+    // Relabel: BFS order from the highest-degree vertex of each component
+    // (components visited by descending root degree, ties by smaller id),
+    // keeping pre-id order inside each frontier. Applied only when it
+    // pays: the SPD kernel is memory-bound on *traversal-order locality* —
+    // a pass walks the frontier in BFS order, and consecutive frontier
+    // vertices with near-consecutive ids stream consecutive CSR rows and
+    // dist/σ cache lines (hardware-prefetch friendly), while fragmented
+    // orders jump between distant rows on every step. The guard measures
+    // the natural layout's traversal locality (fraction of consecutive BFS
+    // visits within 16 ids of each other; the BFS layout scores ~1 by
+    // construction) and relabels only when the natural order is fragmented
+    // (< half local). Ring-ordered and already-relabelled graphs keep
+    // their ids — making the relabel idempotent — while chronological,
+    // scrambled, or cluster-interleaved layouts are rewritten. No-op for
+    // `Off`.
+    let perm: Vec<u32> = if level == ReduceLevel::Off {
+        (0..h_n as u32).collect()
+    } else {
+        let pre =
+            CsrGraph::from_edges(h_n, &h_edges.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>())
+                .expect("class edges are valid");
+        let mut order: Vec<u32> = Vec::with_capacity(h_n);
+        let mut seen = vec![false; h_n];
+        let mut roots: Vec<u32> = (0..h_n as u32).collect();
+        roots.sort_by_key(|&z| (usize::MAX - pre.degree(z), z));
+        let mut queue = VecDeque::new();
+        for root in roots {
+            if seen[root as usize] {
+                continue;
+            }
+            seen[root as usize] = true;
+            queue.push_back(root);
+            while let Some(z) = queue.pop_front() {
+                order.push(z);
+                for &w in pre.neighbors(z) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        let local_steps = order.windows(2).filter(|w| w[0].abs_diff(w[1]) <= 16).count();
+        let fragmented = 2 * local_steps < h_n.saturating_sub(1);
+        if fragmented {
+            let mut perm = vec![0u32; h_n];
+            for (new, &old) in order.iter().enumerate() {
+                perm[old as usize] = new as u32;
+            }
+            perm
+        } else {
+            (0..h_n as u32).collect()
+        }
+    };
+
+    // Final CSR.
+    let mut b = GraphBuilder::new(h_n);
+    let weighted = g.is_weighted();
+    for &(cu, cv, w) in &h_edges {
+        let (a, c) = (perm[cu as usize], perm[cv as usize]);
+        if weighted {
+            b.add_weighted_edge(a, c, w).expect("reduced edge valid");
+        } else {
+            b.add_edge(a, c).expect("reduced edge valid");
+        }
+    }
+    let csr = b.build().expect("reduced graph valid");
+
+    // Per-reduced-vertex arrays (final ids).
+    let mut mult = vec![0.0f64; h_n];
+    let mut weight = vec![0.0f64; h_n];
+    let mut sum_w2 = vec![0.0f64; h_n];
+    let mut kind = vec![TwinKind::Single; h_n];
+    let mut comp_total = vec![0.0f64; h_n];
+    let mut member_offsets = vec![0usize; h_n + 1];
+    let mut member_ids = vec![0u32; n - pruned_count];
+    // Members sorted by final class id, then original id (classes_pre lists
+    // are ascending already).
+    let mut by_final: Vec<(u32, &Vec<u32>, TwinKind)> =
+        classes_pre.iter().enumerate().map(|(pre, ms)| (perm[pre], ms, kinds[pre])).collect();
+    by_final.sort_by_key(|&(z, _, _)| z);
+    let mut cursor = 0usize;
+    for (z, ms, k) in by_final {
+        let zu = z as usize;
+        member_offsets[zu] = cursor;
+        kind[zu] = k;
+        mult[zu] = ms.len() as f64;
+        comp_total[zu] = comp_sizes[comp_labels[ms[0] as usize] as usize] as f64;
+        for &m in ms {
+            let w = omega[m as usize] as f64;
+            weight[zu] += w;
+            sum_w2[zu] += w * w;
+            member_ids[cursor] = m;
+            cursor += 1;
+        }
+    }
+    member_offsets[h_n] = cursor;
+    let mut wdeg = vec![0.0f64; h_n];
+    for (z, w) in wdeg.iter_mut().enumerate() {
+        *w = csr.neighbors(z as u32).iter().map(|&u| mult[u as usize]).sum();
+    }
+
+    // Per-original state and row groups.
+    let mut state = vec![VertexState::Retained { h: 0, omega: 1 }; n];
+    let mut row_group = vec![0u32; n];
+    let mut groups: HashMap<(u32, u32, u32), u32> = HashMap::new();
+    for v in 0..n {
+        let (st, key) = if pruned[v] {
+            let a = att[v];
+            let bsz = branch_size[broot[v] as usize];
+            (VertexState::Pruned { att: a, branch: bsz }, (1u32, a, bsz))
+        } else {
+            let h = perm[class_pre[v] as usize];
+            let w = omega[v] as u32;
+            (VertexState::Retained { h, omega: w }, (0u32, h, w))
+        };
+        state[v] = st;
+        let next = groups.len() as u32;
+        row_group[v] = *groups.entry(key).or_insert(next);
+    }
+
+    let stats = ReduceStats {
+        orig_vertices: n,
+        orig_edges: g.num_edges(),
+        pruned_vertices: pruned_count,
+        collapsed_vertices: (n - pruned_count) - h_n,
+        reduced_vertices: h_n,
+        reduced_edges: csr.num_edges(),
+    };
+    Ok(ReducedGraph {
+        level,
+        csr,
+        orig_n: n,
+        mult: mult.into_boxed_slice(),
+        weight: weight.into_boxed_slice(),
+        sum_w2: sum_w2.into_boxed_slice(),
+        wdeg: wdeg.into_boxed_slice(),
+        kind: kind.into_boxed_slice(),
+        comp_total: comp_total.into_boxed_slice(),
+        member_offsets: member_offsets.into_boxed_slice(),
+        member_ids: member_ids.into_boxed_slice(),
+        state: state.into_boxed_slice(),
+        corrections: corrections.into_boxed_slice(),
+        row_group: row_group.into_boxed_slice(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_prunes_to_one_vertex_with_exact_corrections() {
+        // Path 0-1-2-3: raw BC = [0, 4, 4, 0].
+        let g = generators::path(4);
+        let red = reduce(&g, ReduceLevel::Prune).unwrap();
+        assert_eq!(red.csr().num_vertices(), 1);
+        assert_eq!(red.stats().pruned_vertices, 3);
+        let c = red.corrections();
+        assert_eq!(c, &[0.0, 4.0, 4.0, 0.0]);
+        // Pruned vertex 1's exact normalised BC: 4 / (4*3).
+        assert_eq!(red.exact_pruned_bc(1), Some(4.0 / 12.0));
+    }
+
+    #[test]
+    fn star_prunes_to_centre() {
+        let g = generators::star(5);
+        let red = reduce(&g, ReduceLevel::Prune).unwrap();
+        assert_eq!(red.csr().num_vertices(), 1);
+        assert_eq!(red.corrections()[0], 12.0); // 4 * 3 ordered leaf pairs
+        match red.state(0) {
+            VertexState::Retained { omega, .. } => assert_eq!(omega, 5),
+            s => panic!("centre should be retained, got {s:?}"),
+        }
+        // Each leaf hangs alone off the centre: branch of size 1.
+        for leaf in 1..5 {
+            match red.state(leaf) {
+                VertexState::Pruned { att, branch } => {
+                    assert_eq!(att, 0);
+                    assert_eq!(branch, 1);
+                }
+                s => panic!("leaf should be pruned, got {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spider_corrections_match_hand_count() {
+        // Centre 0 with three legs 0-1-4, 0-2-5, 0-3-6 (legs of length 2).
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 4), (0, 2), (2, 5), (0, 3), (3, 6)]).unwrap();
+        let red = reduce(&g, ReduceLevel::Prune).unwrap();
+        assert_eq!(red.csr().num_vertices(), 1);
+        let c = red.corrections();
+        assert_eq!(c[0], 24.0); // cross-leg ordered pairs through the centre
+        for (mid, &corr) in c.iter().enumerate().take(4).skip(1) {
+            assert_eq!(corr, 10.0, "mid vertex {mid}"); // leaf <-> 5 others
+        }
+        for &corr in &c[4..=6] {
+            assert_eq!(corr, 0.0);
+        }
+        // 4's branch (via 1) has 2 members; branch sizes count members.
+        match red.state(4) {
+            VertexState::Pruned { att, branch } => {
+                assert_eq!(att, 0);
+                assert_eq!(branch, 2);
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn diamond_collapses_false_twins() {
+        // 0-1, 0-2, 1-3, 2-3: {1, 2} are false twins — and so are {0, 3}.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        assert_eq!(red.csr().num_vertices(), 2);
+        assert_eq!(red.stats().collapsed_vertices, 2);
+        let VertexState::Retained { h: h1, .. } = red.state(1) else { panic!() };
+        let VertexState::Retained { h: h2, .. } = red.state(2) else { panic!() };
+        assert_eq!(h1, h2);
+        assert_eq!(red.kind(h1), TwinKind::False);
+        assert_eq!(red.mult(h1), 2.0);
+        assert_eq!(red.weight(h1), 2.0);
+        assert_eq!(red.wdeg(h1), 2.0); // neighbours 0 and 3, multiplicity 1 each
+        assert_eq!(red.members(h1), &[1, 2]);
+        // Vertices 1 and 2 share a dependency-row group.
+        assert_eq!(red.row_group(1), red.row_group(2));
+        assert_ne!(red.row_group(0), red.row_group(1));
+    }
+
+    #[test]
+    fn clique_collapses_true_twins() {
+        let g = generators::complete(5);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        assert_eq!(red.csr().num_vertices(), 1);
+        assert_eq!(red.kind(0), TwinKind::True);
+        assert_eq!(red.mult(0), 5.0);
+        assert_eq!(red.csr().num_edges(), 0);
+    }
+
+    #[test]
+    fn lollipop_reduces_to_an_edge() {
+        // Clique of 8 + path of 4: the path prunes, after which *all* eight
+        // clique vertices (including the attachment, whose path neighbour is
+        // gone from the live neighbourhood) are mutual true twins.
+        let g = generators::lollipop(8, 4);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        assert_eq!(red.stats().pruned_vertices, 4);
+        assert_eq!(red.csr().num_vertices(), 1);
+        assert_eq!(red.kind(0), TwinKind::True);
+        assert_eq!(red.mult(0), 8.0);
+        assert_eq!(red.weight(0), 12.0); // 8 members + 4 pruned path vertices
+    }
+
+    #[test]
+    fn off_level_is_the_identity() {
+        let g = generators::barbell(4, 2);
+        let red = reduce(&g, ReduceLevel::Off).unwrap();
+        assert_eq!(red.csr().num_vertices(), g.num_vertices());
+        assert_eq!(red.csr().num_edges(), g.num_edges());
+        for v in 0..g.num_vertices() as u32 {
+            match red.state(v) {
+                VertexState::Retained { h, omega } => {
+                    assert_eq!(h, v);
+                    assert_eq!(omega, 1);
+                }
+                s => panic!("{s:?}"),
+            }
+            assert_eq!(red.csr().neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn weighted_collapse_is_refused_but_prune_works() {
+        let g = generators::path(5).map_weights(|_, _| 2.0).unwrap();
+        assert_eq!(reduce(&g, ReduceLevel::Full).err(), Some(ReduceError::WeightedCollapse));
+        let red = reduce(&g, ReduceLevel::Prune).unwrap();
+        assert_eq!(red.csr().num_vertices(), 1);
+        assert_eq!(red.corrections()[2], 8.0); // centre of the 5-path
+    }
+
+    #[test]
+    fn disconnected_components_count_pairs_separately() {
+        // Two 3-paths: the middle of each has raw BC 2 within its own
+        // component (pairs across components do not exist).
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let red = reduce(&g, ReduceLevel::Prune).unwrap();
+        assert_eq!(red.corrections()[1], 2.0);
+        assert_eq!(red.corrections()[4], 2.0);
+        assert_eq!(red.csr().num_vertices(), 2);
+    }
+
+    #[test]
+    fn degree_zero_vertices_never_collapse_together() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)]).unwrap(); // 2 and 3 isolated
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        // 0-1 prunes to one vertex; 2 and 3 stay separate classes.
+        assert_eq!(red.csr().num_vertices(), 3);
+    }
+
+    #[test]
+    fn relabel_is_a_bijection_and_stats_add_up() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::barabasi_albert(200, 2, &mut rng);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        let s = red.stats();
+        assert_eq!(s.orig_vertices, 200);
+        assert_eq!(s.pruned_vertices + s.collapsed_vertices + s.reduced_vertices, 200);
+        // Every reduced id is hit by at least one member, weights total n.
+        let total: f64 = (0..red.csr().num_vertices() as u32).map(|z| red.weight(z)).sum();
+        assert_eq!(total, 200.0);
+        let members: usize =
+            (0..red.csr().num_vertices() as u32).map(|z| red.members(z).len()).sum();
+        assert_eq!(members, 200 - s.pruned_vertices);
+        assert!(s.work_ratio() >= 1.0);
+        assert!(s.vertex_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn level_parsing_round_trips() {
+        for l in [ReduceLevel::Off, ReduceLevel::Prune, ReduceLevel::Full] {
+            assert_eq!(ReduceLevel::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(ReduceLevel::parse("bogus"), None);
+    }
+}

@@ -25,7 +25,14 @@
 //!   and sampling (the KADABRA baseline's primitive \[7\]).
 //! - [`naive`] — independent `O(n³)` reference implementations used by the
 //!   test suites to cross-validate everything above.
-//! - [`SpdWorkspacePool`] — a checkout pool of [`DependencyCalculator`]
+//! - [`SpdView`] / [`ReducedCalculator`] / [`ViewCalculator`] — dependency
+//!   evaluation *through a reduced graph* (`mhbc_graph::reduce`): pruning,
+//!   twin collapsing, and relabelling shrink the per-sample pass while the
+//!   mapping back to original vertex ids stays exact (see the `reduced`
+//!   module docs for the formulas).
+//! - [`exact_betweenness_preprocessed`] — exact Brandes through a
+//!   reduction (`n_H` collapsed passes instead of `n` full ones).
+//! - [`SpdWorkspacePool`] — a checkout pool of [`ViewCalculator`]
 //!   workspaces for multi-threaded samplers (the prefetch pipeline and the
 //!   chain ensembles).
 //! - [`legacy`] — the pre-rewrite `VecDeque` BFS kernel, kept only as the
@@ -63,6 +70,7 @@ pub mod legacy;
 pub mod naive;
 pub mod path_sampler;
 mod pool;
+mod reduced;
 mod unweighted;
 mod weighted;
 
@@ -72,6 +80,10 @@ pub use brandes::{
 };
 pub use dependency::DependencyCalculator;
 pub use pool::{PooledCalculator, SpdWorkspacePool};
+pub use reduced::{
+    dependency_profile_view, dependency_profile_view_par, exact_betweenness_preprocessed,
+    exact_betweenness_reduced, ReducedCalculator, SpdView, ViewCalculator,
+};
 pub use unweighted::{BfsSpd, UNREACHED};
 pub use weighted::DijkstraSpd;
 

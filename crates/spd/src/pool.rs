@@ -1,17 +1,21 @@
 //! A checkout pool of SPD workspaces for multi-threaded samplers.
 //!
-//! Every [`DependencyCalculator`] owns `O(|V|)` of reusable buffers, so
-//! threads that evaluate dependency scores should *check one out* rather
-//! than allocate their own per task. The prefetch pipeline and the chain
+//! Every [`ViewCalculator`] owns `O(|V|)` of reusable buffers, so threads
+//! that evaluate dependency scores should *check one out* rather than
+//! allocate their own per task. The prefetch pipeline and the chain
 //! ensembles in `mhbc-core` hold a pool for the lifetime of a run; workers
 //! grab a workspace on entry and return it on drop.
+//!
+//! The pool is bound to an [`SpdView`] — a graph together with (optionally)
+//! its reduction — so every workspace it hands out evaluates dependencies
+//! through the same preprocessing level.
 
-use crate::DependencyCalculator;
+use crate::{SpdView, ViewCalculator};
 use mhbc_graph::CsrGraph;
 use std::ops::{Deref, DerefMut};
 use std::sync::Mutex;
 
-/// A pool of [`DependencyCalculator`] workspaces sized for one graph.
+/// A pool of [`ViewCalculator`] workspaces sized for one evaluation view.
 ///
 /// [`SpdWorkspacePool::checkout`] pops a free workspace (or lazily allocates
 /// one if the pool is empty), and the returned guard gives it back when
@@ -26,27 +30,43 @@ use std::sync::Mutex;
 /// let pool = SpdWorkspacePool::new(&g);
 /// let bridge = {
 ///     let mut calc = pool.checkout();
-///     calc.dependency_on(&g, 0, 4)
+///     calc.dependency_on(0, 4)
 /// }; // workspace returned here
 /// assert!(bridge > 0.0);
 /// assert_eq!(pool.idle(), 1);
 /// ```
 pub struct SpdWorkspacePool<'g> {
-    graph: &'g CsrGraph,
-    free: Mutex<Vec<DependencyCalculator>>,
+    view: SpdView<'g>,
+    free: Mutex<Vec<ViewCalculator<'g>>>,
 }
 
 impl<'g> SpdWorkspacePool<'g> {
-    /// An empty pool for `g`; workspaces are allocated on first checkout.
+    /// An empty pool evaluating directly on `graph`; workspaces are
+    /// allocated on first checkout.
     pub fn new(graph: &'g CsrGraph) -> Self {
-        SpdWorkspacePool { graph, free: Mutex::new(Vec::new()) }
+        Self::for_view(SpdView::direct(graph))
     }
 
-    /// A pool pre-warmed with `workers` ready workspaces, so the first
-    /// checkout wave allocates nothing.
+    /// A direct-evaluation pool pre-warmed with `workers` ready workspaces,
+    /// so the first checkout wave allocates nothing.
     pub fn with_workers(graph: &'g CsrGraph, workers: usize) -> Self {
-        let free = (0..workers).map(|_| DependencyCalculator::new(graph)).collect();
-        SpdWorkspacePool { graph, free: Mutex::new(free) }
+        Self::for_view_workers(SpdView::direct(graph), workers)
+    }
+
+    /// An empty pool bound to `view` (direct or reduced evaluation).
+    pub fn for_view(view: SpdView<'g>) -> Self {
+        SpdWorkspacePool { view, free: Mutex::new(Vec::new()) }
+    }
+
+    /// A pool bound to `view`, pre-warmed with `workers` ready workspaces.
+    pub fn for_view_workers(view: SpdView<'g>, workers: usize) -> Self {
+        let free = (0..workers).map(|_| ViewCalculator::new(view)).collect();
+        SpdWorkspacePool { view, free: Mutex::new(free) }
+    }
+
+    /// The view every workspace of this pool evaluates against.
+    pub fn view(&self) -> SpdView<'g> {
+        self.view
     }
 
     /// Checks out a workspace; allocates only if none are idle.
@@ -56,7 +76,7 @@ impl<'g> SpdWorkspacePool<'g> {
             .lock()
             .expect("pool lock poisoned")
             .pop()
-            .unwrap_or_else(|| DependencyCalculator::new(self.graph));
+            .unwrap_or_else(|| ViewCalculator::new(self.view));
         PooledCalculator { pool: self, calc: Some(calc) }
     }
 
@@ -72,23 +92,23 @@ impl<'g> SpdWorkspacePool<'g> {
     }
 }
 
-/// RAII guard over a checked-out [`DependencyCalculator`]; derefs to it and
+/// RAII guard over a checked-out [`ViewCalculator`]; derefs to it and
 /// returns it to the pool on drop.
 pub struct PooledCalculator<'p, 'g> {
     pool: &'p SpdWorkspacePool<'g>,
-    calc: Option<DependencyCalculator>,
+    calc: Option<ViewCalculator<'g>>,
 }
 
-impl Deref for PooledCalculator<'_, '_> {
-    type Target = DependencyCalculator;
+impl<'g> Deref for PooledCalculator<'_, 'g> {
+    type Target = ViewCalculator<'g>;
 
-    fn deref(&self) -> &DependencyCalculator {
+    fn deref(&self) -> &ViewCalculator<'g> {
         self.calc.as_ref().expect("present until drop")
     }
 }
 
-impl DerefMut for PooledCalculator<'_, '_> {
-    fn deref_mut(&mut self) -> &mut DependencyCalculator {
+impl<'g> DerefMut for PooledCalculator<'_, 'g> {
+    fn deref_mut(&mut self) -> &mut ViewCalculator<'g> {
         self.calc.as_mut().expect("present until drop")
     }
 }
@@ -105,6 +125,7 @@ impl Drop for PooledCalculator<'_, '_> {
 mod tests {
     use super::*;
     use mhbc_graph::generators;
+    use mhbc_graph::reduce::{reduce, ReduceLevel};
 
     #[test]
     fn checkout_reuses_returned_workspaces() {
@@ -112,7 +133,7 @@ mod tests {
         let pool = SpdWorkspacePool::new(&g);
         {
             let mut a = pool.checkout();
-            let _ = a.dependencies(&g, 0);
+            let _ = a.dependency_on(0, 3);
             assert_eq!(pool.idle(), 0);
         }
         assert_eq!(pool.idle(), 1);
@@ -140,7 +161,7 @@ mod tests {
     fn pooled_results_match_direct_computation() {
         let g = generators::barbell(5, 2);
         let pool = SpdWorkspacePool::new(&g);
-        let mut reference = DependencyCalculator::new(&g);
+        let mut reference = crate::DependencyCalculator::new(&g);
         crossbeam::thread::scope(|scope| {
             for t in 0..3u32 {
                 let pool = &pool;
@@ -148,13 +169,29 @@ mod tests {
                 scope.spawn(move |_| {
                     let mut calc = pool.checkout();
                     for s in 0..g.num_vertices() as u32 {
-                        let _ = calc.dependency_on(g, s, (s + t) % g.num_vertices() as u32);
+                        let _ = calc.dependency_on(s, (s + t) % g.num_vertices() as u32);
                     }
                 });
             }
         })
         .expect("threads joined");
         assert_eq!(pool.idle_passes(), 3 * g.num_vertices() as u64);
-        assert_eq!(pool.checkout().dependency_on(&g, 0, 5), reference.dependency_on(&g, 0, 5));
+        assert_eq!(pool.checkout().dependency_on(0, 5), reference.dependency_on(&g, 0, 5));
+    }
+
+    #[test]
+    fn reduced_pool_evaluates_through_the_reduction() {
+        let g = generators::lollipop(6, 3);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        let pool = SpdWorkspacePool::for_view_workers(SpdView::preprocessed(&g, &red), 1);
+        let mut reference = crate::DependencyCalculator::new(&g);
+        let mut calc = pool.checkout();
+        // Probe 0: a clique vertex (retained; the pendant tail prunes away).
+        assert!(red.is_retained(0));
+        for v in 0..g.num_vertices() as u32 {
+            let got = calc.dependency_on(v, 0);
+            let want = reference.dependency_on(&g, v, 0);
+            assert!((got - want).abs() < 1e-9, "source {v}: {got} vs {want}");
+        }
     }
 }

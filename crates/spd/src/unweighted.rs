@@ -237,6 +237,166 @@ impl BfsSpd {
         self.level_starts = level_starts;
     }
 
+    /// Multiplicity-aware SPD for *collapsed* graphs (see
+    /// `mhbc_graph::reduce`): vertex `z` stands for `mult[z]` interchangeable
+    /// twins of the underlying (pruned) graph, and σ counts shortest paths
+    /// between **single members** of the source and target classes.
+    ///
+    /// The recurrence is the standard one with every traversal *through* an
+    /// intermediate class multiplied by its member count:
+    ///
+    /// ```text
+    /// σ̃(src) = 1,     σ̃(v) = Σ_{u ∈ parents(v)} m(u) · σ̃(u)
+    /// ```
+    ///
+    /// where `m(u) = mult[u]` except `m(src) = 1` — of the source class,
+    /// only the one member acting as the source lies on any shortest path
+    /// (its twins sit at distance 1 or 2 and can never be interior, since
+    /// they share the source's distances to everything else). Levels,
+    /// order, and `dist` are exactly as in [`BfsSpd::compute`]; with all
+    /// multiplicities 1 the pass degenerates to it bit for bit.
+    ///
+    /// # Panics
+    /// As [`BfsSpd::compute`], plus if `mult.len()` mismatches the graph.
+    pub fn compute_collapsed(&mut self, g: &CsrGraph, s: Vertex, mult: &[f64]) {
+        let n = g.num_vertices();
+        assert_eq!(self.packed.len(), n, "workspace sized for a different graph");
+        assert_eq!(mult.len(), n, "multiplicities sized for a different graph");
+        assert!((s as usize) < n, "source {s} out of range");
+
+        self.epoch += 1;
+        if self.epoch == EPOCH_PERIOD {
+            self.packed.iter_mut().for_each(|p| *p = 0);
+            self.epoch = 1;
+        }
+        let base = self.base();
+        let mut order = std::mem::take(&mut self.order);
+        let mut level_starts = std::mem::take(&mut self.level_starts);
+        order.clear();
+        level_starts.clear();
+        self.source = s;
+
+        let packed = &mut self.packed[..];
+        let sigma = &mut self.sigma[..];
+        packed[s as usize] = base;
+        sigma[s as usize] = 1.0;
+        order.push(s);
+        level_starts.push(0);
+        level_starts.push(1);
+
+        let (offsets, targets) = g.csr();
+        let s_usize = s as usize;
+        let mut level: u32 = 0;
+        let mut lo = 0usize;
+        while lo < order.len() {
+            let hi = order.len();
+            assert!(level < LEVEL_MASK - 1, "BFS level overflow (diameter > 2^24 - 2)");
+            let child_key = base | (level + 1);
+            for i in lo..hi {
+                // SAFETY: as in `compute`; `mult` has length `n` (asserted).
+                unsafe {
+                    let u = *order.get_unchecked(i) as usize;
+                    // Paths continue through all `mult[u]` members of an
+                    // interior class, but only through the source member
+                    // itself at the root.
+                    let su = if u == s_usize {
+                        *sigma.get_unchecked(u)
+                    } else {
+                        *sigma.get_unchecked(u) * *mult.get_unchecked(u)
+                    };
+                    let (a, b) = (*offsets.get_unchecked(u), *offsets.get_unchecked(u + 1));
+                    for &v in targets.get_unchecked(a..b) {
+                        let v = v as usize;
+                        let rel = (*packed.get_unchecked(v)).wrapping_sub(base);
+                        if rel <= level {
+                            continue;
+                        }
+                        if rel == level + 1 {
+                            *sigma.get_unchecked_mut(v) += su;
+                        } else {
+                            *packed.get_unchecked_mut(v) = child_key;
+                            *sigma.get_unchecked_mut(v) = su;
+                            order.push(v as Vertex);
+                        }
+                    }
+                }
+            }
+            lo = hi;
+            level += 1;
+            if order.len() > hi {
+                level_starts.push(order.len());
+            }
+            if order.len() == n {
+                break;
+            }
+        }
+        self.order = order;
+        self.level_starts = level_starts;
+    }
+
+    /// Backward accumulation matching [`BfsSpd::compute_collapsed`]: the
+    /// class-level Brandes recurrence with per-class target seeds.
+    ///
+    /// Grouping the vertex-weighted Brandes recurrence
+    /// `δ(x) = Σ_{w ∈ children(x)} σ(x)/σ(w) · (ω(w) + δ(w))` over twin
+    /// classes (all `mult[w]` members of a child class share `σ̃`, `δ`, and
+    /// a total seed `seeds[w] = Σ_members ω`) gives
+    ///
+    /// ```text
+    /// δ(x) = Σ_{w ∈ child classes} σ̃(x)/σ̃(w) · (seeds[w] + mult[w] · δ(w))
+    /// ```
+    ///
+    /// where `δ(z)` is the accumulated dependency of **one member** of
+    /// class `z` over all single-member targets, each weighted by its seed.
+    /// With unit seeds and multiplicities this is exactly
+    /// [`BfsSpd::accumulate_dependencies`].
+    ///
+    /// # Panics
+    /// If `g`, `mult`, or `seeds` mismatch the workspace size.
+    pub fn accumulate_dependencies_collapsed(
+        &self,
+        g: &CsrGraph,
+        mult: &[f64],
+        seeds: &[f64],
+        delta: &mut Vec<f64>,
+    ) {
+        let n = self.packed.len();
+        assert_eq!(g.num_vertices(), n, "graph does not match workspace");
+        assert_eq!(mult.len(), n, "multiplicities do not match workspace");
+        assert_eq!(seeds.len(), n, "seeds do not match workspace");
+        delta.clear();
+        delta.resize(n, 0.0);
+        let delta = &mut delta[..];
+        let (packed, sigma) = (&self.packed[..], &self.sigma[..]);
+        let base = self.base();
+        let (offsets, targets) = g.csr();
+        let levels = self.level_starts.len().saturating_sub(1);
+        // Level 1 feeds only the (zeroed) source entry; skipped as in the
+        // unit-seed kernel.
+        for lvl in (2..levels).rev() {
+            let parent_key = base | (lvl as u32 - 1);
+            let (start, end) = (self.level_starts[lvl], self.level_starts[lvl + 1]);
+            for &w in self.order[start..end].iter().rev() {
+                let w = w as usize;
+                // SAFETY: as in `accumulate_dependencies`; `mult`/`seeds`
+                // have length `n` (asserted).
+                unsafe {
+                    let coeff = (*seeds.get_unchecked(w)
+                        + *mult.get_unchecked(w) * *delta.get_unchecked(w))
+                        / *sigma.get_unchecked(w);
+                    let (a, b) = (*offsets.get_unchecked(w), *offsets.get_unchecked(w + 1));
+                    for &u in targets.get_unchecked(a..b) {
+                        let u = u as usize;
+                        if *packed.get_unchecked(u) == parent_key {
+                            *delta.get_unchecked_mut(u) += *sigma.get_unchecked(u) * coeff;
+                        }
+                    }
+                }
+            }
+        }
+        delta[self.source as usize] = 0.0;
+    }
+
     /// Whether `u` is a predecessor (parent) of `w` in this SPD, i.e.
     /// `u ∈ P_s(w)` in the paper's notation.
     #[inline]

@@ -208,6 +208,42 @@ impl DijkstraSpd {
         }
         delta[self.source as usize] = 0.0;
     }
+
+    /// Vertex-weighted Brandes accumulation: like
+    /// [`DijkstraSpd::accumulate_dependencies`] but each target `w` seeds the
+    /// backward recurrence with `seeds[w]` instead of `1` — the reduced-graph
+    /// form where a retained vertex stands for `ω(w)` original targets
+    /// (itself plus its pruned pendant trees; see `mhbc_graph::reduce`).
+    /// Unit seeds reproduce the plain accumulation exactly.
+    ///
+    /// # Panics
+    /// If `g` or `seeds` do not match the workspace size.
+    pub fn accumulate_dependencies_seeded(
+        &self,
+        g: &CsrGraph,
+        seeds: &[f64],
+        delta: &mut Vec<f64>,
+    ) {
+        assert_eq!(g.num_vertices(), self.dist.len(), "graph does not match workspace");
+        assert_eq!(seeds.len(), self.dist.len(), "seeds do not match workspace");
+        delta.clear();
+        delta.resize(self.dist.len(), 0.0);
+        let discovered = 2 * self.epoch;
+        for &w in self.order.iter().rev() {
+            let coeff = (seeds[w as usize] + delta[w as usize]) / self.sigma[w as usize];
+            let dw = self.dist[w as usize];
+            for (u, wt) in g.neighbors_weighted(w) {
+                if self.stamp[u as usize] < discovered {
+                    continue;
+                }
+                let du = self.dist[u as usize];
+                if du < dw && ties(du + wt, dw) {
+                    delta[u as usize] += self.sigma[u as usize] * coeff;
+                }
+            }
+        }
+        delta[self.source as usize] = 0.0;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,115 @@
+//! Regression tests for the 256-pass epoch wrap of the frontier kernels.
+//!
+//! `BfsSpd` stamps distances as `(epoch << 24) | level` and starts each pass
+//! by bumping the 8-bit epoch instead of clearing the arrays; once every 256
+//! passes the stamp space wraps and a full reset must run so stale stamps
+//! from a reused epoch value cannot alias fresh ones. These tests drive well
+//! past the wrap on one reused workspace and pin `dist`/`σ`/`δ` to a fresh
+//! workspace **bit for bit** on both sides of the boundary — for the plain
+//! kernel and for the multiplicity-aware collapsed kernel (which carries its
+//! own copy of the wrap branch).
+
+use mhbc_graph::generators;
+use mhbc_spd::BfsSpd;
+
+/// Pass indices checked against a fresh workspace: around both sides of the
+/// first wrap (the reset runs on the 255th reuse), a second-wrap probe, and
+/// the final pass.
+const CHECKPOINTS: [u32; 8] = [0, 100, 253, 254, 255, 256, 509, 599];
+
+#[test]
+fn plain_kernel_survives_the_epoch_wrap() {
+    let g = generators::lollipop(7, 4);
+    let n = g.num_vertices();
+    let mut reused = BfsSpd::new(n);
+    let (mut d_reused, mut d_fresh) = (Vec::new(), Vec::new());
+    for pass in 0..600u32 {
+        let s = (pass * 13) % n as u32;
+        reused.compute(&g, s);
+        reused.accumulate_dependencies(&g, &mut d_reused);
+        if !CHECKPOINTS.contains(&pass) {
+            continue;
+        }
+        let mut fresh = BfsSpd::new(n);
+        fresh.compute(&g, s);
+        fresh.accumulate_dependencies(&g, &mut d_fresh);
+        for v in 0..n as u32 {
+            assert_eq!(reused.dist(v), fresh.dist(v), "dist, pass {pass}, vertex {v}");
+            assert_eq!(
+                reused.sigma(v).to_bits(),
+                fresh.sigma(v).to_bits(),
+                "sigma, pass {pass}, vertex {v}"
+            );
+            assert_eq!(
+                d_reused[v as usize].to_bits(),
+                d_fresh[v as usize].to_bits(),
+                "delta, pass {pass}, vertex {v}"
+            );
+        }
+        assert_eq!(reused.order(), fresh.order(), "settle order, pass {pass}");
+        assert_eq!(reused.level_starts(), fresh.level_starts(), "levels, pass {pass}");
+    }
+}
+
+#[test]
+fn collapsed_kernel_survives_the_epoch_wrap() {
+    // Non-unit multiplicities and seeds so the collapsed arithmetic (not
+    // just its degenerate form) crosses the wrap.
+    let g = generators::grid(5, 4, false);
+    let n = g.num_vertices();
+    let mult: Vec<f64> = (0..n).map(|v| 1.0 + (v % 3) as f64).collect();
+    let seeds: Vec<f64> = (0..n).map(|v| 1.0 + (v % 2) as f64).collect();
+    let mut reused = BfsSpd::new(n);
+    let (mut d_reused, mut d_fresh) = (Vec::new(), Vec::new());
+    for pass in 0..600u32 {
+        let s = (pass * 7) % n as u32;
+        reused.compute_collapsed(&g, s, &mult);
+        reused.accumulate_dependencies_collapsed(&g, &mult, &seeds, &mut d_reused);
+        if !CHECKPOINTS.contains(&pass) {
+            continue;
+        }
+        let mut fresh = BfsSpd::new(n);
+        fresh.compute_collapsed(&g, s, &mult);
+        fresh.accumulate_dependencies_collapsed(&g, &mult, &seeds, &mut d_fresh);
+        for v in 0..n as u32 {
+            assert_eq!(reused.dist(v), fresh.dist(v), "dist, pass {pass}, vertex {v}");
+            assert_eq!(
+                reused.sigma(v).to_bits(),
+                fresh.sigma(v).to_bits(),
+                "sigma, pass {pass}, vertex {v}"
+            );
+            assert_eq!(
+                d_reused[v as usize].to_bits(),
+                d_fresh[v as usize].to_bits(),
+                "delta, pass {pass}, vertex {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaving_plain_and_collapsed_passes_crosses_the_wrap_safely() {
+    // A ViewCalculator-style workload alternates sources rapidly; make sure
+    // mixing the two entry points on one workspace does not confuse the
+    // epoch bookkeeping around the wrap.
+    let g = generators::wheel(9);
+    let n = g.num_vertices();
+    let ones = vec![1.0; n];
+    let mut reused = BfsSpd::new(n);
+    let mut delta = Vec::new();
+    for pass in 0..520u32 {
+        let s = (pass * 5) % n as u32;
+        if pass % 2 == 0 {
+            reused.compute(&g, s);
+        } else {
+            reused.compute_collapsed(&g, s, &ones);
+        }
+        reused.accumulate_dependencies(&g, &mut delta);
+        let mut fresh = BfsSpd::new(n);
+        fresh.compute(&g, s);
+        for v in 0..n as u32 {
+            assert_eq!(reused.dist(v), fresh.dist(v), "pass {pass}, vertex {v}");
+            assert_eq!(reused.sigma(v).to_bits(), fresh.sigma(v).to_bits());
+        }
+    }
+}

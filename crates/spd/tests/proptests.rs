@@ -1,10 +1,12 @@
 #![allow(clippy::needless_range_loop)]
 //! Property-based cross-validation of the shortest-path machinery.
 
+use mhbc_graph::reduce::{reduce, ReduceLevel};
 use mhbc_graph::{generators, CsrGraph, Vertex};
 use mhbc_spd::{
-    bidirectional::BidirectionalSearch, exact_betweenness, exact_betweenness_par, naive, BfsSpd,
-    DependencyCalculator, DijkstraSpd,
+    bidirectional::BidirectionalSearch, exact_betweenness, exact_betweenness_par,
+    exact_betweenness_preprocessed, naive, BfsSpd, DependencyCalculator, DijkstraSpd, SpdView,
+    ViewCalculator,
 };
 use proptest::prelude::*;
 use rand::{rngs::SmallRng, SeedableRng};
@@ -216,6 +218,93 @@ proptest! {
         for v in 0..n {
             let got = 2.0 * acc[v] / norm;
             prop_assert!((got - exact[v]).abs() < 1e-9, "vertex {}: {} vs {}", v, got, exact[v]);
+        }
+    }
+
+    /// Degree-1 pruning corrections + reduced-graph Brandes reproduce
+    /// whole-graph exact Brandes on random ER graphs — sparse enough to
+    /// carry pendant trees and (without `ensure_connected`) disconnected
+    /// components, the two things the correction bookkeeping must get
+    /// right.
+    #[test]
+    fn reduction_matches_brandes_on_sparse_er(n in 8usize..60, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_gnp(n, 2.0 / n as f64, &mut rng);
+        let want = exact_betweenness(&g);
+        for level in [ReduceLevel::Off, ReduceLevel::Prune, ReduceLevel::Full] {
+            let got = exact_betweenness_preprocessed(&g, level).unwrap();
+            for v in 0..n {
+                let tol = 1e-9 * want[v].abs().max(1.0);
+                prop_assert!(
+                    (got[v] - want[v]).abs() <= tol,
+                    "vertex {} at {:?}: {} vs {}", v, level, got[v], want[v]
+                );
+            }
+        }
+    }
+
+    /// Same identity on preferential-attachment graphs (heavy pendant mass
+    /// at m = 1, twin-prone hubs) across attachment counts.
+    #[test]
+    fn reduction_matches_brandes_on_ba(n in 6usize..50, m in 1usize..4, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(n.max(m + 1), m, &mut rng);
+        let want = exact_betweenness(&g);
+        for level in [ReduceLevel::Prune, ReduceLevel::Full] {
+            let got = exact_betweenness_preprocessed(&g, level).unwrap();
+            for v in 0..g.num_vertices() {
+                let tol = 1e-9 * want[v].abs().max(1.0);
+                prop_assert!(
+                    (got[v] - want[v]).abs() <= tol,
+                    "vertex {} at {:?}: {} vs {}", v, level, got[v], want[v]
+                );
+            }
+        }
+    }
+
+    /// Same identity on the balanced-separator family (the Theorem 2
+    /// workload the preprocessing benchmark targets).
+    #[test]
+    fn reduction_matches_brandes_on_separators(
+        clusters in 2usize..4, per in 4usize..12, seed in any::<u64>()
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let hs = generators::hub_separator(clusters, per, 0.15, 2.min(per), &mut rng);
+        let g = hs.graph;
+        let want = exact_betweenness(&g);
+        for level in [ReduceLevel::Prune, ReduceLevel::Full] {
+            let got = exact_betweenness_preprocessed(&g, level).unwrap();
+            for v in 0..g.num_vertices() {
+                let tol = 1e-9 * want[v].abs().max(1.0);
+                prop_assert!(
+                    (got[v] - want[v]).abs() <= tol,
+                    "vertex {} at {:?}: {} vs {}", v, level, got[v], want[v]
+                );
+            }
+        }
+    }
+
+    /// Reduced-view dependency rows equal direct rows for every source and
+    /// every retained probe (the mapping the MH samplers rely on).
+    #[test]
+    fn reduced_dependency_rows_match_direct(n in 6usize..36, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_gnp(n, 2.5 / n as f64, &mut rng);
+        for level in [ReduceLevel::Prune, ReduceLevel::Full] {
+            let red = reduce(&g, level).unwrap();
+            let mut direct = DependencyCalculator::new(&g);
+            let mut through = ViewCalculator::new(SpdView::preprocessed(&g, &red));
+            for r in (0..n as Vertex).filter(|&r| red.is_retained(r)) {
+                for v in 0..n as Vertex {
+                    let want = direct.dependency_on(&g, v, r);
+                    let got = through.dependency_on(v, r);
+                    let tol = 1e-9 * want.abs().max(1.0);
+                    prop_assert!(
+                        (got - want).abs() <= tol,
+                        "source {} probe {} at {:?}: {} vs {}", v, r, level, got, want
+                    );
+                }
+            }
         }
     }
 

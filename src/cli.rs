@@ -1,9 +1,11 @@
 //! Library half of the `mhbc` command-line tool: argument parsing and
 //! command execution, kept binary-free so the logic is unit-testable.
 
-use mhbc_core::planner::{plan_single, MuSource};
+use mhbc_core::planner::{plan_single_view, MuSource};
 use mhbc_core::{pipeline, JointSpaceConfig, PrefetchConfig, SingleSpaceConfig};
+use mhbc_graph::reduce::{reduce, ReduceLevel, ReducedGraph};
 use mhbc_graph::{algo, io, CsrGraph, Vertex};
+use mhbc_spd::SpdView;
 use std::io::BufRead;
 
 /// Parsed CLI invocation.
@@ -18,6 +20,7 @@ pub enum Command {
         exact: bool,
         threads: usize,
         prefetch_depth: u64,
+        preprocess: ReduceLevel,
     },
     /// Relative ranking of several vertices: `rank <edge-list> <v1,v2,...>`.
     Rank {
@@ -27,23 +30,28 @@ pub enum Command {
         seed: u64,
         threads: usize,
         prefetch_depth: u64,
+        preprocess: ReduceLevel,
     },
     /// Plan an (epsilon, delta) budget: `plan <edge-list> <vertex> <eps> <delta>`.
-    Plan { path: String, vertex: Vertex, epsilon: f64, delta: f64 },
+    Plan { path: String, vertex: Vertex, epsilon: f64, delta: f64, preprocess: ReduceLevel },
 }
 
 /// CLI usage string.
 pub const USAGE: &str = "usage:
-  mhbc estimate <edge-list> <vertex> [--iters N] [--seed S] [--exact] [--threads T] [--prefetch K]
-  mhbc rank     <edge-list> <v1,v2,...> [--iters N] [--seed S] [--threads T] [--prefetch K]
-  mhbc plan     <edge-list> <vertex> <epsilon> <delta>
+  mhbc estimate <edge-list> <vertex> [--iters N] [--seed S] [--exact] [--threads T] [--prefetch K] [--preprocess L]
+  mhbc rank     <edge-list> <v1,v2,...> [--iters N] [--seed S] [--threads T] [--prefetch K] [--preprocess L]
+  mhbc plan     <edge-list> <vertex> <epsilon> <delta> [--preprocess L]
 
 Edge lists are whitespace-separated `u v [w]` lines; `#`/`%` comments allowed.
---threads T   total density-evaluation threads (default 1 = sequential;
-              T >= 2 enables the speculative prefetch pipeline — results are
-              bit-identical to --threads 1).
---prefetch K  speculation window: how many proposals ahead the prefetch
-              workers may evaluate (default 1024).";
+--threads T      total density-evaluation threads (default 1 = sequential;
+                 T >= 2 enables the speculative prefetch pipeline — results
+                 are bit-identical to --threads 1).
+--prefetch K     speculation window: how many proposals ahead the prefetch
+                 workers may evaluate (default 1024).
+--preprocess L   graph reduction before sampling: off (default), prune
+                 (degree-1 pruning with exact corrections), or full (pruning
+                 + twin collapsing + cache relabelling). Estimates stay in
+                 original vertex ids; `full` requires an unweighted graph.";
 
 /// Parses `args` (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, String> {
@@ -53,6 +61,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut exact = false;
     let mut threads = 1usize;
     let mut prefetch_depth = PrefetchConfig::DEFAULT_DEPTH;
+    let mut preprocess = ReduceLevel::Off;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -85,6 +94,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .filter(|&k| k > 0)
                     .ok_or_else(|| "missing/invalid value for --prefetch".to_string())?;
             }
+            "--preprocess" => {
+                i += 1;
+                preprocess = args.get(i).and_then(|s| ReduceLevel::parse(s)).ok_or_else(|| {
+                    "missing/invalid value for --preprocess (off|prune|full)".to_string()
+                })?;
+            }
             "--exact" => exact = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => pos.push(other),
@@ -103,6 +118,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             exact,
             threads,
             prefetch_depth,
+            preprocess,
         }),
         ["rank", path, list] => {
             let vertices = list.split(',').map(parse_vertex).collect::<Result<Vec<_>, _>>()?;
@@ -116,6 +132,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 seed,
                 threads,
                 prefetch_depth,
+                preprocess,
             })
         }
         ["plan", path, vertex, eps, delta] => Ok(Command::Plan {
@@ -123,9 +140,39 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             vertex: parse_vertex(vertex)?,
             epsilon: eps.parse().map_err(|_| format!("invalid epsilon `{eps}`"))?,
             delta: delta.parse().map_err(|_| format!("invalid delta `{delta}`"))?,
+            preprocess,
         }),
         _ => Err(USAGE.to_string()),
     }
+}
+
+/// Builds the reduction for a preprocess level (`None` for `off`), turning
+/// build-time refusals (twin collapsing on a weighted graph) into readable
+/// CLI errors.
+fn build_reduction(g: &CsrGraph, level: ReduceLevel) -> Result<Option<ReducedGraph>, String> {
+    match level {
+        ReduceLevel::Off => Ok(None),
+        level => {
+            reduce(g, level).map(Some).map_err(|e| format!("--preprocess {}: {e}", level.as_str()))
+        }
+    }
+}
+
+/// One human-readable line summarising what the reduction did.
+fn preprocess_line(red: &ReducedGraph) -> String {
+    let s = red.stats();
+    format!(
+        "preprocess {}: {} -> {} vertices, {} -> {} edges ({} pruned, {} collapsed; \
+         SPD pass {:.2}x smaller)",
+        red.level().as_str(),
+        s.orig_vertices,
+        s.reduced_vertices,
+        s.orig_edges,
+        s.reduced_edges,
+        s.pruned_vertices,
+        s.collapsed_vertices,
+        s.work_ratio()
+    )
 }
 
 /// Loads a graph and reduces it to its largest connected component
@@ -155,37 +202,79 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             .ok_or_else(|| format!("vertex {input} is not in the largest component"))
     };
     match cmd {
-        Command::Estimate { vertex, iterations, seed, exact, threads, prefetch_depth, .. } => {
+        Command::Estimate {
+            vertex,
+            iterations,
+            seed,
+            exact,
+            threads,
+            prefetch_depth,
+            preprocess,
+            ..
+        } => {
             let r = internal(*vertex)?;
+            let red = build_reduction(g, *preprocess)?;
+            let mut out = vec![format!("graph: {g}")];
+            if let Some(red) = &red {
+                out.push(preprocess_line(red));
+                if let Some(bc) = red.exact_pruned_bc(r) {
+                    // The probe sits in a pruned pendant tree: its exact BC
+                    // fell out of the pruning corrections — no chain needed.
+                    out.push(format!(
+                        "BC({vertex}) = {bc:.6} (exact: vertex was pruned into a pendant \
+                         tree, so its betweenness is known in closed form)"
+                    ));
+                    return Ok(out);
+                }
+            }
+            let view = SpdView::from_option(g, red.as_ref());
             let prefetch = PrefetchConfig::with_threads(*threads).with_depth(*prefetch_depth);
-            let est =
-                pipeline::run_single(g, r, &SingleSpaceConfig::new(*iterations, *seed), &prefetch)
-                    .map_err(|e| e.to_string())?;
-            let mut out = vec![
-                format!("graph: {g}"),
-                format!(
-                    "BC({vertex}) ~ {:.6} (Eq 7) | {:.6} (corrected, recommended)",
-                    est.bc, est.bc_corrected
-                ),
-                format!(
-                    "iterations {} | acceptance {:.3} | SPD passes {} | threads {}",
-                    est.iterations,
-                    est.acceptance_rate,
-                    est.spd_passes,
-                    (*threads).max(1)
-                ),
-            ];
+            let est = pipeline::run_single_view(
+                view,
+                r,
+                &SingleSpaceConfig::new(*iterations, *seed),
+                &prefetch,
+            )
+            .map_err(|e| e.to_string())?;
+            out.push(format!(
+                "BC({vertex}) ~ {:.6} (Eq 7) | {:.6} (corrected, recommended)",
+                est.bc, est.bc_corrected
+            ));
+            out.push(format!(
+                "iterations {} | acceptance {:.3} | SPD passes {} | threads {}",
+                est.iterations,
+                est.acceptance_rate,
+                est.spd_passes,
+                (*threads).max(1)
+            ));
             if *exact {
                 let truth = mhbc_spd::exact_betweenness_of(g, r);
                 out.push(format!("exact (Brandes): {truth:.6}"));
             }
             Ok(out)
         }
-        Command::Rank { vertices, iterations, seed, threads, prefetch_depth, .. } => {
+        Command::Rank {
+            vertices, iterations, seed, threads, prefetch_depth, preprocess, ..
+        } => {
             let probes = vertices.iter().map(|&v| internal(v)).collect::<Result<Vec<_>, _>>()?;
+            let red = build_reduction(g, *preprocess)?;
+            if let Some(red) = &red {
+                for (&input, &p) in vertices.iter().zip(&probes) {
+                    if !red.is_retained(p) {
+                        return Err(format!(
+                            "vertex {input} was pruned into a pendant tree at --preprocess {}; \
+                             ranking needs retained probes — its exact BC is {:.6}, or rerun \
+                             with --preprocess off",
+                            preprocess.as_str(),
+                            red.exact_pruned_bc(p).expect("pruned vertex has closed form"),
+                        ));
+                    }
+                }
+            }
+            let view = SpdView::from_option(g, red.as_ref());
             let prefetch = PrefetchConfig::with_threads(*threads).with_depth(*prefetch_depth);
-            let est = pipeline::run_joint(
-                g,
+            let est = pipeline::run_joint_view(
+                view,
                 &probes,
                 &JointSpaceConfig::new(*iterations, *seed),
                 &prefetch,
@@ -203,11 +292,31 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             }
             Ok(out)
         }
-        Command::Plan { vertex, epsilon, delta, .. } => {
+        Command::Plan { vertex, epsilon, delta, preprocess, .. } => {
             let r = internal(*vertex)?;
-            let plan = plan_single(g, r, *epsilon, *delta, MuSource::Exact { threads: 0 })
-                .map_err(|e| e.to_string())?;
-            Ok(vec![
+            let red = build_reduction(g, *preprocess)?;
+            if let Some(red) = &red {
+                if let Some(bc) = red.exact_pruned_bc(r) {
+                    return Ok(vec![
+                        preprocess_line(red),
+                        format!(
+                            "BC({vertex}) = {bc:.6} exactly (pruned pendant vertex): \
+                             0 iterations needed at this preprocess level"
+                        ),
+                    ]);
+                }
+            }
+            // With a reduction, the exact mu(r) itself is computed through
+            // it (one reduced pass per distinct dependency row).
+            let plan = plan_single_view(
+                SpdView::from_option(g, red.as_ref()),
+                r,
+                *epsilon,
+                *delta,
+                MuSource::Exact { threads: 0 },
+            )
+            .map_err(|e| e.to_string())?;
+            let mut out = vec![
                 format!("mu({vertex}) = {:.3}", plan.mu),
                 format!(
                     "iterations for |err| <= {} with prob >= {}: {}",
@@ -215,7 +324,20 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
                     1.0 - plan.delta,
                     plan.iterations
                 ),
-            ])
+            ];
+            if let Some(red) = &red {
+                // mu(r) — and therefore the iteration count — is invariant
+                // under preprocessing (densities are mapped exactly); only
+                // the per-iteration SPD cost shrinks.
+                out.push(preprocess_line(red));
+                out.push(format!(
+                    "assumed reduction ratio: each of the {} iterations costs one SPD pass \
+                     over the reduced graph — {:.2}x less work than an unreduced pass",
+                    plan.iterations,
+                    red.stats().work_ratio()
+                ));
+            }
+            Ok(out)
         }
     }
 }
@@ -242,6 +364,7 @@ mod tests {
                 exact: true,
                 threads: 1,
                 prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+                preprocess: ReduceLevel::Off,
             }
         );
     }
@@ -260,6 +383,7 @@ mod tests {
                 exact: false,
                 threads: 4,
                 prefetch_depth: 64,
+                preprocess: ReduceLevel::Off,
             }
         );
         assert!(parse(&strs(&["estimate", "g.txt", "5", "--threads"])).is_err());
@@ -278,12 +402,20 @@ mod tests {
                 seed: 7,
                 threads: 1,
                 prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+                preprocess: ReduceLevel::Off,
             }
         );
-        let cmd = parse(&strs(&["plan", "g.txt", "4", "0.05", "0.1"])).unwrap();
+        let cmd =
+            parse(&strs(&["plan", "g.txt", "4", "0.05", "0.1", "--preprocess", "full"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Plan { path: "g.txt".into(), vertex: 4, epsilon: 0.05, delta: 0.1 }
+            Command::Plan {
+                path: "g.txt".into(),
+                vertex: 4,
+                epsilon: 0.05,
+                delta: 0.1,
+                preprocess: ReduceLevel::Full,
+            }
         );
     }
 
@@ -321,6 +453,7 @@ mod tests {
             exact: true,
             threads: 1,
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: ReduceLevel::Off,
         };
         let out = execute(&cmd, &lcc, &map).unwrap();
         assert!(out.iter().any(|l| l.contains("BC(5)")));
@@ -343,6 +476,7 @@ mod tests {
             exact: false,
             threads,
             prefetch_depth: 32,
+            preprocess: ReduceLevel::Off,
         };
         let seq = execute(&mk(1), &lcc, &map).unwrap();
         let par = execute(&mk(3), &lcc, &map).unwrap();
@@ -367,12 +501,120 @@ mod tests {
             seed: 3,
             threads: 2,
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: ReduceLevel::Full,
         };
         let out = execute(&cmd, &lcc, &map).unwrap();
         // The middle path vertex 7 carries more pairs than 6.
         let pos7 = out.iter().position(|l| l.trim_start().starts_with('7')).unwrap();
         let pos6 = out.iter().position(|l| l.trim_start().starts_with('6')).unwrap();
         assert!(pos7 < pos6, "vertex 7 should rank above 6: {out:?}");
+    }
+
+    fn edge_list_text(g: &CsrGraph) -> String {
+        let mut text = String::new();
+        for (u, v, w) in g.edges() {
+            if g.is_weighted() {
+                text.push_str(&format!("{u} {v} {w}\n"));
+            } else {
+                text.push_str(&format!("{u} {v}\n"));
+            }
+        }
+        text
+    }
+
+    #[test]
+    fn rejects_bad_preprocess_value() {
+        assert!(parse(&strs(&["estimate", "g.txt", "1", "--preprocess", "max"]))
+            .unwrap_err()
+            .contains("off|prune|full"));
+        assert!(parse(&strs(&["estimate", "g.txt", "1", "--preprocess"])).is_err());
+    }
+
+    #[test]
+    fn preprocessed_estimate_reports_reduction_and_closed_forms() {
+        // Lollipop: the pendant path prunes away entirely.
+        let g = mhbc_graph::generators::lollipop(6, 3);
+        let (lcc, map) = load_graph(Cursor::new(edge_list_text(&g))).unwrap();
+        let mk = |vertex, preprocess| Command::Estimate {
+            path: String::new(),
+            vertex,
+            iterations: 3_000,
+            seed: 5,
+            exact: false,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess,
+        };
+        // Retained probe: sampled estimate, with a preprocess summary line.
+        let out = execute(&mk(0, ReduceLevel::Full), &lcc, &map).unwrap();
+        assert!(out.iter().any(|l| l.starts_with("preprocess full:")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("BC(0) ~")), "{out:?}");
+        // Pruned probe: exact closed form, no sampling.
+        let out = execute(&mk(8, ReduceLevel::Prune), &lcc, &map).unwrap();
+        assert!(out.iter().any(|l| l.contains("exact: vertex was pruned")), "{out:?}");
+        let exact = mhbc_spd::exact_betweenness_of(&lcc, 8);
+        assert!(out.iter().any(|l| l.contains(&format!("{exact:.6}"))), "{out:?}");
+    }
+
+    #[test]
+    fn weighted_graphs_refuse_full_preprocess_but_allow_prune() {
+        let g = mhbc_graph::generators::lollipop(5, 2).map_weights(|_, _| 2.5).unwrap();
+        let (lcc, map) = load_graph(Cursor::new(edge_list_text(&g))).unwrap();
+        let mk = |preprocess| Command::Estimate {
+            path: String::new(),
+            vertex: 0,
+            iterations: 500,
+            seed: 1,
+            exact: false,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess,
+        };
+        let err = execute(&mk(ReduceLevel::Full), &lcc, &map).unwrap_err();
+        assert!(err.contains("--preprocess full"), "{err}");
+        assert!(err.contains("unweighted"), "{err}");
+        assert!(execute(&mk(ReduceLevel::Prune), &lcc, &map).is_ok());
+    }
+
+    #[test]
+    fn preprocessed_rank_rejects_pruned_probes_with_guidance() {
+        let g = mhbc_graph::generators::lollipop(6, 3);
+        let (lcc, map) = load_graph(Cursor::new(edge_list_text(&g))).unwrap();
+        let cmd = Command::Rank {
+            path: String::new(),
+            vertices: vec![0, 8],
+            iterations: 100,
+            seed: 1,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: ReduceLevel::Prune,
+        };
+        let err = execute(&cmd, &lcc, &map).unwrap_err();
+        assert!(err.contains("vertex 8"), "{err}");
+        assert!(err.contains("--preprocess off"), "{err}");
+    }
+
+    #[test]
+    fn plan_reports_the_assumed_reduction_ratio() {
+        let g = mhbc_graph::generators::lollipop(6, 3);
+        let (lcc, map) = load_graph(Cursor::new(edge_list_text(&g))).unwrap();
+        let mk = |vertex, preprocess| Command::Plan {
+            path: String::new(),
+            vertex,
+            epsilon: 0.05,
+            delta: 0.1,
+            preprocess,
+        };
+        // Vertex 5 is the path's clique attachment: positive betweenness.
+        let out = execute(&mk(5, ReduceLevel::Full), &lcc, &map).unwrap();
+        assert!(out.iter().any(|l| l.contains("assumed reduction ratio")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("less work than an unreduced pass")), "{out:?}");
+        // Without preprocessing there is no ratio line.
+        let out = execute(&mk(5, ReduceLevel::Off), &lcc, &map).unwrap();
+        assert!(!out.iter().any(|l| l.contains("reduction ratio")), "{out:?}");
+        // A pruned probe needs no iterations at all.
+        let out = execute(&mk(8, ReduceLevel::Prune), &lcc, &map).unwrap();
+        assert!(out.iter().any(|l| l.contains("0 iterations needed")), "{out:?}");
     }
 
     #[test]
@@ -386,6 +628,7 @@ mod tests {
             exact: false,
             threads: 1,
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: ReduceLevel::Off,
         };
         assert!(execute(&cmd, &g, &map).unwrap_err().contains("99"));
     }

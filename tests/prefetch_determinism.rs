@@ -134,3 +134,129 @@ fn weighted_graphs_flow_through_the_pipeline_unchanged() {
     let par = pipeline::run_single(&g, 6, &config, &PrefetchConfig::with_threads(4)).unwrap();
     assert_eq!(single_fingerprint(&seq), single_fingerprint(&par));
 }
+
+/// A cycle with deliberately scrambled vertex ids: pendant-free and
+/// twin-free (so `full` preprocessing is structure-neutral), with dyadic
+/// shortest-path counts (σ ∈ {1, 2}), and fragmented enough that the
+/// locality guard *does* relabel — exercising the whole reduced evaluation
+/// path while keeping every density bit-equal to the direct one.
+fn scrambled_cycle(n: usize) -> mhbc_graph::CsrGraph {
+    let perm: Vec<u32> = {
+        // Fixed multiplicative scramble; the stride is coprime with both n
+        // values used below (bijection) and large enough that neighbouring
+        // cycle vertices land far apart in id space.
+        let stride = 37u64;
+        (0..n as u64).map(|i| ((i * stride) % n as u64) as u32).collect()
+    };
+    let edges: Vec<(u32, u32)> = (0..n).map(|i| (perm[i], perm[(i + 1) % n])).collect();
+    mhbc_graph::CsrGraph::from_edges(n, &edges).unwrap()
+}
+
+#[test]
+fn preprocessed_runs_bit_identical_across_thread_counts() {
+    use mhbc_graph::reduce::{reduce, ReduceLevel};
+    use mhbc_spd::SpdView;
+
+    let mut rng = SmallRng::seed_from_u64(77);
+    let graphs = [
+        ("web", generators::preferential_attachment_mixed(400, 1, 4, 0.45, &mut rng)),
+        ("dup", generators::duplication_divergence(400, 0.5, &mut rng)),
+        ("lollipop", generators::lollipop(10, 6)),
+    ];
+    for (name, g) in &graphs {
+        for level in [ReduceLevel::Prune, ReduceLevel::Full] {
+            let red = reduce(g, level).unwrap();
+            let view = SpdView::preprocessed(g, &red);
+            let r = (0..g.num_vertices() as u32)
+                .filter(|&v| red.is_retained(v))
+                .max_by_key(|&v| g.degree(v))
+                .unwrap();
+            let config = SingleSpaceConfig::new(1_200, 5);
+            let seq =
+                pipeline::run_single_view(view, r, &config, &PrefetchConfig::sequential()).unwrap();
+            for threads in [1usize, 2, 8] {
+                let par = pipeline::run_single_view(
+                    view,
+                    r,
+                    &config,
+                    &PrefetchConfig::with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(
+                    single_fingerprint(&seq),
+                    single_fingerprint(&par),
+                    "{name}, {level:?}, threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn preprocess_full_matches_off_run_for_run_on_pendant_free_graphs() {
+    use mhbc_graph::reduce::{reduce, ReduceLevel, VertexState};
+    use mhbc_spd::SpdView;
+
+    for n in [101usize, 128] {
+        let g = scrambled_cycle(n);
+        let red = reduce(&g, ReduceLevel::Full).unwrap();
+        assert_eq!(red.stats().pruned_vertices, 0);
+        assert_eq!(red.stats().collapsed_vertices, 0);
+        // The scrambled layout must actually trigger the relabel, so the
+        // reduced evaluation path (not a trivial identity) is under test.
+        let relabelled = (0..n as u32).any(|v| match red.state(v) {
+            VertexState::Retained { h, .. } => h != v,
+            _ => false,
+        });
+        assert!(relabelled, "scrambled cycle should be relabelled");
+        let view = SpdView::preprocessed(&g, &red);
+        for seed in [2u64, 41, 97] {
+            let config = SingleSpaceConfig::new(2_000, seed);
+            let off = pipeline::run_single(&g, 0, &config, &PrefetchConfig::sequential()).unwrap();
+            let full =
+                pipeline::run_single_view(view, 0, &config, &PrefetchConfig::with_threads(2))
+                    .unwrap();
+            assert_eq!(
+                (off.bc.to_bits(), off.bc_corrected.to_bits(), off.acceptance_rate.to_bits()),
+                (full.bc.to_bits(), full.bc_corrected.to_bits(), full.acceptance_rate.to_bits()),
+                "cycle({n}), seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn preprocessed_joint_bit_identical_across_thread_counts() {
+    use mhbc_graph::reduce::{reduce, ReduceLevel};
+    use mhbc_spd::SpdView;
+
+    let mut rng = SmallRng::seed_from_u64(91);
+    let g = generators::preferential_attachment_mixed(300, 1, 3, 0.4, &mut rng);
+    let red = reduce(&g, ReduceLevel::Full).unwrap();
+    let view = SpdView::preprocessed(&g, &red);
+    let mut retained = (0..g.num_vertices() as u32).filter(|&v| red.is_retained(v));
+    let probes = [retained.next().unwrap(), retained.next().unwrap(), retained.next().unwrap()];
+    let config = JointSpaceConfig::new(1_500, 13);
+    let seq =
+        pipeline::run_joint_view(view, &probes, &config, &PrefetchConfig::sequential()).unwrap();
+    for threads in [2usize, 8] {
+        let par = pipeline::run_joint_view(
+            view,
+            &probes,
+            &config,
+            &PrefetchConfig::with_threads(threads),
+        )
+        .unwrap();
+        assert_eq!(seq.counts, par.counts, "threads {threads}");
+        assert_eq!(seq.spd_passes, par.spd_passes, "threads {threads}");
+        for i in 0..probes.len() {
+            for j in 0..probes.len() {
+                assert_eq!(
+                    seq.relative[i][j].to_bits(),
+                    par.relative[i][j].to_bits(),
+                    "({i},{j}), threads {threads}"
+                );
+            }
+        }
+    }
+}
