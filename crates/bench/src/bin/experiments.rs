@@ -10,11 +10,12 @@
 //! Results print as markdown and are mirrored to `results/<id>.csv`. The
 //! `perf` subcommand (not part of `all`) additionally writes the
 //! performance-trajectory artifacts to the current directory:
-//! `BENCH_kernels.json` (frontier-vs-legacy kernel ns/edge on the T3
-//! workload, samples/sec at 1/2/4 threads through the prefetch pipeline,
-//! oracle hit rate) and `BENCH_preproc.json` (graph-reduction ratio,
-//! reduced-pass ns/edge, and sampler samples/sec at
-//! `--preprocess off/prune/full` per T3 graph).
+//! `BENCH_kernels.json` (schema v2: per-kernel-mode ns/edge —
+//! legacy/topdown/hybrid/auto — on the T3 workload, and sampler
+//! samples/sec at 1/2/4 threads through the prefetch pipeline on every
+//! family) and `BENCH_preproc.json` (graph-reduction ratio, reduced-pass
+//! ns/edge, and sampler samples/sec at `--preprocess off/prune/full` per
+//! T3 graph).
 
 use mhbc_baselines::{BbSampler, DistanceSampler, RkSampler, UniformSourceSampler};
 use mhbc_bench::report::{e5, f, Table};
@@ -850,12 +851,13 @@ fn f8(ctx: &Ctx) {
 // -------------------------------------------------------------- PERF ----
 
 /// Kernel + pipeline + preprocessing throughput trajectory: emits
-/// `BENCH_kernels.json` and `BENCH_preproc.json` to the current directory
-/// (the repo root in CI) so successive PRs accumulate comparable numbers.
-/// Also prints the same figures as markdown tables.
+/// `BENCH_kernels.json` (schema v2: per-kernel-mode columns, sampler
+/// sweep over every workload family) and `BENCH_preproc.json` to the
+/// current directory (the repo root in CI) so successive PRs accumulate
+/// comparable numbers. Also prints the same figures as markdown tables.
 fn perf(ctx: &Ctx) {
     use mhbc_core::{pipeline, PrefetchConfig};
-    use mhbc_spd::{legacy::LegacyBfsSpd, BfsSpd};
+    use mhbc_spd::{legacy::LegacyBfsSpd, BfsSpd, KernelMode};
 
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let passes: u32 = if ctx.quick { 30 } else { 100 };
@@ -863,39 +865,67 @@ fn perf(ctx: &Ctx) {
     // happens to be measured during a busy slice, so each kernel's figure
     // is the best of several alternating rounds.
     let rounds = 5;
+    /// The low-diameter families where bottom-up levels should engage.
+    const LOW_DIAMETER: [&str; 3] = ["ba", "er", "web"];
 
-    // --- Kernel: frontier vs legacy, one full pass (SPD + accumulation)
-    // per measurement, sources cycling, on the T3 workload graphs.
+    // --- Kernel: legacy vs top-down vs hybrid vs auto, one full pass
+    // (SPD + accumulation) per measurement, sources cycling, on the T3
+    // workload graphs.
     let mut tk = Table::new(
-        "PERF/kernel - ns per edge per pass (SPD + dependency accumulation), frontier vs legacy",
-        &["graph", "n", "m", "legacy ns/edge", "frontier ns/edge", "speedup"],
+        "PERF/kernel - ns per edge per pass (SPD + dependency accumulation) by kernel mode",
+        &[
+            "graph",
+            "n",
+            "m",
+            "legacy",
+            "topdown",
+            "hybrid",
+            "auto",
+            "hyb/td",
+            "auto/td",
+            "pull lvls",
+        ],
     );
     let mut kernel_json = String::new();
-    let mut log_speedup_sum = 0.0;
+    let (mut log_hybrid_sum, mut log_low_sum, mut log_legacy_sum) = (0.0, 0.0, 0.0);
+    // Topdown's own position vs the fixed legacy baseline: the canonical-
+    // order sorting makes this PR's topdown slightly slower than the PR 2
+    // frontier kernel, so cross-PR comparisons must go through legacy (the
+    // one baseline that never changes), not through topdown.
+    let mut log_td_legacy_sum = 0.0;
+    let mut auto_min = f64::INFINITY;
     let suite = workloads::standard_suite(ctx.quick);
     for ds in &suite {
         let g = &ds.graph;
         let (n, m) = (g.num_vertices(), g.num_edges());
         let mut delta = Vec::new();
 
-        let mut frontier = BfsSpd::new(n);
         let mut legacy = LegacyBfsSpd::new(n);
+        let mut modes = [
+            BfsSpd::with_mode(n, KernelMode::TopDown),
+            BfsSpd::with_mode(n, KernelMode::Hybrid),
+            BfsSpd::with_mode(n, KernelMode::Auto),
+        ];
         for w in 0..3u32 {
-            frontier.compute(g, (w * 97) % n as u32); // warm-up
-            legacy.compute(g, (w * 97) % n as u32);
-        }
-        let (mut frontier_ns, mut legacy_ns) = (f64::MAX, f64::MAX);
-        for _ in 0..rounds {
-            let started = Instant::now();
-            let mut s = 0u32;
-            for _ in 0..passes {
-                frontier.compute(g, s % n as u32);
-                frontier.accumulate_dependencies(g, &mut delta);
-                s = s.wrapping_add(97);
+            legacy.compute(g, (w * 97) % n as u32); // warm-up
+            for spd in modes.iter_mut() {
+                spd.compute(g, (w * 97) % n as u32);
             }
-            frontier_ns =
-                frontier_ns.min(started.elapsed().as_secs_f64() * 1e9 / (passes as f64 * m as f64));
-
+        }
+        // How many bottom-up levels the hybrid heuristics actually take,
+        // averaged over the cycled sources (diagnostic, not a timing).
+        let pull_lvls = {
+            let spd = &mut modes[1];
+            let mut total = 0u64;
+            for i in 0..16u32 {
+                spd.compute(g, (i * 97) % n as u32);
+                total += spd.pull_levels() as u64;
+            }
+            total as f64 / 16.0
+        };
+        let mut legacy_ns = f64::MAX;
+        let mut mode_ns = [f64::MAX; 3];
+        for _ in 0..rounds {
             let started = Instant::now();
             let mut s = 0u32;
             for _ in 0..passes {
@@ -905,98 +935,161 @@ fn perf(ctx: &Ctx) {
             }
             legacy_ns =
                 legacy_ns.min(started.elapsed().as_secs_f64() * 1e9 / (passes as f64 * m as f64));
+
+            for (k, spd) in modes.iter_mut().enumerate() {
+                let started = Instant::now();
+                let mut s = 0u32;
+                for _ in 0..passes {
+                    spd.compute(g, s % n as u32);
+                    spd.accumulate_dependencies(g, &mut delta);
+                    s = s.wrapping_add(97);
+                }
+                mode_ns[k] = mode_ns[k]
+                    .min(started.elapsed().as_secs_f64() * 1e9 / (passes as f64 * m as f64));
+            }
         }
 
-        let speedup = legacy_ns / frontier_ns;
-        log_speedup_sum += speedup.ln();
+        let [topdown_ns, hybrid_ns, auto_ns] = mode_ns;
+        let hybrid_speedup = topdown_ns / hybrid_ns;
+        let auto_speedup = topdown_ns / auto_ns;
+        let legacy_speedup = legacy_ns / hybrid_ns;
+        let td_legacy_speedup = legacy_ns / topdown_ns;
+        log_hybrid_sum += hybrid_speedup.ln();
+        log_legacy_sum += legacy_speedup.ln();
+        log_td_legacy_sum += td_legacy_speedup.ln();
+        if LOW_DIAMETER.contains(&ds.name) {
+            log_low_sum += hybrid_speedup.ln();
+        }
+        auto_min = auto_min.min(auto_speedup);
         tk.push(vec![
             ds.name.into(),
             n.to_string(),
             m.to_string(),
             format!("{legacy_ns:.2}"),
-            format!("{frontier_ns:.2}"),
-            format!("{speedup:.2}x"),
+            format!("{topdown_ns:.2}"),
+            format!("{hybrid_ns:.2}"),
+            format!("{auto_ns:.2}"),
+            format!("{hybrid_speedup:.2}x"),
+            format!("{auto_speedup:.2}x"),
+            format!("{pull_lvls:.1}"),
         ]);
         if !kernel_json.is_empty() {
             kernel_json.push_str(",\n");
         }
         kernel_json.push_str(&format!(
             "    {{\"graph\": \"{}\", \"vertices\": {n}, \"edges\": {m}, \
-             \"legacy_ns_per_edge\": {legacy_ns:.3}, \"frontier_ns_per_edge\": {frontier_ns:.3}, \
-             \"speedup\": {speedup:.3}}}",
+             \"legacy_ns_per_edge\": {legacy_ns:.3}, \"topdown_ns_per_edge\": {topdown_ns:.3}, \
+             \"hybrid_ns_per_edge\": {hybrid_ns:.3}, \"auto_ns_per_edge\": {auto_ns:.3}, \
+             \"hybrid_speedup_vs_topdown\": {hybrid_speedup:.3}, \
+             \"auto_speedup_vs_topdown\": {auto_speedup:.3}, \
+             \"hybrid_speedup_vs_legacy\": {legacy_speedup:.3}, \
+             \"topdown_speedup_vs_legacy\": {td_legacy_speedup:.3}, \
+             \"hybrid_pull_levels_mean\": {pull_lvls:.2}}}",
             ds.name
         ));
     }
-    let kernel_geomean = (log_speedup_sum / suite.len() as f64).exp();
+    let hybrid_geomean = (log_hybrid_sum / suite.len() as f64).exp();
+    let low_geomean = (log_low_sum / LOW_DIAMETER.len() as f64).exp();
+    let legacy_geomean = (log_legacy_sum / suite.len() as f64).exp();
+    let td_legacy_geomean = (log_td_legacy_sum / suite.len() as f64).exp();
     tk.emit(&ctx.out, "perf_kernel").expect("emit perf_kernel");
 
-    // --- Pipeline: samples/sec at 1/2/4 threads, hub probe of the BA
-    // graph, with a bit-identity check across thread counts.
-    let g = &suite[0].graph;
-    let r = (0..g.num_vertices() as Vertex).max_by_key(|&v| g.degree(v)).expect("non-empty");
-    let iterations = ctx.budget(g.num_vertices()) * 4;
-    let config = SingleSpaceConfig::new(iterations, SEED);
+    // --- Pipeline: samples/sec at 1/2/4 threads on *every* workload
+    // family (min-of-interleaved-rounds), each with a bit-identity check
+    // across thread counts.
     let mut tp = Table::new(
-        "PERF/pipeline - single-space sampler throughput by thread count (ba graph, hub probe)",
-        &["threads", "samples/sec", "speedup vs 1t", "hit rate", "spd passes"],
+        "PERF/pipeline - single-space sampler throughput by thread count (hub probe, per family)",
+        &["graph", "threads", "samples/sec", "speedup vs 1t", "hit rate", "spd passes"],
     );
-    let mut sps = Vec::new();
-    let mut fingerprint: Option<(u64, u64, u64)> = None;
-    let mut deterministic = true;
-    let mut hit_rate_1t = 0.0;
-    for threads in [1usize, 2, 4] {
-        let prefetch = PrefetchConfig::with_threads(threads);
-        let mut best = f64::MAX;
-        let mut est = None;
-        for round in 0..rounds {
-            let started = Instant::now();
-            let e = pipeline::run_single(g, r, &config, &prefetch).expect("valid config");
-            let secs = started.elapsed().as_secs_f64();
-            if round > 0 {
-                best = best.min(secs); // round 0 is the warm-up
+    let sampler_rounds = 3;
+    let thread_counts = [1usize, 2, 4];
+    let mut sampler_json = String::new();
+    let mut all_deterministic = true;
+    for ds in &suite {
+        let g = &ds.graph;
+        let r = (0..g.num_vertices() as Vertex).max_by_key(|&v| g.degree(v)).expect("non-empty");
+        let iterations = ctx.budget(g.num_vertices()) * 2;
+        let config = SingleSpaceConfig::new(iterations, SEED);
+        // Interleave thread counts inside each round so scheduler noise
+        // hits every configuration alike; round 0 is the warm-up.
+        let mut best = [f64::MAX; 3];
+        // Chain-observed hit rate per thread count (the threaded figures
+        // differ from sequential because prefetch warming converts would-be
+        // misses into hits; last round's observation is reported).
+        let mut hit_rates = [0.0f64; 3];
+        let mut fingerprint: Option<(u64, u64, u64)> = None;
+        let mut deterministic = true;
+        let mut spd_passes = 0u64;
+        for round in 0..=sampler_rounds {
+            for (ti, &threads) in thread_counts.iter().enumerate() {
+                let prefetch = PrefetchConfig::with_threads(threads);
+                let started = Instant::now();
+                let est = pipeline::run_single(g, r, &config, &prefetch).expect("valid config");
+                let secs = started.elapsed().as_secs_f64();
+                if round > 0 {
+                    best[ti] = best[ti].min(secs);
+                }
+                let fp = (est.bc.to_bits(), est.bc_corrected.to_bits(), est.spd_passes);
+                match &fingerprint {
+                    None => fingerprint = Some(fp),
+                    Some(expect) => deterministic &= *expect == fp,
+                }
+                hit_rates[ti] = est.oracle_stats.hit_rate();
+                if threads == 1 {
+                    spd_passes = est.spd_passes;
+                }
             }
-            est = Some(e);
         }
-        let est = est.expect("at least one round ran");
-        let rate = iterations as f64 / best;
-        let fp = (est.bc.to_bits(), est.bc_corrected.to_bits(), est.spd_passes);
-        match &fingerprint {
-            None => fingerprint = Some(fp),
-            Some(expect) => deterministic &= *expect == fp,
+        all_deterministic &= deterministic;
+        let hit_rate_1t = hit_rates[0];
+        let rates: Vec<f64> = best.iter().map(|b| iterations as f64 / b).collect();
+        for (ti, &threads) in thread_counts.iter().enumerate() {
+            tp.push(vec![
+                ds.name.into(),
+                threads.to_string(),
+                format!("{:.0}", rates[ti]),
+                format!("{:.2}x", rates[ti] / rates[0]),
+                format!("{:.3}", hit_rates[ti]),
+                spd_passes.to_string(),
+            ]);
         }
-        if threads == 1 {
-            hit_rate_1t = est.oracle_stats.hit_rate();
+        if !sampler_json.is_empty() {
+            sampler_json.push_str(",\n");
         }
-        tp.push(vec![
-            threads.to_string(),
-            format!("{rate:.0}"),
-            format!("{:.2}x", rate / sps.first().copied().unwrap_or(rate)),
-            format!("{:.3}", est.oracle_stats.hit_rate()),
-            est.spd_passes.to_string(),
-        ]);
-        sps.push(rate);
+        sampler_json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"probe\": {r}, \"iterations\": {iterations}, \
+             \"samples_per_sec\": {{\"1\": {:.1}, \"2\": {:.1}, \"4\": {:.1}}}, \
+             \"speedup_2t\": {:.3}, \"speedup_4t\": {:.3}, \
+             \"oracle_hit_rate_sequential\": {hit_rate_1t:.4}, \
+             \"bit_identical_across_threads\": {deterministic}}}",
+            ds.name,
+            rates[0],
+            rates[1],
+            rates[2],
+            rates[1] / rates[0],
+            rates[2] / rates[0],
+        ));
     }
     tp.emit(&ctx.out, "perf_pipeline").expect("emit perf_pipeline");
-    assert!(deterministic, "pipeline output diverged across thread counts");
+    assert!(all_deterministic, "pipeline output diverged across thread counts");
 
     let json = format!(
-        "{{\n  \"schema\": \"mhbc-bench-kernels-v1\",\n  \"generated_by\": \"experiments perf\",\n  \
+        "{{\n  \"schema\": \"mhbc-bench-kernels-v2\",\n  \"generated_by\": \"experiments perf\",\n  \
          \"quick\": {},\n  \"host_cores\": {cores},\n  \"kernel\": [\n{kernel_json}\n  ],\n  \
-         \"kernel_speedup_geomean\": {kernel_geomean:.3},\n  \"sampler\": {{\n    \
-         \"graph\": \"ba\", \"probe\": {r}, \"iterations\": {iterations},\n    \
-         \"samples_per_sec\": {{\"1\": {:.1}, \"2\": {:.1}, \"4\": {:.1}}},\n    \
-         \"speedup_2t\": {:.3}, \"speedup_4t\": {:.3},\n    \
-         \"oracle_hit_rate_sequential\": {hit_rate_1t:.4},\n    \
-         \"bit_identical_across_threads\": {deterministic}\n  }}\n}}\n",
+         \"hybrid_vs_topdown_geomean\": {hybrid_geomean:.3},\n  \
+         \"hybrid_vs_topdown_low_diameter_geomean\": {low_geomean:.3},\n  \
+         \"auto_vs_topdown_min\": {auto_min:.3},\n  \
+         \"hybrid_vs_legacy_geomean\": {legacy_geomean:.3},\n  \
+         \"topdown_vs_legacy_geomean\": {td_legacy_geomean:.3},\n  \
+         \"sampler\": [\n{sampler_json}\n  ],\n  \
+         \"sampler_bit_identical_all\": {all_deterministic}\n}}\n",
         ctx.quick,
-        sps[0],
-        sps[1],
-        sps[2],
-        sps[1] / sps[0],
-        sps[2] / sps[0],
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
-    eprintln!("[perf] wrote BENCH_kernels.json (host cores: {cores})");
+    eprintln!(
+        "[perf] wrote BENCH_kernels.json (hybrid/topdown geomean {hybrid_geomean:.3}, \
+         low-diameter {low_geomean:.3}, auto min {auto_min:.3}, host cores {cores})"
+    );
 
     // --- Preprocessing: reduction ratio, reduced-kernel ns/edge, and
     // sampler throughput at --preprocess off/prune/full, per T3 graph.

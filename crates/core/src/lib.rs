@@ -46,6 +46,12 @@
 //! the smaller, cache-friendlier reduced CSR, shared across structurally
 //! equivalent sources via [`mhbc_spd::SpdView::row_key`] coalescing.
 //!
+//! The view also carries the SPD [`mhbc_spd::KernelMode`]
+//! ([`mhbc_spd::SpdView::with_kernel`]): everything built from it —
+//! oracles, workspace pools, the prefetch pipeline, the ensembles —
+//! inherits the forward-pass strategy, and because every mode is
+//! bit-identical the choice can never change a sampler's output.
+//!
 //! ## Paper § → module map
 //!
 //! | Paper §/result | Topic | Where |

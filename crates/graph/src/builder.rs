@@ -87,7 +87,10 @@ impl GraphBuilder {
     /// Runs in `O(n + m log m)`: normalised edges are sorted, identical
     /// duplicates merged, and the doubled adjacency arrays filled by prefix
     /// sums. Duplicate edges with differing weights produce
-    /// [`GraphError::InconsistentDuplicate`].
+    /// [`GraphError::InconsistentDuplicate`]. The compact-index invariant of
+    /// [`CsrGraph`] (`u32` offsets) is checked here: graphs whose doubled
+    /// edge-endpoint count `2m` exceeds `u32::MAX` are refused with
+    /// [`GraphError::TooManyEdges`] instead of overflowing.
     pub fn build(self) -> Result<CsrGraph, GraphError> {
         if self.n >= u32::MAX as usize {
             return Err(GraphError::TooManyVertices { requested: self.n });
@@ -124,11 +127,15 @@ impl GraphBuilder {
         }
 
         let m = dedup.len();
-        let mut offsets = vec![0usize; self.n + 1];
+        if 2 * m > u32::MAX as usize {
+            return Err(GraphError::TooManyEdges { edges: m });
+        }
+        let mut offsets = vec![0u32; self.n + 1];
         for &(u, v) in &dedup {
             offsets[u as usize + 1] += 1;
             offsets[v as usize + 1] += 1;
         }
+        let degrees: Vec<u32> = offsets[1..].to_vec();
         for i in 0..self.n {
             offsets[i + 1] += offsets[i];
         }
@@ -137,7 +144,7 @@ impl GraphBuilder {
         let mut weights = if weighted { vec![0.0f64; 2 * m] } else { Vec::new() };
         let mut cursor = offsets.clone();
         for (k, &(u, v)) in dedup.iter().enumerate() {
-            let (cu, cv) = (cursor[u as usize], cursor[v as usize]);
+            let (cu, cv) = (cursor[u as usize] as usize, cursor[v as usize] as usize);
             targets[cu] = v;
             targets[cv] = u;
             if weighted {
@@ -154,7 +161,7 @@ impl GraphBuilder {
         // slices are typically short and nearly sorted).
         if weighted {
             for v in 0..self.n {
-                let (s, e) = (offsets[v], offsets[v + 1]);
+                let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
                 let mut idx: Vec<usize> = (s..e).collect();
                 idx.sort_unstable_by_key(|&i| targets[i]);
                 let t_sorted: Vec<Vertex> = idx.iter().map(|&i| targets[i]).collect();
@@ -164,13 +171,14 @@ impl GraphBuilder {
             }
         } else {
             for v in 0..self.n {
-                let (s, e) = (offsets[v], offsets[v + 1]);
+                let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
                 targets[s..e].sort_unstable();
             }
         }
 
         Ok(CsrGraph {
             offsets: offsets.into_boxed_slice(),
+            degrees: degrees.into_boxed_slice(),
             targets: targets.into_boxed_slice(),
             weights: if weighted { Some(weights.into_boxed_slice()) } else { None },
             num_edges: m,

@@ -11,9 +11,29 @@ use crate::{GraphBuilder, GraphError, Vertex};
 ///
 /// Construction goes through [`GraphBuilder`], which enforces the paper's
 /// structural assumptions (no self-loops, no multi-edges, positive weights).
+///
+/// # Compact index invariants
+///
+/// The index is deliberately *compact*: offsets are `u32` (not `usize`), so
+/// the per-pass streaming footprint of the SPD kernels is 4 bytes per
+/// offset load beside the 4-byte vertex ids — half of what `usize` offsets
+/// cost on 64-bit hosts, on the arrays every traversal streams end to end.
+/// This caps the doubled edge-endpoint count `2m` at `u32::MAX`;
+/// [`GraphBuilder::build`] checks the bound and refuses larger graphs with
+/// [`GraphError::TooManyEdges`](crate::GraphError::TooManyEdges) rather than
+/// silently truncating (≈2.1 billion undirected edges — beyond any graph
+/// this suite targets). A prebuilt [`CsrGraph::degrees`] array is stored
+/// alongside, so frontier-size heuristics (the hybrid BFS α/β switch) read
+/// one `u32` per vertex instead of two offset loads. Invariants:
+///
+/// - `offsets.len() == n + 1`, `offsets[0] == 0`, nondecreasing, and
+///   `offsets[n] as usize == targets.len() == 2m <= u32::MAX`;
+/// - `degrees[v] == offsets[v + 1] - offsets[v]` for every `v`;
+/// - every entry of `targets` is a valid vertex id `< n`.
 #[derive(Clone, Debug)]
 pub struct CsrGraph {
-    pub(crate) offsets: Box<[usize]>,
+    pub(crate) offsets: Box<[u32]>,
+    pub(crate) degrees: Box<[u32]>,
     pub(crate) targets: Box<[Vertex]>,
     pub(crate) weights: Option<Box<[f64]>>,
     pub(crate) num_edges: usize,
@@ -61,18 +81,17 @@ impl CsrGraph {
         self.weights.is_some()
     }
 
-    /// Degree of `v`.
+    /// Degree of `v` (one load from the prebuilt degree array).
     #[inline]
     pub fn degree(&self, v: Vertex) -> usize {
-        let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        self.degrees[v as usize] as usize
     }
 
     /// Sorted adjacency slice of `v`.
     #[inline]
     pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
         let v = v as usize;
-        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
     /// Weights parallel to [`CsrGraph::neighbors`], if the graph is weighted.
@@ -80,7 +99,7 @@ impl CsrGraph {
     pub fn neighbor_weights(&self, v: Vertex) -> Option<&[f64]> {
         let w = self.weights.as_deref()?;
         let v = v as usize;
-        Some(&w[self.offsets[v]..self.offsets[v + 1]])
+        Some(&w[self.offsets[v] as usize..self.offsets[v + 1] as usize])
     }
 
     /// Iterator over `(neighbor, weight)` pairs; weight defaults to `1.0`
@@ -109,7 +128,7 @@ impl CsrGraph {
         }
         let idx = self.neighbors(u).binary_search(&v).ok()?;
         Some(match &self.weights {
-            Some(w) => w[self.offsets[u as usize] + idx],
+            Some(w) => w[self.offsets[u as usize] as usize + idx],
             None => 1.0,
         })
     }
@@ -131,20 +150,31 @@ impl CsrGraph {
         self.targets.len()
     }
 
-    /// Raw CSR view `(offsets, targets)` for kernel-style loops.
+    /// Raw compact CSR view `(offsets, targets)` for kernel-style loops.
     ///
     /// `offsets` has length `n + 1` and the adjacency of `v` is
-    /// `targets[offsets[v]..offsets[v + 1]]`. Hoisting both slices once lets
-    /// tight per-edge loops (the SPD kernels) avoid re-deriving the slice per
-    /// vertex; for everything else prefer [`CsrGraph::neighbors`].
+    /// `targets[offsets[v] as usize..offsets[v + 1] as usize]`. Offsets are
+    /// `u32` by the compact-index invariant (see the type docs), so per-edge
+    /// loops stream 4-byte loads for both halves of the index. Hoisting the
+    /// slices once lets tight per-edge loops (the SPD kernels) avoid
+    /// re-deriving the slice per vertex; for everything else prefer
+    /// [`CsrGraph::neighbors`].
     #[inline]
-    pub fn csr(&self) -> (&[usize], &[Vertex]) {
+    pub fn csr(&self) -> (&[u32], &[Vertex]) {
         (&self.offsets, &self.targets)
+    }
+
+    /// Prebuilt per-vertex degrees (`degrees()[v] == degree(v)`), for loops
+    /// that tally degree sums without touching two offset entries per vertex
+    /// (the hybrid-BFS frontier-edge heuristic).
+    #[inline]
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
     }
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
+        self.degrees.iter().copied().max().unwrap_or(0) as usize
     }
 
     /// Returns a copy of this graph with the given per-edge weight function
@@ -165,6 +195,7 @@ impl CsrGraph {
     pub fn unweighted(&self) -> Self {
         CsrGraph {
             offsets: self.offsets.clone(),
+            degrees: self.degrees.clone(),
             targets: self.targets.clone(),
             weights: None,
             num_edges: self.num_edges,
@@ -197,9 +228,9 @@ impl Iterator for EdgeIter<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         let n = self.g.num_vertices();
         while self.u < n {
-            let end = self.g.offsets[self.u + 1];
-            while self.g.offsets[self.u] + self.i < end {
-                let pos = self.g.offsets[self.u] + self.i;
+            let end = self.g.offsets[self.u + 1] as usize;
+            while self.g.offsets[self.u] as usize + self.i < end {
+                let pos = self.g.offsets[self.u] as usize + self.i;
                 self.i += 1;
                 let v = self.g.targets[pos];
                 if (self.u as Vertex) < v {
@@ -303,13 +334,15 @@ mod tests {
         assert_eq!(offsets.len(), 6);
         for v in 0..5u32 {
             assert_eq!(
-                &targets[offsets[v as usize]..offsets[v as usize + 1]],
+                &targets[offsets[v as usize] as usize..offsets[v as usize + 1] as usize],
                 g.neighbors(v),
                 "vertex {v}"
             );
         }
         assert_eq!(g.max_degree(), 4);
         assert_eq!(CsrGraph::from_edges(0, &[]).unwrap().max_degree(), 0);
+        assert_eq!(g.degrees(), &[4, 1, 1, 1, 1]);
+        assert_eq!(*offsets.last().unwrap() as usize, targets.len());
     }
 
     #[test]

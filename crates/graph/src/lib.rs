@@ -40,6 +40,7 @@
 //! ```
 
 pub mod algo;
+mod bitset;
 mod builder;
 mod csr;
 pub mod generators;
@@ -47,6 +48,7 @@ pub mod io;
 pub mod reduce;
 mod stats;
 
+pub use bitset::VisitBitset;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeIter};
 pub use stats::{degree_histogram, DegreeStats};
@@ -71,6 +73,9 @@ pub enum GraphError {
     InvalidWeight { u: Vertex, v: Vertex, weight: f64 },
     /// More than `u32::MAX - 1` vertices were requested.
     TooManyVertices { requested: usize },
+    /// The doubled edge-endpoint count `2m` would overflow the compact
+    /// `u32` CSR offsets (see [`CsrGraph`]'s compact-index invariants).
+    TooManyEdges { edges: usize },
     /// An operation that requires a connected graph was given a disconnected one.
     Disconnected,
     /// Edge-list parsing failed.
@@ -95,6 +100,9 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::TooManyVertices { requested } => {
                 write!(f, "{requested} vertices exceed the u32 vertex-id space")
+            }
+            GraphError::TooManyEdges { edges } => {
+                write!(f, "{edges} edges exceed the compact u32 CSR offset space (2m > u32::MAX)")
             }
             GraphError::Disconnected => write!(f, "operation requires a connected graph"),
             GraphError::Parse { line, message } => {

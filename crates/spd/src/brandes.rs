@@ -8,17 +8,23 @@ use mhbc_graph::{CsrGraph, Vertex};
 ///
 /// `O(nm)` unweighted / `O(nm + n² log n)` weighted — the §1 cost that makes
 /// exact computation impractical on large graphs and motivates the paper.
+///
+/// Accumulates through the same fixed source-chunking as
+/// [`exact_betweenness_par`], so the two entry points are **bitwise
+/// identical** to each other at every thread count.
 pub fn exact_betweenness(g: &CsrGraph) -> Vec<f64> {
     let n = g.num_vertices();
-    let mut bc = vec![0.0; n];
     if n < 2 {
-        return bc;
+        return vec![0.0; n];
     }
+    let chunk = source_chunk(n);
     let mut calc = DependencyCalculator::new(g);
-    for s in 0..n as Vertex {
-        let delta = calc.dependencies(g, s);
-        for v in 0..n {
-            bc[v] += delta[v];
+    let mut bc = vec![0.0f64; n];
+    let mut part = vec![0.0f64; n];
+    for c in 0..n.div_ceil(chunk) {
+        chunk_partial(g, &mut calc, c * chunk, n.min((c + 1) * chunk), &mut part);
+        for (b, p) in bc.iter_mut().zip(&part) {
+            *b += p;
         }
     }
     let norm = (n * (n - 1)) as f64;
@@ -28,53 +34,150 @@ pub fn exact_betweenness(g: &CsrGraph) -> Vec<f64> {
     bc
 }
 
-/// Parallel exact betweenness: sources are partitioned over `threads`
-/// crossbeam-scoped workers, each with a private SPD workspace, and the
-/// per-thread accumulators are summed at the end.
+/// Fewest sources a worker thread must have to be worth spawning: below
+/// this, thread startup and the per-thread `O(n)` accumulator dominate the
+/// actual SPD work, so `effective_threads` clamps the thread count on
+/// tiny graphs rather than fanning out for nothing.
+const MIN_SOURCES_PER_THREAD: usize = 32;
+
+/// Source-chunk size of the deterministic parallel reduction — a pure
+/// function of `n` (never of the thread count), so the chunk partial sums
+/// and their left-to-right fold associate identically at every thread
+/// count: `exact_betweenness_par` is **bit-identical** across
+/// `threads = 1, 2, 8, …`. Scales with `n` to cap the chunk count (and so
+/// the ordered-commit bookkeeping) at ~128.
+fn source_chunk(n: usize) -> usize {
+    MIN_SOURCES_PER_THREAD.max(n.div_ceil(128))
+}
+
+/// Parallel exact betweenness: the source range is cut into fixed chunks
+/// (see `source_chunk`), workers drain a shared chunk queue with private
+/// SPD workspaces, and the per-chunk accumulators are folded in chunk order
+/// — making the result a pure function of the graph, identical bit for bit
+/// at every thread count (including `threads = 1`, which runs the same
+/// chunked fold sequentially).
 ///
-/// `threads = 0` means "use available parallelism".
+/// `threads = 0` means "use available parallelism"; the count is clamped so
+/// every thread gets at least `MIN_SOURCES_PER_THREAD` sources — tiny
+/// graphs never pay for threads they cannot feed.
 pub fn exact_betweenness_par(g: &CsrGraph, threads: usize) -> Vec<f64> {
     let n = g.num_vertices();
     if n < 2 {
         return vec![0.0; n];
     }
     let threads = effective_threads(threads, n);
+    let chunk = source_chunk(n);
+    let num_chunks = n.div_ceil(chunk);
+
     if threads <= 1 {
+        // `exact_betweenness` runs the identical chunked fold.
         return exact_betweenness(g);
     }
 
-    let partials: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            handles.push(scope.spawn(move |_| {
+    // Chunk partials are folded strictly in chunk order — the one fixed
+    // left-to-right association — but *eagerly*, so memory stays
+    // O(threads · n): workers drain a shared chunk queue (which worker
+    // computes a chunk is scheduler-dependent, but each partial is a pure
+    // function of the graph) and commit through an ordered cursor that
+    // parks the partials finished ahead of turn. Parking is bounded at
+    // O(threads) by backpressure (each worker can slip one chunk past the
+    // 2·threads spin gate, so the transient worst case is ~3·threads−1):
+    // a worker whose commits are running far ahead of the fold cursor (a
+    // descheduled straggler owns the next chunk in line) yields instead
+    // of computing further chunks, so even a worst-case scheduler cannot
+    // pile up O(num_chunks) partials.
+    struct Commit {
+        next: usize,
+        pending: std::collections::BTreeMap<usize, Vec<f64>>,
+        bc: Vec<f64>,
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    // Lock-free mirror of `pending.len()`, so the backpressure spin below
+    // never touches the mutex the straggler needs for its commit.
+    let parked = std::sync::atomic::AtomicUsize::new(0);
+    let commit = std::sync::Mutex::new(Commit {
+        next: 0,
+        pending: std::collections::BTreeMap::new(),
+        bc: vec![0.0f64; n],
+    });
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (next, commit, parked) = (&next, &commit, &parked);
+            scope.spawn(move |_| {
                 let mut calc = DependencyCalculator::new(g);
-                let mut acc = vec![0.0f64; n];
-                let mut s = t;
-                while s < n {
-                    let delta = calc.dependencies(g, s as Vertex);
-                    for v in 0..n {
-                        acc[v] += delta[v];
+                let mut scratch = vec![0.0f64; n];
+                loop {
+                    let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if c >= num_chunks {
+                        break;
                     }
-                    s += threads;
+                    chunk_partial(g, &mut calc, c * chunk, n.min((c + 1) * chunk), &mut scratch);
+                    let mut state = commit.lock().expect("commit lock");
+                    if state.next == c {
+                        // In-order (the common case): fold the reusable
+                        // scratch straight into bc — no allocation.
+                        for (b, p) in state.bc.iter_mut().zip(&scratch) {
+                            *b += p;
+                        }
+                        state.next += 1;
+                    } else {
+                        // Ahead of turn: park a copy (bounded below).
+                        state.pending.insert(c, scratch.clone());
+                        parked.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    // Fold every parked partial whose turn has come.
+                    loop {
+                        let turn = state.next;
+                        let Some(part) = state.pending.remove(&turn) else { break };
+                        parked.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                        for (b, p) in state.bc.iter_mut().zip(&part) {
+                            *b += p;
+                        }
+                        state.next += 1;
+                    }
+                    drop(state);
+                    // Backpressure: wait for the straggler owning the next
+                    // in-order chunk rather than parking more memory. That
+                    // worker never reaches this loop before committing its
+                    // own chunk, so it always makes progress — no deadlock —
+                    // and the spin reads only the atomic, never the mutex.
+                    while parked.load(std::sync::atomic::Ordering::Relaxed) >= 2 * threads {
+                        std::thread::yield_now();
+                    }
                 }
-                acc
-            }));
+            });
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     })
     .expect("scope panicked");
+    let state = commit.into_inner().expect("commit lock");
+    debug_assert_eq!(state.next, num_chunks);
+    let mut bc = state.bc;
 
     let norm = (n * (n - 1)) as f64;
-    let mut bc = vec![0.0; n];
-    for part in partials {
-        for v in 0..n {
-            bc[v] += part[v];
-        }
-    }
     for b in &mut bc {
         *b /= norm;
     }
     bc
+}
+
+/// Dependency sums of sources `start..end`, accumulated in source order
+/// into `acc` (reset here, so callers can reuse one scratch buffer across
+/// chunks without per-chunk allocation).
+fn chunk_partial(
+    g: &CsrGraph,
+    calc: &mut DependencyCalculator,
+    start: usize,
+    end: usize,
+    acc: &mut [f64],
+) {
+    let n = g.num_vertices();
+    acc.fill(0.0);
+    for s in start..end {
+        let delta = calc.dependencies(g, s as Vertex);
+        for v in 0..n {
+            acc[v] += delta[v];
+        }
+    }
 }
 
 /// The dependency profile of a probe vertex `r`: `δ_{v•}(r)` for every
@@ -183,10 +286,14 @@ pub fn exact_betweenness_of(g: &CsrGraph, r: Vertex) -> f64 {
     dependency_profile_par(g, r, 0).betweenness()
 }
 
+/// Resolves a requested thread count (0 = hardware parallelism), clamped so
+/// each thread owns at least [`MIN_SOURCES_PER_THREAD`] work items — on a
+/// 40-vertex graph, asking for 8 threads runs 1, not 8 threads with 5
+/// sources each.
 fn effective_threads(requested: usize, work_items: usize) -> usize {
     let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let t = if requested == 0 { hw } else { requested };
-    t.clamp(1, work_items.max(1))
+    t.clamp(1, (work_items / MIN_SOURCES_PER_THREAD).max(1))
 }
 
 #[cfg(test)]
@@ -246,6 +353,52 @@ mod tests {
         let parallel = exact_betweenness_par(&g, 4);
         for v in 0..150 {
             assert!((serial[v] - parallel[v]).abs() < 1e-12, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn parallel_bit_identical_across_thread_counts() {
+        // The chunked fold makes the parallel reduction a pure function of
+        // the graph: the sequential entry point, 1-thread, and N-thread
+        // runs all agree bit for bit.
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(41);
+        for g in [
+            generators::barabasi_albert(170, 3, &mut rng),
+            generators::grid(13, 11, false),
+            generators::barbell(20, 6),
+        ] {
+            let one = exact_betweenness_par(&g, 1);
+            let seq = exact_betweenness(&g);
+            for v in 0..g.num_vertices() {
+                assert_eq!(one[v].to_bits(), seq[v].to_bits(), "vertex {v} vs sequential");
+            }
+            for threads in [2usize, 8] {
+                let many = exact_betweenness_par(&g, threads);
+                for v in 0..g.num_vertices() {
+                    assert_eq!(
+                        one[v].to_bits(),
+                        many[v].to_bits(),
+                        "vertex {v} at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_clamp_to_one_thread() {
+        // 40 sources / MIN_SOURCES_PER_THREAD = 1: an 8-thread request on a
+        // tiny graph must not fan out (and must still be exact).
+        assert_eq!(super::effective_threads(8, 40), 1);
+        assert_eq!(super::effective_threads(8, 64), 2);
+        assert_eq!(super::effective_threads(0, 10), 1);
+        assert_eq!(super::effective_threads(1, 1_000_000), 1);
+        let g = generators::barbell(6, 2);
+        let one = exact_betweenness_par(&g, 1);
+        let clamped = exact_betweenness_par(&g, 8);
+        for v in 0..g.num_vertices() {
+            assert_eq!(one[v].to_bits(), clamped[v].to_bits(), "vertex {v}");
         }
     }
 

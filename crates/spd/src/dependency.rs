@@ -1,6 +1,6 @@
 //! The per-sample dependency kernel used by every sampler.
 
-use crate::{BfsSpd, DijkstraSpd};
+use crate::{BfsSpd, DijkstraSpd, KernelMode};
 use mhbc_graph::{CsrGraph, Vertex};
 
 enum Engine {
@@ -23,13 +23,20 @@ pub struct DependencyCalculator {
 }
 
 impl DependencyCalculator {
-    /// Creates a kernel matching `g`'s weightedness.
+    /// Creates a kernel matching `g`'s weightedness, in [`KernelMode::Auto`].
     pub fn new(g: &CsrGraph) -> Self {
+        Self::with_kernel(g, KernelMode::Auto)
+    }
+
+    /// Creates a kernel with an explicit unweighted forward-pass strategy
+    /// (weighted graphs always use Dijkstra; the mode is ignored there).
+    /// Every mode yields bit-identical dependency rows — see [`KernelMode`].
+    pub fn with_kernel(g: &CsrGraph, mode: KernelMode) -> Self {
         let n = g.num_vertices();
         let engine = if g.is_weighted() {
             Engine::Weighted(DijkstraSpd::new(n))
         } else {
-            Engine::Unweighted(BfsSpd::new(n))
+            Engine::Unweighted(BfsSpd::with_mode(n, mode))
         };
         DependencyCalculator { engine, delta: Vec::with_capacity(n), passes: 0 }
     }

@@ -11,6 +11,22 @@
 //! - the `perf` bench subcommand measures the rewrite's speedup against it
 //!   (the `BENCH_kernels.json` trajectory).
 //!
+//! The compute/accumulate loops are the historical code verbatim, so the
+//! `perf` timings stay a faithful baseline. For the bitwise-equality tests
+//! a separate, explicit [`LegacyBfsSpd::canonicalize_order`] step re-sorts
+//! the settle order into the *canonical* within-level order (ascending
+//! vertex id per BFS level) that every [`crate::KernelMode`] of the
+//! direction-optimizing kernel produces, so the backward δ accumulation
+//! visits edges in the same order. σ itself still accumulates in queue
+//! order (only the recorded order is re-sorted), which equals the
+//! canonical ascending-order sum bit for bit **as long as σ stays below
+//! 2^53** — integer sums are exact in `f64`, and addition order cannot
+//! matter. That covers every graph the bitwise property tests compare on
+//! (small random graphs); path-count-explosive structures like large
+//! grids (σ up to `C(2k, k)`) can exceed 2^53, where queue-order and
+//! canonical-order σ may differ in ulps — so bitwise legacy comparisons
+//! must stick to σ-small graphs.
+//!
 //! Do not use it in samplers; [`crate::BfsSpd`] is strictly faster.
 
 use crate::UNREACHED;
@@ -73,6 +89,27 @@ impl LegacyBfsSpd {
                     self.sigma[v as usize] += su;
                 }
             }
+        }
+    }
+
+    /// Re-sorts the settle order into the canonical within-level order
+    /// (ascending vertex id per BFS level) so a subsequent backward scan
+    /// accumulates δ in exactly the order the direction-optimizing kernel
+    /// does — see the module docs. Kept **out of** [`LegacyBfsSpd::compute`]
+    /// so the `perf` bench times the historical loop untouched; the
+    /// bitwise-equality tests call this explicitly after each pass.
+    pub fn canonicalize_order(&mut self) {
+        // Queue order is already sorted by distance; sort each
+        // equal-distance run ascending.
+        let mut i = 0;
+        while i < self.order.len() {
+            let d = self.dist[self.order[i] as usize];
+            let mut j = i + 1;
+            while j < self.order.len() && self.dist[self.order[j] as usize] == d {
+                j += 1;
+            }
+            self.order[i..j].sort_unstable();
+            i = j;
         }
     }
 

@@ -9,7 +9,9 @@
 //!   `s`, i.e. distances `d(s, ·)`, path counts `σ_{s·}`, and a traversal
 //!   order supporting backward accumulation. `O(|E|)` for unweighted graphs
 //!   and `O(|E| + |V| log |V|)` for positively weighted graphs, exactly the
-//!   per-sample costs quoted in §4.1.
+//!   per-sample costs quoted in §4.1. The unweighted forward pass is
+//!   direction-optimizing ([`KernelMode`]: top-down, bottom-up-hybrid, or
+//!   auto), with every mode bit-identical by the canonical settle order.
 //! - [`DependencyCalculator`] — the per-sample kernel: dependency scores
 //!   `δ_{s•}(v)` for all `v` via Brandes's recursion (Eq 4), dispatching on
 //!   graph weightedness, with reusable buffers (no per-call allocation).
@@ -84,7 +86,7 @@ pub use reduced::{
     dependency_profile_view, dependency_profile_view_par, exact_betweenness_preprocessed,
     exact_betweenness_reduced, ReducedCalculator, SpdView, ViewCalculator,
 };
-pub use unweighted::{BfsSpd, UNREACHED};
+pub use unweighted::{BfsSpd, KernelMode, UNREACHED};
 pub use weighted::DijkstraSpd;
 
 /// Relative tolerance for deciding "equal length" shortest paths on weighted

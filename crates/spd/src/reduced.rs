@@ -61,27 +61,35 @@
 //! branch size). [`SpdView::row_key`] exposes a cache key built on this, so
 //! density caches pay one SPD pass per *group*, not per vertex.
 
-use crate::{BfsSpd, DependencyCalculator, DijkstraSpd, UNREACHED};
+use crate::{BfsSpd, DependencyCalculator, DijkstraSpd, KernelMode, UNREACHED};
 use mhbc_graph::reduce::{ReduceError, ReduceLevel, ReducedGraph, TwinKind, VertexState};
 use mhbc_graph::{CsrGraph, Vertex};
 
-/// A graph together with (optionally) its reduction: the single handle the
-/// samplers, oracles, and workspace pools thread through the stack. Cheap to
-/// copy; both modes answer queries in **original** vertex ids.
+/// A graph together with (optionally) its reduction — plus the SPD
+/// [`KernelMode`] to evaluate with: the single handle the samplers, oracles,
+/// and workspace pools thread through the stack. Cheap to copy; both modes
+/// answer queries in **original** vertex ids.
+///
+/// Because every kernel mode is bit-identical (see [`KernelMode`]), the
+/// mode is *not* part of [`SpdView::row_key`]: cached dependency rows are
+/// interchangeable across modes, and switching modes mid-run can never
+/// change a sampler's output.
 #[derive(Clone, Copy)]
 pub struct SpdView<'g> {
     graph: &'g CsrGraph,
     reduced: Option<&'g ReducedGraph>,
+    kernel: KernelMode,
 }
 
 impl<'g> SpdView<'g> {
-    /// A view that evaluates densities directly on `graph`.
+    /// A view that evaluates densities directly on `graph`
+    /// ([`KernelMode::Auto`]).
     pub fn direct(graph: &'g CsrGraph) -> Self {
-        SpdView { graph, reduced: None }
+        SpdView { graph, reduced: None, kernel: KernelMode::Auto }
     }
 
     /// A view that evaluates densities through `reduced` (built from
-    /// `graph` by [`mhbc_graph::reduce::reduce`]).
+    /// `graph` by [`mhbc_graph::reduce::reduce`]), in [`KernelMode::Auto`].
     ///
     /// # Panics
     /// If `reduced` was built for a different vertex count.
@@ -91,7 +99,19 @@ impl<'g> SpdView<'g> {
             graph.num_vertices(),
             "reduction was built for a different graph"
         );
-        SpdView { graph, reduced: Some(reduced) }
+        SpdView { graph, reduced: Some(reduced), kernel: KernelMode::Auto }
+    }
+
+    /// This view with an explicit SPD kernel mode; everything built from
+    /// the view (calculators, pools, oracles, pipelines) inherits it.
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The SPD kernel mode this view evaluates with.
+    pub fn kernel(&self) -> KernelMode {
+        self.kernel
     }
 
     /// [`SpdView::preprocessed`] when a reduction exists, [`SpdView::direct`]
@@ -147,9 +167,12 @@ impl<'g> SpdView<'g> {
 
 impl std::fmt::Debug for SpdView<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let k = self.kernel.as_str();
         match self.reduced {
-            None => write!(f, "SpdView::direct({})", self.graph),
-            Some(r) => write!(f, "SpdView::preprocessed({}, H={})", self.graph, r.csr()),
+            None => write!(f, "SpdView::direct({}, kernel={k})", self.graph),
+            Some(r) => {
+                write!(f, "SpdView::preprocessed({}, H={}, kernel={k})", self.graph, r.csr())
+            }
         }
     }
 }
@@ -190,8 +213,16 @@ pub struct ReducedCalculator {
 
 impl ReducedCalculator {
     /// A workspace sized for `red`'s reduced CSR, dispatched to the
-    /// cheapest exact kernel variant (see `UnweightedMode`).
+    /// cheapest exact kernel variant (see `UnweightedMode`), in
+    /// [`KernelMode::Auto`].
     pub fn new(red: &ReducedGraph) -> Self {
+        Self::with_kernel(red, KernelMode::Auto)
+    }
+
+    /// [`ReducedCalculator::new`] with an explicit SPD [`KernelMode`]; the
+    /// direction-optimizing machinery applies to the collapsed kernels too,
+    /// and every mode is bit-identical.
+    pub fn with_kernel(red: &ReducedGraph, kernel: KernelMode) -> Self {
         let h_n = red.csr().num_vertices();
         let has_twins = red.mults().iter().any(|&m| m > 1.0);
         let has_pendants = red.weights().iter().any(|&w| w > 1.0);
@@ -205,7 +236,7 @@ impl ReducedCalculator {
             } else {
                 UnweightedMode::Plain
             };
-            ReducedEngine::Unweighted(BfsSpd::new(h_n), mode)
+            ReducedEngine::Unweighted(BfsSpd::with_mode(h_n, kernel), mode)
         };
         ReducedCalculator { engine, delta: Vec::with_capacity(h_n), passes: 0 }
     }
@@ -378,11 +409,11 @@ pub struct ViewCalculator<'g> {
 }
 
 impl<'g> ViewCalculator<'g> {
-    /// A workspace for `view`.
+    /// A workspace for `view`, evaluating with the view's [`KernelMode`].
     pub fn new(view: SpdView<'g>) -> Self {
         let engine = match view.reduced {
-            None => ViewEngine::Direct(DependencyCalculator::new(view.graph)),
-            Some(red) => ViewEngine::Reduced(ReducedCalculator::new(red)),
+            None => ViewEngine::Direct(DependencyCalculator::with_kernel(view.graph, view.kernel)),
+            Some(red) => ViewEngine::Reduced(ReducedCalculator::with_kernel(red, view.kernel)),
         };
         ViewCalculator { view, engine }
     }

@@ -2,10 +2,11 @@
 //!
 //! This is the hot kernel of the whole suite: every Metropolis–Hastings
 //! proposal costs one pass here (§4.1), so the implementation is tuned as a
-//! frontier-swap BFS with epoch-stamped state. See [`BfsSpd`] for the
-//! invariants.
+//! direction-optimizing (top-down/bottom-up hybrid) frontier BFS with
+//! epoch-stamped state over the compact `u32` CSR. See [`BfsSpd`] for the
+//! invariants and [`KernelMode`] for the strategy knob.
 
-use mhbc_graph::{CsrGraph, Vertex};
+use mhbc_graph::{CsrGraph, Vertex, VisitBitset};
 
 /// Sentinel for unreachable vertices in [`BfsSpd::dist`].
 pub const UNREACHED: u32 = u32::MAX;
@@ -16,6 +17,62 @@ const LEVEL_BITS: u32 = 24;
 const LEVEL_MASK: u32 = (1 << LEVEL_BITS) - 1;
 /// Number of epochs before the stamp space wraps and a full reset runs.
 const EPOCH_PERIOD: u32 = 1 << (32 - LEVEL_BITS);
+
+/// Default α of the direction switch: a level runs bottom-up when
+/// `frontier_edges · α > 8 · (unexplored_edges + n/β)` — α = 8 is the
+/// break-even cost comparison (see [`BfsSpd::set_hybrid_params`] for why
+/// σ-counting BFS needs a much later switch than plain BFS).
+const DEFAULT_ALPHA: u32 = 8;
+/// Default β of the direction switch: `n/β` is the charge for (re)building
+/// the unsettled-candidates list when a bottom-up phase starts.
+const DEFAULT_BETA: u32 = 8;
+
+/// Forward-pass strategy of [`BfsSpd`].
+///
+/// Every mode produces **bit-identical** `dist`/σ/settle-order — and
+/// therefore bit-identical dependency scores and downstream betweenness
+/// sums — because the kernel canonicalises the within-level settle order
+/// (ascending vertex id) and both directions visit each vertex's parents in
+/// ascending id order (see [`BfsSpd`]'s kernel-design docs). The mode is
+/// purely a performance choice, which is why `Auto` can pick per graph
+/// without perturbing any sampler output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Classic top-down (push) BFS on every level.
+    TopDown,
+    /// Direction-optimizing BFS: per level, the α/β heuristics pick
+    /// top-down (push) or bottom-up (pull) from the frontier's edge count —
+    /// a deterministic, pure function of `(graph, source)`.
+    Hybrid,
+    /// Resolve per graph: `Hybrid` when the graph can profit from pull
+    /// levels (average degree ≥ 4, i.e. `2m ≥ 4n`), `TopDown` otherwise —
+    /// below that, traversals are deep and narrow (trees, paths, 2D
+    /// grids), the switch condition never engages, and skipping the
+    /// frontier-edge bookkeeping is free speed. The default.
+    #[default]
+    Auto,
+}
+
+impl KernelMode {
+    /// Parses a CLI-style mode name (`auto`, `topdown`, `hybrid`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(KernelMode::Auto),
+            "topdown" => Some(KernelMode::TopDown),
+            "hybrid" => Some(KernelMode::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style mode name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelMode::TopDown => "topdown",
+            KernelMode::Hybrid => "hybrid",
+            KernelMode::Auto => "auto",
+        }
+    }
+}
 
 /// The shortest-path DAG (SPD, §2.1) rooted at a source vertex of an
 /// unweighted graph: distances, shortest-path counts σ, and the BFS
@@ -29,11 +86,39 @@ const EPOCH_PERIOD: u32 = 1 << (32 - LEVEL_BITS);
 ///
 /// # Kernel design and invariants
 ///
-/// The forward pass is a *frontier-swap* BFS rather than a `VecDeque`: the
-/// settle-order array itself stores the frontiers, and each level is the
-/// slice `order[level_starts[l]..level_starts[l + 1]]`. Processing level `l`
-/// appends level `l + 1` in place, so frontiers are never copied and the
-/// produced order is identical to queue order.
+/// The forward pass is a *direction-optimizing* frontier BFS: the
+/// settle-order array itself stores the frontiers (each level is the slice
+/// `order[level_starts[l]..level_starts[l + 1]]`), and each level is built
+/// either **top-down** ("push": every frontier vertex scans its adjacency,
+/// discovering and σ-feeding the next level) or **bottom-up** ("pull":
+/// every *undiscovered* vertex scans its own adjacency for parents in the
+/// current frontier — tested against a one-bit-per-vertex frontier bitmap —
+/// and sums σ over them). Pull wins on the large mid-BFS frontiers of
+/// low-diameter graphs, where it reads each undiscovered vertex's edges
+/// once instead of pushing every frontier edge; the α/β heuristics of
+/// Beamer et al. choose the direction per level from exact frontier-edge
+/// counts, so the whole decision sequence is a pure function of
+/// `(graph, source)` and runs are reproducible.
+///
+/// ## Canonical settle order
+///
+/// Within each level, vertices settle in **ascending vertex id** — push
+/// levels sort their freshly discovered slice, pull levels produce it
+/// sorted for free. This canonicalisation is what makes every
+/// [`KernelMode`] bit-identical, not merely equivalent:
+///
+/// - levels and distances are direction-independent by BFS correctness;
+/// - σ sums accumulate **in ascending parent id** in both directions (push
+///   scans an ascending frontier; pull scans a sorted adjacency list), so
+///   every floating-point σ is the same rounded sum;
+/// - the backward scans walk the recorded order, so δ accumulates in the
+///   same order too.
+///
+/// The legacy queue kernel ([`crate::legacy`]) offers the same canonical
+/// order through an explicit `canonicalize_order` step (kept out of its
+/// timed loops), keeping the legacy-equivalence property tests bitwise.
+///
+/// ## Epoch-stamped distances
 ///
 /// Distances are *epoch-stamped*: each `u32` entry of the internal distance
 /// array packs `(epoch << 24) | level`, and a pass begins by bumping the
@@ -41,8 +126,9 @@ const EPOCH_PERIOD: u32 = 1 << (32 - LEVEL_BITS);
 /// bits no longer match (the 8-bit epoch space wraps every 256 passes, at
 /// which point one full reset runs; amortised `O(n / 256)` per pass). This
 /// removes the per-pass clearing loop, keeps distance loads at 4 bytes
-/// (random-access bandwidth is what bounds this kernel), and makes the two
-/// hot tests single-load comparisons:
+/// (random-access bandwidth is what bounds this kernel — which is also why
+/// the CSR offsets it streams are `u32`, see [`CsrGraph::csr`]), and makes
+/// the two hot tests single-load comparisons:
 ///
 /// - forward discovery: `packed < epoch << 24` ⇔ not yet reached this pass;
 /// - parent test: `packed == (epoch << 24) | (level - 1)` ⇔ `u` is one
@@ -55,11 +141,8 @@ const EPOCH_PERIOD: u32 = 1 << (32 - LEVEL_BITS);
 /// The backward scans ([`BfsSpd::accumulate_dependencies`],
 /// [`BfsSpd::accumulate_scaled_dependencies`]) walk the recorded level
 /// boundaries deepest-first (reverse order within each level, i.e. exactly
-/// the reverse of the settle order, so accumulation order — and therefore
-/// every floating-point sum — is bit-identical to the queue-based kernel in
-/// [`crate::legacy`]). The parent test against the packed key of
-/// `level - 1` costs one distance load per edge, versus the legacy kernel's
-/// two loads plus an add.
+/// the reverse of the canonical settle order). The parent test against the
+/// packed key of `level - 1` costs one distance load per edge.
 ///
 /// BFS levels are limited to `2^24 - 2` (graphs of diameter beyond ~16.7M
 /// panic); vertex counts are unrestricted.
@@ -70,29 +153,97 @@ pub struct BfsSpd {
     /// `sigma[v]` = number of shortest `s`–`v` paths; valid only for
     /// vertices reached in the current epoch.
     sigma: Vec<f64>,
-    /// Vertices in nondecreasing-distance (BFS) order; only reached ones.
+    /// Vertices in nondecreasing-distance order, ascending id within each
+    /// level (the canonical settle order); only reached ones.
     order: Vec<Vertex>,
     /// `level_starts[l]..level_starts[l + 1]` indexes level `l` in `order`;
     /// the last entry is `order.len()`.
     level_starts: Vec<usize>,
+    /// Frontier membership bitmap for bottom-up levels (empty between
+    /// passes).
+    frontier: VisitBitset,
+    /// Still-undiscovered vertices, ascending, maintained by in-place
+    /// compaction across consecutive bottom-up levels (stale between
+    /// passes; rebuilt when a bottom-up phase starts).
+    candidates: Vec<Vertex>,
     epoch: u32,
     source: Vertex,
+    mode: KernelMode,
+    alpha: u32,
+    beta: u32,
+    /// How many levels of the last pass ran bottom-up.
+    pull_levels: u32,
 }
 
 impl BfsSpd {
-    /// Workspace for graphs with `n` vertices.
+    /// Workspace for graphs with `n` vertices, in [`KernelMode::Auto`].
     pub fn new(n: usize) -> Self {
+        Self::with_mode(n, KernelMode::Auto)
+    }
+
+    /// Workspace with an explicit forward-pass strategy.
+    pub fn with_mode(n: usize, mode: KernelMode) -> Self {
         BfsSpd {
             packed: vec![0; n],
             sigma: vec![0.0; n],
             order: Vec::with_capacity(n),
             level_starts: Vec::new(),
+            frontier: VisitBitset::new(n),
+            candidates: Vec::new(),
             // Epoch 1 with all-zero stamps (epoch field 0): a fresh
             // workspace reports every vertex unreached, matching the legacy
             // kernel's UNREACHED-initialised fields.
             epoch: 1,
             source: 0,
+            mode,
+            alpha: DEFAULT_ALPHA,
+            beta: DEFAULT_BETA,
+            pull_levels: 0,
         }
+    }
+
+    /// The forward-pass strategy.
+    pub fn mode(&self) -> KernelMode {
+        self.mode
+    }
+
+    /// Switches the forward-pass strategy; results are bit-identical either
+    /// way (see [`KernelMode`]), so this is safe mid-stream on a reused
+    /// workspace — the epoch stamps carry across mode switches.
+    pub fn set_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
+    }
+
+    /// Overrides the α/β direction-switch thresholds (defaults 8/8): a
+    /// level runs bottom-up iff
+    ///
+    /// ```text
+    /// frontier_edges · α > 8 · (unexplored_edges + n/β)
+    /// ```
+    ///
+    /// i.e. at the defaults, iff the push cost (scanning every frontier
+    /// edge) outweighs the pull cost (scanning every edge of every
+    /// undiscovered vertex, plus `n/β` charged for building the
+    /// candidates list). Unlike plain BFS — where Beamer's classical
+    /// `α = 14` pays because bottom-up stops at the *first* parent — the
+    /// σ-counting pull must visit **every** parent of each vertex, so its
+    /// cost is the full unexplored edge count and the profitable switch
+    /// point comes much later: essentially only the last big level(s) of a
+    /// low-diameter traversal. Raising α makes pull more eager; `α =
+    /// u32::MAX` forces bottom-up whenever `frontier_edges · u32::MAX`
+    /// clears the right-hand side — from level 1 on every graph the test
+    /// suite uses, though on graphs beyond ~2^28 edge endpoints a
+    /// degree-1 source's first level can still push (the tests assert
+    /// `pull_levels() > 0` rather than trusting this recipe); results
+    /// stay bit-identical for every setting.
+    pub fn set_hybrid_params(&mut self, alpha: u32, beta: u32) {
+        self.alpha = alpha;
+        self.beta = beta.max(1);
+    }
+
+    /// How many levels of the last pass ran bottom-up (0 in pure top-down).
+    pub fn pull_levels(&self) -> u32 {
+        self.pull_levels
     }
 
     /// The source of the last `compute` call.
@@ -128,7 +279,8 @@ impl BfsSpd {
         }
     }
 
-    /// Vertices in BFS settle order (source first); only reached ones.
+    /// Vertices in the canonical settle order (source first, ascending id
+    /// within each level); only reached ones.
     #[inline]
     pub fn order(&self) -> &[Vertex] {
         &self.order
@@ -148,93 +300,7 @@ impl BfsSpd {
     /// If the workspace size does not match `g`, if `s` is out of range, or
     /// if the BFS exceeds `2^24 - 2` levels.
     pub fn compute(&mut self, g: &CsrGraph, s: Vertex) {
-        let n = g.num_vertices();
-        assert_eq!(self.packed.len(), n, "workspace sized for a different graph");
-        assert!((s as usize) < n, "source {s} out of range");
-
-        // Epoch bump replaces the per-pass clearing loop. On the wrap —
-        // once every EPOCH_PERIOD passes — one full reset runs so stale
-        // stamps from a reused epoch value cannot alias.
-        self.epoch += 1;
-        if self.epoch == EPOCH_PERIOD {
-            self.packed.iter_mut().for_each(|p| *p = 0);
-            self.epoch = 1;
-        }
-        let base = self.base();
-        let mut order = std::mem::take(&mut self.order);
-        let mut level_starts = std::mem::take(&mut self.level_starts);
-        order.clear();
-        level_starts.clear();
-        self.source = s;
-
-        let packed = &mut self.packed[..];
-        let sigma = &mut self.sigma[..];
-        packed[s as usize] = base;
-        sigma[s as usize] = 1.0;
-        order.push(s);
-        level_starts.push(0);
-        level_starts.push(1);
-
-        let (offsets, targets) = g.csr();
-        let mut level: u32 = 0;
-        let mut lo = 0usize;
-        while lo < order.len() {
-            let hi = order.len();
-            assert!(level < LEVEL_MASK - 1, "BFS level overflow (diameter > 2^24 - 2)");
-            let child_key = base | (level + 1);
-            for i in lo..hi {
-                // SAFETY: `i < hi <= order.len()`, every vertex id in
-                // `order`/`targets` is validated `< n` at graph
-                // construction, `offsets` has length `n + 1` with
-                // `offsets[u] <= offsets[u + 1] <= targets.len()`, and
-                // `packed`/`sigma` have length `n` (asserted on entry).
-                // Eliding the per-edge bounds checks is part of this
-                // kernel's speedup budget.
-                unsafe {
-                    let u = *order.get_unchecked(i) as usize;
-                    let su = *sigma.get_unchecked(u);
-                    let (a, b) = (*offsets.get_unchecked(u), *offsets.get_unchecked(u + 1));
-                    for &v in targets.get_unchecked(a..b) {
-                        let v = v as usize;
-                        // One distance load classifies the edge. Relative
-                        // to the epoch base: `rel <= level` means already
-                        // settled at this or an earlier level (the common
-                        // no-op — one compare), `rel == level + 1` is
-                        // another shortest path, and anything larger is a
-                        // stale stamp from a previous pass (discovery) —
-                        // stale stamps wrap to `>= 2^24 > level + 1`.
-                        let rel = (*packed.get_unchecked(v)).wrapping_sub(base);
-                        if rel <= level {
-                            continue;
-                        }
-                        if rel == level + 1 {
-                            *sigma.get_unchecked_mut(v) += su;
-                        } else {
-                            *packed.get_unchecked_mut(v) = child_key;
-                            *sigma.get_unchecked_mut(v) = su;
-                            order.push(v as Vertex);
-                        }
-                    }
-                }
-            }
-            lo = hi;
-            level += 1;
-            if order.len() > hi {
-                level_starts.push(order.len());
-            }
-            // Once every vertex is discovered, the remaining (deepest)
-            // frontier's scan is provably all no-ops: it can discover
-            // nothing, and a σ-contribution would need a neighbour one
-            // level deeper, which cannot exist. Skipping it drops a large
-            // share of edge visits on small-diameter graphs — a structural
-            // saving the queue-based kernel cannot express, because it
-            // only learns a level is deepest by scanning it.
-            if order.len() == n {
-                break;
-            }
-        }
-        self.order = order;
-        self.level_starts = level_starts;
+        self.forward::<false>(g, s, &[]);
     }
 
     /// Multiplicity-aware SPD for *collapsed* graphs (see
@@ -253,17 +319,30 @@ impl BfsSpd {
     /// only the one member acting as the source lies on any shortest path
     /// (its twins sit at distance 1 or 2 and can never be interior, since
     /// they share the source's distances to everything else). Levels,
-    /// order, and `dist` are exactly as in [`BfsSpd::compute`]; with all
-    /// multiplicities 1 the pass degenerates to it bit for bit.
+    /// order, and `dist` are exactly as in [`BfsSpd::compute`], the
+    /// direction-optimizing machinery (including bottom-up levels) applies
+    /// identically, and with all multiplicities 1 the pass degenerates to
+    /// the plain kernel bit for bit.
     ///
     /// # Panics
     /// As [`BfsSpd::compute`], plus if `mult.len()` mismatches the graph.
     pub fn compute_collapsed(&mut self, g: &CsrGraph, s: Vertex, mult: &[f64]) {
+        assert_eq!(mult.len(), g.num_vertices(), "multiplicities sized for a different graph");
+        self.forward::<true>(g, s, mult);
+    }
+
+    /// The one forward pass behind [`BfsSpd::compute`] (`COLLAPSED = false`,
+    /// `mult` ignored) and [`BfsSpd::compute_collapsed`] (`COLLAPSED =
+    /// true`). Monomorphised per variant so the plain hot loop carries no
+    /// multiplicity arithmetic.
+    fn forward<const COLLAPSED: bool>(&mut self, g: &CsrGraph, s: Vertex, mult: &[f64]) {
         let n = g.num_vertices();
         assert_eq!(self.packed.len(), n, "workspace sized for a different graph");
-        assert_eq!(mult.len(), n, "multiplicities sized for a different graph");
         assert!((s as usize) < n, "source {s} out of range");
 
+        // Epoch bump replaces the per-pass clearing loop. On the wrap —
+        // once every EPOCH_PERIOD passes — one full reset runs so stale
+        // stamps from a reused epoch value cannot alias.
         self.epoch += 1;
         if self.epoch == EPOCH_PERIOD {
             self.packed.iter_mut().for_each(|p| *p = 0);
@@ -275,9 +354,12 @@ impl BfsSpd {
         order.clear();
         level_starts.clear();
         self.source = s;
+        self.pull_levels = 0;
 
         let packed = &mut self.packed[..];
         let sigma = &mut self.sigma[..];
+        let frontier = &mut self.frontier;
+        let candidates = &mut self.candidates;
         packed[s as usize] = base;
         sigma[s as usize] = 1.0;
         order.push(s);
@@ -285,6 +367,27 @@ impl BfsSpd {
         level_starts.push(1);
 
         let (offsets, targets) = g.csr();
+        let degrees = g.degrees();
+        let hybrid = match self.mode {
+            KernelMode::TopDown => false,
+            KernelMode::Hybrid => true,
+            KernelMode::Auto => g.degree_sum() >= 4 * n,
+        };
+        let alpha = self.alpha as u128;
+        // The candidates-rebuild charge of the switch condition (see
+        // `set_hybrid_params`).
+        let rebuild_term = (n / self.beta.max(1) as usize) as u64;
+        // Frontier-edge bookkeeping for the direction switch (hybrid mode
+        // only): degree sums of the current frontier and of all
+        // still-undiscovered vertices, maintained exactly — the switch must
+        // be a pure function of (graph, source).
+        let mut frontier_deg = degrees[s as usize] as u64;
+        let mut unexplored_deg = g.degree_sum() as u64 - frontier_deg;
+        // Whether `candidates` lists exactly the vertices undiscovered at
+        // the current level (true across consecutive bottom-up levels).
+        let mut candidates_synced = false;
+        let mut pull_levels = 0u32;
+
         let s_usize = s as usize;
         let mut level: u32 = 0;
         let mut lo = 0usize;
@@ -292,33 +395,161 @@ impl BfsSpd {
             let hi = order.len();
             assert!(level < LEVEL_MASK - 1, "BFS level overflow (diameter > 2^24 - 2)");
             let child_key = base | (level + 1);
-            for i in lo..hi {
-                // SAFETY: as in `compute`; `mult` has length `n` (asserted).
-                unsafe {
-                    let u = *order.get_unchecked(i) as usize;
-                    // Paths continue through all `mult[u]` members of an
-                    // interior class, but only through the source member
-                    // itself at the root.
-                    let su = if u == s_usize {
-                        *sigma.get_unchecked(u)
-                    } else {
-                        *sigma.get_unchecked(u) * *mult.get_unchecked(u)
-                    };
-                    let (a, b) = (*offsets.get_unchecked(u), *offsets.get_unchecked(u + 1));
-                    for &v in targets.get_unchecked(a..b) {
-                        let v = v as usize;
-                        let rel = (*packed.get_unchecked(v)).wrapping_sub(base);
-                        if rel <= level {
-                            continue;
-                        }
-                        if rel == level + 1 {
-                            *sigma.get_unchecked_mut(v) += su;
-                        } else {
-                            *packed.get_unchecked_mut(v) = child_key;
-                            *sigma.get_unchecked_mut(v) = su;
-                            order.push(v as Vertex);
+            // Direction choice: bottom-up iff pushing this frontier's edges
+            // costs more than scanning every undiscovered vertex's edges
+            // (plus the candidates-rebuild charge) — evaluated per level
+            // from exact counts, so the whole decision sequence is
+            // deterministic for (graph, source).
+            let in_pull = hybrid
+                && frontier_deg as u128 * alpha
+                    > 8 * (unexplored_deg as u128 + rebuild_term as u128);
+            // Whether this push level should canonicalise via the frontier
+            // bitmap (mark on discovery, drain ascending) instead of a
+            // sort: worthwhile only when the discovered set will be large,
+            // predicted from the scanned frontier's size so deep
+            // small-frontier traversals (grids, paths) never pay for
+            // bitmap upkeep. Deterministic — a pure function of the level
+            // sizes.
+            let track_bits = hybrid && (hi - lo) * 16 >= n;
+            let mut new_deg = 0u64;
+            if in_pull {
+                pull_levels += 1;
+                // Bottom-up: each undiscovered vertex scans its adjacency
+                // for parents in the current frontier (bitmap test) and
+                // sums σ over them in ascending parent id — the same
+                // summation order the push direction produces against the
+                // ascending frontier, hence bit-identical σ. Iterating the
+                // ascending candidates list yields the canonical settle
+                // order for free, and compacting it in place means
+                // consecutive bottom-up levels never rescan settled
+                // vertices.
+                if !candidates_synced {
+                    candidates.clear();
+                    for v in 0..n as Vertex {
+                        if packed[v as usize].wrapping_sub(base) > level {
+                            candidates.push(v);
                         }
                     }
+                    candidates_synced = true;
+                }
+                for &u in &order[lo..hi] {
+                    frontier.insert(u);
+                }
+                let mut write = 0usize;
+                for read in 0..candidates.len() {
+                    // SAFETY: `read`/`write` stay below `candidates.len()`,
+                    // every vertex id in `candidates`/`targets` is
+                    // validated `< n` at graph construction, `offsets` has
+                    // length `n + 1` with `offsets[v] <= offsets[v + 1] <=
+                    // targets.len()`, `packed`/`sigma`/`degrees` have
+                    // length `n` (asserted on entry / by CSR invariant),
+                    // and the bitset capacity covers `0..n`. Eliding the
+                    // per-edge bounds checks is part of this kernel's
+                    // speedup budget.
+                    unsafe {
+                        let v = *candidates.get_unchecked(read);
+                        let (a, b) = (
+                            *offsets.get_unchecked(v as usize) as usize,
+                            *offsets.get_unchecked(v as usize + 1) as usize,
+                        );
+                        let mut sum = 0.0f64;
+                        let mut found = false;
+                        for &u in targets.get_unchecked(a..b) {
+                            if frontier.contains_unchecked(u) {
+                                let su = *sigma.get_unchecked(u as usize);
+                                sum += if COLLAPSED && u as usize != s_usize {
+                                    su * *mult.get_unchecked(u as usize)
+                                } else {
+                                    su
+                                };
+                                found = true;
+                            }
+                        }
+                        if found {
+                            *packed.get_unchecked_mut(v as usize) = child_key;
+                            *sigma.get_unchecked_mut(v as usize) = sum;
+                            order.push(v);
+                            new_deg += *degrees.get_unchecked(v as usize) as u64;
+                        } else {
+                            *candidates.get_unchecked_mut(write) = v;
+                            write += 1;
+                        }
+                    }
+                }
+                candidates.truncate(write);
+                for &u in &order[lo..hi] {
+                    frontier.remove(u);
+                }
+            } else {
+                candidates_synced = false;
+                for i in lo..hi {
+                    // SAFETY: `i < hi <= order.len()`, and the slice-length
+                    // argument of the pull branch applies verbatim.
+                    unsafe {
+                        let u = *order.get_unchecked(i) as usize;
+                        // Paths continue through all `mult[u]` members of an
+                        // interior class, but only through the source member
+                        // itself at the root.
+                        let su = if COLLAPSED && u != s_usize {
+                            *sigma.get_unchecked(u) * *mult.get_unchecked(u)
+                        } else {
+                            *sigma.get_unchecked(u)
+                        };
+                        let (a, b) = (
+                            *offsets.get_unchecked(u) as usize,
+                            *offsets.get_unchecked(u + 1) as usize,
+                        );
+                        for &v in targets.get_unchecked(a..b) {
+                            let v = v as usize;
+                            // One distance load classifies the edge. Relative
+                            // to the epoch base: `rel <= level` means already
+                            // settled at this or an earlier level (the common
+                            // no-op — one compare), `rel == level + 1` is
+                            // another shortest path, and anything larger is a
+                            // stale stamp from a previous pass (discovery) —
+                            // stale stamps wrap to `>= 2^24 > level + 1`.
+                            let rel = (*packed.get_unchecked(v)).wrapping_sub(base);
+                            if rel <= level {
+                                continue;
+                            }
+                            if rel == level + 1 {
+                                *sigma.get_unchecked_mut(v) += su;
+                            } else {
+                                *packed.get_unchecked_mut(v) = child_key;
+                                *sigma.get_unchecked_mut(v) = su;
+                                order.push(v as Vertex);
+                                if hybrid {
+                                    new_deg += *degrees.get_unchecked(v) as u64;
+                                    if track_bits {
+                                        frontier.insert(v as Vertex);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Canonicalise the freshly discovered level: push appends in
+                // parent-scan order, which is not ascending in general. σ is
+                // already complete for the level (all its parents were just
+                // scanned), so reordering only permutes the settle order.
+                // When the (otherwise idle) frontier bitmap tracked the
+                // discoveries, large levels are rewritten by an ascending
+                // bitmap drain — `O(n/64 + f)` beats the `O(f log f)` sort
+                // for large f; otherwise un-mark (if tracked) and sort.
+                let f = order.len() - hi;
+                if track_bits && f * 16 >= n {
+                    let mut w = hi;
+                    frontier.drain_ascending(|v| {
+                        order[w] = v;
+                        w += 1;
+                    });
+                } else {
+                    if track_bits {
+                        for &v in &order[hi..] {
+                            frontier.remove(v);
+                        }
+                    }
+                    order[hi..].sort_unstable();
                 }
             }
             lo = hi;
@@ -326,12 +557,22 @@ impl BfsSpd {
             if order.len() > hi {
                 level_starts.push(order.len());
             }
+            if hybrid {
+                frontier_deg = new_deg;
+                unexplored_deg -= new_deg;
+            }
+            // Once every vertex is discovered, the remaining (deepest)
+            // frontier's scan is provably all no-ops: it can discover
+            // nothing, and a σ-contribution would need a neighbour one
+            // level deeper, which cannot exist. Skipping it drops a large
+            // share of edge visits on small-diameter graphs.
             if order.len() == n {
                 break;
             }
         }
         self.order = order;
         self.level_starts = level_starts;
+        self.pull_levels = pull_levels;
     }
 
     /// Backward accumulation matching [`BfsSpd::compute_collapsed`]: the
@@ -384,7 +625,10 @@ impl BfsSpd {
                     let coeff = (*seeds.get_unchecked(w)
                         + *mult.get_unchecked(w) * *delta.get_unchecked(w))
                         / *sigma.get_unchecked(w);
-                    let (a, b) = (*offsets.get_unchecked(w), *offsets.get_unchecked(w + 1));
+                    let (a, b) = (
+                        *offsets.get_unchecked(w) as usize,
+                        *offsets.get_unchecked(w + 1) as usize,
+                    );
                     for &u in targets.get_unchecked(a..b) {
                         let u = u as usize;
                         if *packed.get_unchecked(u) == parent_key {
@@ -420,6 +664,9 @@ impl BfsSpd {
     /// Runs in `O(|E|)` by scanning the recorded levels deepest-first and
     /// applying `δ_{s•}(u) += σ_su / σ_sw · (1 + δ_{s•}(w))` over each SPD
     /// edge; the parent test is one packed-distance comparison per edge.
+    /// The scan order is the reverse of the canonical settle order, so the
+    /// accumulated floating-point sums are identical whichever
+    /// [`KernelMode`] produced the forward pass.
     ///
     /// # Panics
     /// If `g` does not match the workspace size (the graph-match assertion
@@ -442,11 +689,14 @@ impl BfsSpd {
             let (start, end) = (self.level_starts[lvl], self.level_starts[lvl + 1]);
             for &w in self.order[start..end].iter().rev() {
                 let w = w as usize;
-                // SAFETY: as in `compute` — all vertex ids are < n and the
+                // SAFETY: as in `forward` — all vertex ids are < n and the
                 // arrays have length n / n + 1.
                 unsafe {
                     let coeff = (1.0 + *delta.get_unchecked(w)) / *sigma.get_unchecked(w);
-                    let (a, b) = (*offsets.get_unchecked(w), *offsets.get_unchecked(w + 1));
+                    let (a, b) = (
+                        *offsets.get_unchecked(w) as usize,
+                        *offsets.get_unchecked(w + 1) as usize,
+                    );
                     for &u in targets.get_unchecked(a..b) {
                         let u = u as usize;
                         if *packed.get_unchecked(u) == parent_key {
@@ -483,7 +733,7 @@ impl BfsSpd {
             for &w in self.order[start..end].iter().rev() {
                 let w = w as usize;
                 let coeff = (inv_dw + scaled[w]) / sigma[w];
-                for &u in &targets[offsets[w]..offsets[w + 1]] {
+                for &u in &targets[offsets[w] as usize..offsets[w + 1] as usize] {
                     let u = u as usize;
                     if packed[u] == parent_key {
                         scaled[u] += sigma[u] * coeff;
@@ -506,6 +756,15 @@ impl BfsSpd {
 mod tests {
     use super::*;
     use mhbc_graph::generators;
+
+    #[test]
+    fn kernel_mode_parse_roundtrip() {
+        for mode in [KernelMode::Auto, KernelMode::TopDown, KernelMode::Hybrid] {
+            assert_eq!(KernelMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(KernelMode::parse("bottomup"), None);
+        assert_eq!(KernelMode::default(), KernelMode::Auto);
+    }
 
     #[test]
     fn path_graph_sigma_and_dist() {
@@ -665,6 +924,7 @@ mod tests {
             for s in 0..n as Vertex {
                 new.compute(&g, s);
                 old.compute(&g, s);
+                old.canonicalize_order();
                 assert_eq!(new.order(), &old.order[..], "order, source {s}");
                 for v in 0..n as Vertex {
                     assert_eq!(new.dist(v), old.dist[v as usize], "dist {v}, source {s}");
@@ -685,6 +945,123 @@ mod tests {
                 for v in 0..n {
                     assert_eq!(d1[v].to_bits(), d2[v].to_bits(), "scaled {v}, source {s}");
                 }
+            }
+        }
+    }
+
+    /// Forced bottom-up levels reproduce top-down bit for bit, including
+    /// settle order and level boundaries.
+    #[test]
+    fn forced_pull_matches_topdown_bitwise() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(23);
+        for g in [
+            generators::barabasi_albert(200, 3, &mut rng),
+            generators::grid(9, 7, true),
+            generators::wheel(17),
+            mhbc_graph::CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap(),
+        ] {
+            let n = g.num_vertices();
+            let mut push = BfsSpd::with_mode(n, KernelMode::TopDown);
+            let mut pull = BfsSpd::with_mode(n, KernelMode::Hybrid);
+            pull.set_hybrid_params(u32::MAX, u32::MAX); // pull from level 1 on
+            let (mut d1, mut d2) = (Vec::new(), Vec::new());
+            for s in 0..n as Vertex {
+                push.compute(&g, s);
+                pull.compute(&g, s);
+                assert!(pull.pull_levels() > 0 || pull.reached() <= 1, "source {s}");
+                assert_eq!(push.order(), pull.order(), "order, source {s}");
+                assert_eq!(push.level_starts(), pull.level_starts(), "levels, source {s}");
+                for v in 0..n as Vertex {
+                    assert_eq!(push.dist(v), pull.dist(v), "dist {v}, source {s}");
+                    assert_eq!(
+                        push.sigma(v).to_bits(),
+                        pull.sigma(v).to_bits(),
+                        "sigma {v}, source {s}"
+                    );
+                }
+                push.accumulate_dependencies(&g, &mut d1);
+                pull.accumulate_dependencies(&g, &mut d2);
+                for v in 0..n {
+                    assert_eq!(d1[v].to_bits(), d2[v].to_bits(), "delta {v}, source {s}");
+                }
+            }
+        }
+    }
+
+    /// The collapsed kernel agrees across directions with non-trivial
+    /// multiplicities.
+    #[test]
+    fn forced_pull_matches_topdown_collapsed() {
+        let g = generators::wheel(13);
+        let n = g.num_vertices();
+        let mult: Vec<f64> = (0..n).map(|v| 1.0 + (v % 3) as f64).collect();
+        let seeds: Vec<f64> = (0..n).map(|v| 1.0 + (v % 2) as f64).collect();
+        let mut push = BfsSpd::with_mode(n, KernelMode::TopDown);
+        let mut pull = BfsSpd::with_mode(n, KernelMode::Hybrid);
+        pull.set_hybrid_params(u32::MAX, u32::MAX);
+        let (mut d1, mut d2) = (Vec::new(), Vec::new());
+        for s in 0..n as Vertex {
+            push.compute_collapsed(&g, s, &mult);
+            pull.compute_collapsed(&g, s, &mult);
+            assert!(pull.pull_levels() > 0, "source {s}");
+            assert_eq!(push.order(), pull.order(), "order, source {s}");
+            for v in 0..n as Vertex {
+                assert_eq!(
+                    push.sigma(v).to_bits(),
+                    pull.sigma(v).to_bits(),
+                    "sigma {v}, source {s}"
+                );
+            }
+            push.accumulate_dependencies_collapsed(&g, &mult, &seeds, &mut d1);
+            pull.accumulate_dependencies_collapsed(&g, &mult, &seeds, &mut d2);
+            for v in 0..n {
+                assert_eq!(d1[v].to_bits(), d2[v].to_bits(), "delta {v}, source {s}");
+            }
+        }
+    }
+
+    /// The default α/β heuristics actually enter pull mode on a
+    /// low-diameter, edge-rich graph.
+    #[test]
+    fn heuristics_trigger_pull_on_dense_graphs() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::barabasi_albert(600, 4, &mut rng);
+        let mut spd = BfsSpd::with_mode(g.num_vertices(), KernelMode::Hybrid);
+        let mut saw_pull = false;
+        for s in 0..20u32 {
+            spd.compute(&g, s);
+            saw_pull |= spd.pull_levels() > 0;
+        }
+        assert!(saw_pull, "default thresholds never engaged bottom-up on a BA graph");
+    }
+
+    /// Mode switches on one reused workspace never corrupt the epoch-stamped
+    /// state: alternating modes equals a fresh workspace every pass.
+    #[test]
+    fn mode_switches_mid_workspace_stay_clean() {
+        let g = generators::barbell(7, 2);
+        let n = g.num_vertices();
+        let modes = [KernelMode::TopDown, KernelMode::Hybrid, KernelMode::Auto];
+        let mut reused = BfsSpd::new(n);
+        let (mut d1, mut d2) = (Vec::new(), Vec::new());
+        for pass in 0..60u32 {
+            let s = (pass * 5) % n as u32;
+            reused.set_mode(modes[pass as usize % 3]);
+            if pass % 3 == 1 {
+                reused.set_hybrid_params(u32::MAX, u32::MAX);
+            } else {
+                reused.set_hybrid_params(14, 24);
+            }
+            reused.compute(&g, s);
+            reused.accumulate_dependencies(&g, &mut d1);
+            let mut fresh = BfsSpd::new(n);
+            fresh.compute(&g, s);
+            fresh.accumulate_dependencies(&g, &mut d2);
+            assert_eq!(reused.order(), fresh.order(), "pass {pass}");
+            for v in 0..n {
+                assert_eq!(d1[v].to_bits(), d2[v].to_bits(), "delta {v}, pass {pass}");
             }
         }
     }

@@ -113,3 +113,56 @@ fn interleaving_plain_and_collapsed_passes_crosses_the_wrap_safely() {
         }
     }
 }
+
+#[test]
+fn auto_mode_with_direction_switches_survives_the_epoch_wrap() {
+    // PR 4 regression: the bottom-up (pull) levels of the hybrid kernel
+    // read the same epoch-stamped state as push levels; drive an
+    // `Auto`-mode workspace (and a forced-pull one, so bottom-up levels are
+    // guaranteed on every pass) through two wraps, alternating modes
+    // mid-stream, and pin every checkpoint to a fresh workspace bit for
+    // bit.
+    use mhbc_spd::KernelMode;
+    let g = generators::wheel(15); // low diameter: pull levels engage
+    let n = g.num_vertices();
+    let mut reused = BfsSpd::with_mode(n, KernelMode::Auto);
+    let (mut d_reused, mut d_fresh) = (Vec::new(), Vec::new());
+    let mut saw_pull = false;
+    for pass in 0..600u32 {
+        let s = (pass * 11) % n as u32;
+        // Alternate Auto with forced bottom-up so both directions cross
+        // both wraps on the same reused stamps.
+        if pass % 2 == 0 {
+            reused.set_mode(KernelMode::Auto);
+            reused.set_hybrid_params(14, 24);
+        } else {
+            reused.set_mode(KernelMode::Hybrid);
+            reused.set_hybrid_params(u32::MAX, u32::MAX);
+        }
+        reused.compute(&g, s);
+        saw_pull |= reused.pull_levels() > 0;
+        reused.accumulate_dependencies(&g, &mut d_reused);
+        if !CHECKPOINTS.contains(&pass) {
+            continue;
+        }
+        let mut fresh = BfsSpd::new(n);
+        fresh.compute(&g, s);
+        fresh.accumulate_dependencies(&g, &mut d_fresh);
+        assert_eq!(reused.order(), fresh.order(), "order, pass {pass}");
+        assert_eq!(reused.level_starts(), fresh.level_starts(), "levels, pass {pass}");
+        for v in 0..n as u32 {
+            assert_eq!(reused.dist(v), fresh.dist(v), "dist, pass {pass}, vertex {v}");
+            assert_eq!(
+                reused.sigma(v).to_bits(),
+                fresh.sigma(v).to_bits(),
+                "sigma, pass {pass}, vertex {v}"
+            );
+            assert_eq!(
+                d_reused[v as usize].to_bits(),
+                d_fresh[v as usize].to_bits(),
+                "delta, pass {pass}, vertex {v}"
+            );
+        }
+    }
+    assert!(saw_pull, "the forced-pull passes never ran a bottom-up level");
+}

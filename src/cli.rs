@@ -5,8 +5,45 @@ use mhbc_core::planner::{plan_single_view, MuSource};
 use mhbc_core::{pipeline, JointSpaceConfig, PrefetchConfig, SingleSpaceConfig};
 use mhbc_graph::reduce::{reduce, ReduceLevel, ReducedGraph};
 use mhbc_graph::{algo, io, CsrGraph, Vertex};
-use mhbc_spd::SpdView;
+use mhbc_spd::{KernelMode, SpdView};
 use std::io::BufRead;
+
+/// The `--preprocess` argument: a fixed [`ReduceLevel`], or `auto` — build
+/// the strongest applicable reduction, then *discard* it when the measured
+/// work ratio says an SPD pass barely shrank (an empty reduction still
+/// taxes the sampler with multiplicity bookkeeping and a second CSR in
+/// cache, the `ws`/`grid` regression in `BENCH_preproc.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreprocessChoice {
+    /// `off`, `prune`, or `full` — exactly as requested.
+    Level(ReduceLevel),
+    /// Build `full` (`prune` on weighted graphs), keep only if it pays.
+    Auto,
+}
+
+/// Minimum measured work ratio (`(n + m) / (n_H + m_H)`) at which
+/// `--preprocess auto` keeps the reduction. Below it the per-pass saving
+/// cannot recoup the reduced-kernel overheads on structureless graphs
+/// (measured at 0.96–0.98x sampler throughput on `ws`/`grid`).
+const AUTO_MIN_WORK_RATIO: f64 = 1.05;
+
+impl PreprocessChoice {
+    /// Parses `off | prune | full | auto`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(PreprocessChoice::Auto),
+            other => ReduceLevel::parse(other).map(PreprocessChoice::Level),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PreprocessChoice::Level(l) => l.as_str(),
+            PreprocessChoice::Auto => "auto",
+        }
+    }
+}
 
 /// Parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,7 +57,8 @@ pub enum Command {
         exact: bool,
         threads: usize,
         prefetch_depth: u64,
-        preprocess: ReduceLevel,
+        preprocess: PreprocessChoice,
+        kernel: KernelMode,
     },
     /// Relative ranking of several vertices: `rank <edge-list> <v1,v2,...>`.
     Rank {
@@ -30,17 +68,25 @@ pub enum Command {
         seed: u64,
         threads: usize,
         prefetch_depth: u64,
-        preprocess: ReduceLevel,
+        preprocess: PreprocessChoice,
+        kernel: KernelMode,
     },
     /// Plan an (epsilon, delta) budget: `plan <edge-list> <vertex> <eps> <delta>`.
-    Plan { path: String, vertex: Vertex, epsilon: f64, delta: f64, preprocess: ReduceLevel },
+    Plan {
+        path: String,
+        vertex: Vertex,
+        epsilon: f64,
+        delta: f64,
+        preprocess: PreprocessChoice,
+        kernel: KernelMode,
+    },
 }
 
 /// CLI usage string.
 pub const USAGE: &str = "usage:
-  mhbc estimate <edge-list> <vertex> [--iters N] [--seed S] [--exact] [--threads T] [--prefetch K] [--preprocess L]
-  mhbc rank     <edge-list> <v1,v2,...> [--iters N] [--seed S] [--threads T] [--prefetch K] [--preprocess L]
-  mhbc plan     <edge-list> <vertex> <epsilon> <delta> [--preprocess L]
+  mhbc estimate <edge-list> <vertex> [--iters N] [--seed S] [--exact] [--threads T] [--prefetch K] [--preprocess L] [--kernel M]
+  mhbc rank     <edge-list> <v1,v2,...> [--iters N] [--seed S] [--threads T] [--prefetch K] [--preprocess L] [--kernel M]
+  mhbc plan     <edge-list> <vertex> <epsilon> <delta> [--preprocess L] [--kernel M]
 
 Edge lists are whitespace-separated `u v [w]` lines; `#`/`%` comments allowed.
 --threads T      total density-evaluation threads (default 1 = sequential;
@@ -49,9 +95,15 @@ Edge lists are whitespace-separated `u v [w]` lines; `#`/`%` comments allowed.
 --prefetch K     speculation window: how many proposals ahead the prefetch
                  workers may evaluate (default 1024).
 --preprocess L   graph reduction before sampling: off (default), prune
-                 (degree-1 pruning with exact corrections), or full (pruning
-                 + twin collapsing + cache relabelling). Estimates stay in
-                 original vertex ids; `full` requires an unweighted graph.";
+                 (degree-1 pruning with exact corrections), full (pruning
+                 + twin collapsing + cache relabelling), or auto (build the
+                 reduction, keep it only when the measured work ratio pays).
+                 Estimates stay in original vertex ids; `full` requires an
+                 unweighted graph.
+--kernel M       SPD forward-pass strategy: auto (default), topdown, or
+                 hybrid (direction-optimizing top-down/bottom-up BFS). All
+                 modes produce bit-identical estimates; this is purely a
+                 performance knob.";
 
 /// Parses `args` (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, String> {
@@ -61,7 +113,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut exact = false;
     let mut threads = 1usize;
     let mut prefetch_depth = PrefetchConfig::DEFAULT_DEPTH;
-    let mut preprocess = ReduceLevel::Off;
+    let mut preprocess = PreprocessChoice::Level(ReduceLevel::Off);
+    let mut kernel = KernelMode::Auto;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -96,8 +149,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             "--preprocess" => {
                 i += 1;
-                preprocess = args.get(i).and_then(|s| ReduceLevel::parse(s)).ok_or_else(|| {
-                    "missing/invalid value for --preprocess (off|prune|full)".to_string()
+                preprocess =
+                    args.get(i).and_then(|s| PreprocessChoice::parse(s)).ok_or_else(|| {
+                        "missing/invalid value for --preprocess (off|prune|full|auto)".to_string()
+                    })?;
+            }
+            "--kernel" => {
+                i += 1;
+                kernel = args.get(i).and_then(|s| KernelMode::parse(s)).ok_or_else(|| {
+                    "missing/invalid value for --kernel (auto|topdown|hybrid)".to_string()
                 })?;
             }
             "--exact" => exact = true,
@@ -119,6 +179,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             threads,
             prefetch_depth,
             preprocess,
+            kernel,
         }),
         ["rank", path, list] => {
             let vertices = list.split(',').map(parse_vertex).collect::<Result<Vec<_>, _>>()?;
@@ -133,6 +194,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 threads,
                 prefetch_depth,
                 preprocess,
+                kernel,
             })
         }
         ["plan", path, vertex, eps, delta] => Ok(Command::Plan {
@@ -141,19 +203,75 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             epsilon: eps.parse().map_err(|_| format!("invalid epsilon `{eps}`"))?,
             delta: delta.parse().map_err(|_| format!("invalid delta `{delta}`"))?,
             preprocess,
+            kernel,
         }),
         _ => Err(USAGE.to_string()),
     }
 }
 
-/// Builds the reduction for a preprocess level (`None` for `off`), turning
+/// The outcome of resolving a `--preprocess` choice against a graph.
+struct Preprocess {
+    /// The reduction that was *built* (also present when auto discarded it
+    /// for sampling — its exact closed forms for pruned probes remain
+    /// valid and free either way).
+    built: Option<ReducedGraph>,
+    /// Whether the sampler should evaluate through `built`.
+    keep: bool,
+    /// Human-readable auto decision, when one was made.
+    note: Option<String>,
+}
+
+impl Preprocess {
+    /// The reduction the sampler should use, if any.
+    fn sampling(&self) -> Option<&ReducedGraph> {
+        if self.keep {
+            self.built.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Exact closed-form BC of `r` when the *built* reduction pruned it —
+    /// consulted before the auto-discard decision, so a pendant probe gets
+    /// its free answer even when the reduction does not pay for sampling.
+    fn exact_pruned_bc(&self, r: Vertex) -> Option<f64> {
+        self.built.as_ref().and_then(|red| red.exact_pruned_bc(r))
+    }
+}
+
+/// Builds the reduction for a preprocess choice (none for `off`), turning
 /// build-time refusals (twin collapsing on a weighted graph) into readable
-/// CLI errors.
-fn build_reduction(g: &CsrGraph, level: ReduceLevel) -> Result<Option<ReducedGraph>, String> {
-    match level {
-        ReduceLevel::Off => Ok(None),
-        level => {
-            reduce(g, level).map(Some).map_err(|e| format!("--preprocess {}: {e}", level.as_str()))
+/// CLI errors. For [`PreprocessChoice::Auto`], builds the strongest
+/// applicable level and marks it kept only when the measured work ratio
+/// clears [`AUTO_MIN_WORK_RATIO`].
+fn build_reduction(g: &CsrGraph, choice: PreprocessChoice) -> Result<Preprocess, String> {
+    match choice {
+        PreprocessChoice::Level(ReduceLevel::Off) => {
+            Ok(Preprocess { built: None, keep: false, note: None })
+        }
+        PreprocessChoice::Level(level) => reduce(g, level)
+            .map(|red| Preprocess { built: Some(red), keep: true, note: None })
+            .map_err(|e| format!("--preprocess {}: {e}", level.as_str())),
+        PreprocessChoice::Auto => {
+            // Full collapsing refuses weighted graphs; pruning is
+            // weight-agnostic, so auto degrades rather than erroring.
+            let level = if g.is_weighted() { ReduceLevel::Prune } else { ReduceLevel::Full };
+            let red = reduce(g, level).map_err(|e| format!("--preprocess auto: {e}"))?;
+            let ratio = red.stats().work_ratio();
+            let keep = ratio >= AUTO_MIN_WORK_RATIO;
+            let note = if keep {
+                format!(
+                    "preprocess auto: kept {} (work ratio {ratio:.2}x >= {AUTO_MIN_WORK_RATIO}x)",
+                    level.as_str()
+                )
+            } else {
+                format!(
+                    "preprocess auto: discarded {} for sampling (work ratio {ratio:.2}x < \
+                     {AUTO_MIN_WORK_RATIO}x — an empty reduction would only tax the sampler)",
+                    level.as_str()
+                )
+            };
+            Ok(Preprocess { built: Some(red), keep, note: Some(note) })
         }
     }
 }
@@ -210,24 +328,27 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             threads,
             prefetch_depth,
             preprocess,
+            kernel,
             ..
         } => {
             let r = internal(*vertex)?;
-            let red = build_reduction(g, *preprocess)?;
+            let prep = build_reduction(g, *preprocess)?;
             let mut out = vec![format!("graph: {g}")];
-            if let Some(red) = &red {
+            out.extend(prep.note.clone());
+            if let Some(red) = prep.sampling() {
                 out.push(preprocess_line(red));
-                if let Some(bc) = red.exact_pruned_bc(r) {
-                    // The probe sits in a pruned pendant tree: its exact BC
-                    // fell out of the pruning corrections — no chain needed.
-                    out.push(format!(
-                        "BC({vertex}) = {bc:.6} (exact: vertex was pruned into a pendant \
-                         tree, so its betweenness is known in closed form)"
-                    ));
-                    return Ok(out);
-                }
             }
-            let view = SpdView::from_option(g, red.as_ref());
+            if let Some(bc) = prep.exact_pruned_bc(r) {
+                // The probe sits in a pruned pendant tree: its exact BC
+                // fell out of the pruning corrections — no chain needed,
+                // even when auto discarded the reduction for sampling.
+                out.push(format!(
+                    "BC({vertex}) = {bc:.6} (exact: vertex was pruned into a pendant \
+                     tree, so its betweenness is known in closed form)"
+                ));
+                return Ok(out);
+            }
+            let view = SpdView::from_option(g, prep.sampling()).with_kernel(*kernel);
             let prefetch = PrefetchConfig::with_threads(*threads).with_depth(*prefetch_depth);
             let est = pipeline::run_single_view(
                 view,
@@ -241,11 +362,12 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
                 est.bc, est.bc_corrected
             ));
             out.push(format!(
-                "iterations {} | acceptance {:.3} | SPD passes {} | threads {}",
+                "iterations {} | acceptance {:.3} | SPD passes {} | threads {} | kernel {}",
                 est.iterations,
                 est.acceptance_rate,
                 est.spd_passes,
-                (*threads).max(1)
+                (*threads).max(1),
+                kernel.as_str()
             ));
             if *exact {
                 let truth = mhbc_spd::exact_betweenness_of(g, r);
@@ -254,11 +376,18 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             Ok(out)
         }
         Command::Rank {
-            vertices, iterations, seed, threads, prefetch_depth, preprocess, ..
+            vertices,
+            iterations,
+            seed,
+            threads,
+            prefetch_depth,
+            preprocess,
+            kernel,
+            ..
         } => {
             let probes = vertices.iter().map(|&v| internal(v)).collect::<Result<Vec<_>, _>>()?;
-            let red = build_reduction(g, *preprocess)?;
-            if let Some(red) = &red {
+            let prep = build_reduction(g, *preprocess)?;
+            if let Some(red) = prep.sampling() {
                 for (&input, &p) in vertices.iter().zip(&probes) {
                     if !red.is_retained(p) {
                         return Err(format!(
@@ -271,7 +400,7 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
                     }
                 }
             }
-            let view = SpdView::from_option(g, red.as_ref());
+            let view = SpdView::from_option(g, prep.sampling()).with_kernel(*kernel);
             let prefetch = PrefetchConfig::with_threads(*threads).with_depth(*prefetch_depth);
             let est = pipeline::run_joint_view(
                 view,
@@ -283,40 +412,44 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             let mut ranked: Vec<(Vertex, f64)> =
                 vertices.iter().enumerate().map(|(i, &v)| (v, est.ratio(i, 0))).collect();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let mut out = vec![format!(
+            let mut out: Vec<String> = prep.note.clone().into_iter().collect();
+            out.push(format!(
                 "ranking by betweenness ratio vs vertex {} ({} iterations):",
                 vertices[0], est.iterations
-            )];
+            ));
             for (v, ratio) in ranked {
                 out.push(format!("  {v:>8}  ratio {ratio:.4}"));
             }
             Ok(out)
         }
-        Command::Plan { vertex, epsilon, delta, preprocess, .. } => {
+        Command::Plan { vertex, epsilon, delta, preprocess, kernel, .. } => {
             let r = internal(*vertex)?;
-            let red = build_reduction(g, *preprocess)?;
-            if let Some(red) = &red {
-                if let Some(bc) = red.exact_pruned_bc(r) {
-                    return Ok(vec![
-                        preprocess_line(red),
-                        format!(
-                            "BC({vertex}) = {bc:.6} exactly (pruned pendant vertex): \
-                             0 iterations needed at this preprocess level"
-                        ),
-                    ]);
+            let prep = build_reduction(g, *preprocess)?;
+            if let Some(bc) = prep.exact_pruned_bc(r) {
+                // Known in closed form even when auto discarded the
+                // reduction for sampling.
+                let mut out: Vec<String> = prep.note.clone().into_iter().collect();
+                if let Some(red) = prep.sampling() {
+                    out.push(preprocess_line(red));
                 }
+                out.push(format!(
+                    "BC({vertex}) = {bc:.6} exactly (pruned pendant vertex): \
+                     0 iterations needed at this preprocess level"
+                ));
+                return Ok(out);
             }
             // With a reduction, the exact mu(r) itself is computed through
             // it (one reduced pass per distinct dependency row).
             let plan = plan_single_view(
-                SpdView::from_option(g, red.as_ref()),
+                SpdView::from_option(g, prep.sampling()).with_kernel(*kernel),
                 r,
                 *epsilon,
                 *delta,
                 MuSource::Exact { threads: 0 },
             )
             .map_err(|e| e.to_string())?;
-            let mut out = vec![
+            let mut out: Vec<String> = prep.note.clone().into_iter().collect();
+            out.extend([
                 format!("mu({vertex}) = {:.3}", plan.mu),
                 format!(
                     "iterations for |err| <= {} with prob >= {}: {}",
@@ -324,8 +457,8 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
                     1.0 - plan.delta,
                     plan.iterations
                 ),
-            ];
-            if let Some(red) = &red {
+            ]);
+            if let Some(red) = prep.sampling() {
                 // mu(r) — and therefore the iteration count — is invariant
                 // under preprocessing (densities are mapped exactly); only
                 // the per-iteration SPD cost shrinks.
@@ -364,7 +497,8 @@ mod tests {
                 exact: true,
                 threads: 1,
                 prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
-                preprocess: ReduceLevel::Off,
+                preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+                kernel: KernelMode::Auto,
             }
         );
     }
@@ -383,7 +517,8 @@ mod tests {
                 exact: false,
                 threads: 4,
                 prefetch_depth: 64,
-                preprocess: ReduceLevel::Off,
+                preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+                kernel: KernelMode::Auto,
             }
         );
         assert!(parse(&strs(&["estimate", "g.txt", "5", "--threads"])).is_err());
@@ -402,7 +537,8 @@ mod tests {
                 seed: 7,
                 threads: 1,
                 prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
-                preprocess: ReduceLevel::Off,
+                preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+                kernel: KernelMode::Auto,
             }
         );
         let cmd =
@@ -414,7 +550,8 @@ mod tests {
                 vertex: 4,
                 epsilon: 0.05,
                 delta: 0.1,
-                preprocess: ReduceLevel::Full,
+                preprocess: PreprocessChoice::Level(ReduceLevel::Full),
+                kernel: KernelMode::Auto,
             }
         );
     }
@@ -453,7 +590,8 @@ mod tests {
             exact: true,
             threads: 1,
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
-            preprocess: ReduceLevel::Off,
+            preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+            kernel: KernelMode::Auto,
         };
         let out = execute(&cmd, &lcc, &map).unwrap();
         assert!(out.iter().any(|l| l.contains("BC(5)")));
@@ -476,7 +614,8 @@ mod tests {
             exact: false,
             threads,
             prefetch_depth: 32,
-            preprocess: ReduceLevel::Off,
+            preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+            kernel: KernelMode::Auto,
         };
         let seq = execute(&mk(1), &lcc, &map).unwrap();
         let par = execute(&mk(3), &lcc, &map).unwrap();
@@ -501,7 +640,8 @@ mod tests {
             seed: 3,
             threads: 2,
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
-            preprocess: ReduceLevel::Full,
+            preprocess: PreprocessChoice::Level(ReduceLevel::Full),
+            kernel: KernelMode::Auto,
         };
         let out = execute(&cmd, &lcc, &map).unwrap();
         // The middle path vertex 7 carries more pairs than 6.
@@ -526,8 +666,105 @@ mod tests {
     fn rejects_bad_preprocess_value() {
         assert!(parse(&strs(&["estimate", "g.txt", "1", "--preprocess", "max"]))
             .unwrap_err()
-            .contains("off|prune|full"));
+            .contains("off|prune|full|auto"));
         assert!(parse(&strs(&["estimate", "g.txt", "1", "--preprocess"])).is_err());
+    }
+
+    #[test]
+    fn parses_kernel_and_auto_preprocess_flags() {
+        let cmd =
+            parse(&strs(&["estimate", "g.txt", "3", "--kernel", "hybrid", "--preprocess", "auto"]))
+                .unwrap();
+        match cmd {
+            Command::Estimate { kernel, preprocess, .. } => {
+                assert_eq!(kernel, KernelMode::Hybrid);
+                assert_eq!(preprocess, PreprocessChoice::Auto);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&strs(&["estimate", "g.txt", "1", "--kernel", "bottomup"]))
+            .unwrap_err()
+            .contains("auto|topdown|hybrid"));
+        assert!(parse(&strs(&["estimate", "g.txt", "1", "--kernel"])).is_err());
+    }
+
+    #[test]
+    fn kernel_modes_produce_identical_estimates() {
+        let g = mhbc_graph::generators::barbell(6, 2);
+        let (lcc, map) = load_graph(Cursor::new(edge_list_text(&g))).unwrap();
+        let mk = |kernel| Command::Estimate {
+            path: String::new(),
+            vertex: 6,
+            iterations: 1_500,
+            seed: 21,
+            exact: false,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+            kernel,
+        };
+        let auto = execute(&mk(KernelMode::Auto), &lcc, &map).unwrap();
+        for kernel in [KernelMode::TopDown, KernelMode::Hybrid] {
+            let out = execute(&mk(kernel), &lcc, &map).unwrap();
+            // Identical estimate line; the stats line names the mode.
+            assert_eq!(auto[1], out[1], "{kernel:?}");
+            assert!(out[2].contains(&format!("kernel {}", kernel.as_str())), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn auto_preprocess_keeps_paying_reductions_and_discards_empty_ones() {
+        // Lollipop: heavy pendant mass — auto keeps the full reduction.
+        let g = mhbc_graph::generators::lollipop(6, 5);
+        let (lcc, map) = load_graph(Cursor::new(edge_list_text(&g))).unwrap();
+        let mk = |vertex| Command::Estimate {
+            path: String::new(),
+            vertex,
+            iterations: 1_000,
+            seed: 3,
+            exact: false,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: PreprocessChoice::Auto,
+            kernel: KernelMode::Auto,
+        };
+        let out = execute(&mk(0), &lcc, &map).unwrap();
+        assert!(out.iter().any(|l| l.contains("preprocess auto: kept full")), "{out:?}");
+        assert!(out.iter().any(|l| l.starts_with("preprocess full:")), "{out:?}");
+
+        // A cycle is irreducible: auto must discard the empty reduction.
+        let g = mhbc_graph::generators::cycle(12);
+        let (lcc, map) = load_graph(Cursor::new(edge_list_text(&g))).unwrap();
+        let out = execute(&mk(0), &lcc, &map).unwrap();
+        assert!(out.iter().any(|l| l.contains("preprocess auto: discarded full")), "{out:?}");
+        assert!(!out.iter().any(|l| l.starts_with("preprocess full:")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("BC(0) ~")), "{out:?}");
+    }
+
+    #[test]
+    fn auto_preprocess_keeps_closed_forms_for_pruned_probes_even_when_discarded() {
+        // One pendant on a big cycle: the work ratio is too small to keep
+        // the reduction for sampling, but the pendant probe's exact BC is
+        // still a free by-product of the build — no chain may run.
+        let mut edges: Vec<(u32, u32)> = (0..40u32).map(|v| (v, (v + 1) % 40)).collect();
+        edges.push((0, 40)); // the pendant
+        let g = CsrGraph::from_edges(41, &edges).unwrap();
+        let (lcc, map) = load_graph(Cursor::new(edge_list_text(&g))).unwrap();
+        let cmd = Command::Estimate {
+            path: String::new(),
+            vertex: 40,
+            iterations: 500,
+            seed: 7,
+            exact: false,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: PreprocessChoice::Auto,
+            kernel: KernelMode::Auto,
+        };
+        let out = execute(&cmd, &lcc, &map).unwrap();
+        assert!(out.iter().any(|l| l.contains("discarded full for sampling")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("exact: vertex was pruned")), "{out:?}");
+        assert!(!out.iter().any(|l| l.contains("BC(40) ~")), "no sampling: {out:?}");
     }
 
     #[test]
@@ -544,13 +781,14 @@ mod tests {
             threads: 1,
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess,
+            kernel: KernelMode::Auto,
         };
         // Retained probe: sampled estimate, with a preprocess summary line.
-        let out = execute(&mk(0, ReduceLevel::Full), &lcc, &map).unwrap();
+        let out = execute(&mk(0, PreprocessChoice::Level(ReduceLevel::Full)), &lcc, &map).unwrap();
         assert!(out.iter().any(|l| l.starts_with("preprocess full:")), "{out:?}");
         assert!(out.iter().any(|l| l.contains("BC(0) ~")), "{out:?}");
         // Pruned probe: exact closed form, no sampling.
-        let out = execute(&mk(8, ReduceLevel::Prune), &lcc, &map).unwrap();
+        let out = execute(&mk(8, PreprocessChoice::Level(ReduceLevel::Prune)), &lcc, &map).unwrap();
         assert!(out.iter().any(|l| l.contains("exact: vertex was pruned")), "{out:?}");
         let exact = mhbc_spd::exact_betweenness_of(&lcc, 8);
         assert!(out.iter().any(|l| l.contains(&format!("{exact:.6}"))), "{out:?}");
@@ -569,11 +807,12 @@ mod tests {
             threads: 1,
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess,
+            kernel: KernelMode::Auto,
         };
-        let err = execute(&mk(ReduceLevel::Full), &lcc, &map).unwrap_err();
+        let err = execute(&mk(PreprocessChoice::Level(ReduceLevel::Full)), &lcc, &map).unwrap_err();
         assert!(err.contains("--preprocess full"), "{err}");
         assert!(err.contains("unweighted"), "{err}");
-        assert!(execute(&mk(ReduceLevel::Prune), &lcc, &map).is_ok());
+        assert!(execute(&mk(PreprocessChoice::Level(ReduceLevel::Prune)), &lcc, &map).is_ok());
     }
 
     #[test]
@@ -587,7 +826,8 @@ mod tests {
             seed: 1,
             threads: 1,
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
-            preprocess: ReduceLevel::Prune,
+            preprocess: PreprocessChoice::Level(ReduceLevel::Prune),
+            kernel: KernelMode::Auto,
         };
         let err = execute(&cmd, &lcc, &map).unwrap_err();
         assert!(err.contains("vertex 8"), "{err}");
@@ -604,16 +844,17 @@ mod tests {
             epsilon: 0.05,
             delta: 0.1,
             preprocess,
+            kernel: KernelMode::Auto,
         };
         // Vertex 5 is the path's clique attachment: positive betweenness.
-        let out = execute(&mk(5, ReduceLevel::Full), &lcc, &map).unwrap();
+        let out = execute(&mk(5, PreprocessChoice::Level(ReduceLevel::Full)), &lcc, &map).unwrap();
         assert!(out.iter().any(|l| l.contains("assumed reduction ratio")), "{out:?}");
         assert!(out.iter().any(|l| l.contains("less work than an unreduced pass")), "{out:?}");
         // Without preprocessing there is no ratio line.
-        let out = execute(&mk(5, ReduceLevel::Off), &lcc, &map).unwrap();
+        let out = execute(&mk(5, PreprocessChoice::Level(ReduceLevel::Off)), &lcc, &map).unwrap();
         assert!(!out.iter().any(|l| l.contains("reduction ratio")), "{out:?}");
         // A pruned probe needs no iterations at all.
-        let out = execute(&mk(8, ReduceLevel::Prune), &lcc, &map).unwrap();
+        let out = execute(&mk(8, PreprocessChoice::Level(ReduceLevel::Prune)), &lcc, &map).unwrap();
         assert!(out.iter().any(|l| l.contains("0 iterations needed")), "{out:?}");
     }
 
@@ -628,7 +869,8 @@ mod tests {
             exact: false,
             threads: 1,
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
-            preprocess: ReduceLevel::Off,
+            preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+            kernel: KernelMode::Auto,
         };
         assert!(execute(&cmd, &g, &map).unwrap_err().contains("99"));
     }

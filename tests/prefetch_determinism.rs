@@ -260,3 +260,71 @@ fn preprocessed_joint_bit_identical_across_thread_counts() {
         }
     }
 }
+
+#[test]
+fn sampler_pipeline_bit_identical_across_kernel_modes_and_threads() {
+    // PR 4 acceptance: the direction-optimizing SPD kernel's canonical
+    // settle order makes every KernelMode produce identical density rows,
+    // so the whole sampler pipeline — single and joint, reduced and
+    // direct — agrees bit for bit across `--kernel` x `--threads 1/2/8`.
+    use mhbc_graph::reduce::{reduce, ReduceLevel};
+    use mhbc_spd::{KernelMode, SpdView};
+
+    let mut rng = SmallRng::seed_from_u64(44);
+    let g = generators::barabasi_albert(250, 3, &mut rng);
+    let r = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap();
+    let red = reduce(&g, ReduceLevel::Full).unwrap();
+    let config = SingleSpaceConfig::new(1_200, 5);
+    let modes = [KernelMode::Auto, KernelMode::TopDown, KernelMode::Hybrid];
+
+    for (label, reduced) in [("direct", None), ("reduced", Some(&red))] {
+        let mut reference = None;
+        for mode in modes {
+            let view = SpdView::from_option(&g, reduced).with_kernel(mode);
+            for threads in [1usize, 2, 8] {
+                let est = pipeline::run_single_view(
+                    view,
+                    r,
+                    &config,
+                    &PrefetchConfig::with_threads(threads),
+                )
+                .unwrap();
+                let fp = single_fingerprint(&est);
+                match &reference {
+                    None => reference = Some(fp),
+                    Some(want) => {
+                        assert_eq!(*want, fp, "{label}, mode {mode:?}, threads {threads}")
+                    }
+                }
+            }
+        }
+    }
+
+    // Joint-space sampler across modes (sequential vs threaded).
+    let probes = [r, (r + 1) % g.num_vertices() as u32, (r + 7) % g.num_vertices() as u32];
+    let jconfig = JointSpaceConfig::new(900, 11);
+    let mut reference: Option<Vec<u64>> = None;
+    for mode in modes {
+        let view = SpdView::direct(&g).with_kernel(mode);
+        for threads in [1usize, 4] {
+            let est = pipeline::run_joint_view(
+                view,
+                &probes,
+                &jconfig,
+                &PrefetchConfig::with_threads(threads),
+            )
+            .unwrap();
+            let fp: Vec<u64> = est
+                .relative
+                .iter()
+                .flatten()
+                .map(|x| x.to_bits())
+                .chain([est.spd_passes, est.acceptance_rate.to_bits()])
+                .collect();
+            match &reference {
+                None => reference = Some(fp),
+                Some(want) => assert_eq!(*want, &fp[..], "mode {mode:?}, threads {threads}"),
+            }
+        }
+    }
+}
