@@ -1232,6 +1232,189 @@ fn perf(ctx: &Ctx) {
         "[perf] wrote BENCH_preproc.json (full/off samples/sec geomean: {full_geomean:.3}, \
          sep: {sep_full_speedup:.3})"
     );
+
+    perf_adaptive(ctx, &suite, cores);
+}
+
+/// Adaptive-estimation trajectory: per family, the iterations the
+/// `TargetStderr` engine needs to reach the planner's `ε` against the fixed
+/// Ineq 14 budget; the segment-mode overhead vs. the old run-to-completion
+/// loop (guarded at ≤ 2% on `ba`); and the 16-probe scheduler's budget
+/// allocation. Emits `BENCH_adaptive.json`.
+fn perf_adaptive(ctx: &Ctx, suite: &[workloads::Dataset], cores: usize) {
+    use mhbc_core::planner::{plan_single, MuSource, PlanError};
+    use mhbc_core::schedule::{run_probe_schedule, ScheduleConfig};
+    use mhbc_core::{EngineConfig, StopReason, StoppingRule};
+
+    let (eps, delta) = (0.05, 0.05);
+
+    // --- Adaptive vs. fixed-plan budget per family (hub probe). The plan
+    // is the paper's non-asymptotic worst-case bound; the adaptive stop
+    // uses the chain's observed variance, so it should undercut the plan
+    // substantially (the acceptance bar: <= 0.8x on >= 4 of 7 families).
+    let mut ta = Table::new(
+        "PERF/adaptive - iterations to reach the planner's epsilon: fixed Ineq 14 plan vs TargetStderr engine",
+        &["graph", "mu", "planned T", "adaptive T", "ratio", "reached", "se @ stop", "ESS", "tau"],
+    );
+    let mut fam_json = String::new();
+    let mut within_08 = 0usize;
+    for ds in suite {
+        let g = &ds.graph;
+        let r = (0..g.num_vertices() as Vertex).max_by_key(|&v| g.degree(v)).expect("non-empty");
+        let plan = match plan_single(g, r, eps, delta, MuSource::Exact { threads: 0 }) {
+            Ok(plan) => plan,
+            Err(PlanError::ZeroBetweenness) => continue,
+            Err(e) => panic!("plan failed on {}: {e}", ds.name),
+        };
+        let rule = StoppingRule::TargetStderr { epsilon: eps, delta };
+        let (est, report) =
+            SingleSpaceSampler::new(g, r, SingleSpaceConfig::new(plan.iterations, SEED))
+                .expect("valid config")
+                .into_engine(EngineConfig::adaptive(rule))
+                .run();
+        let reached = report.reason == StopReason::TargetReached;
+        let ratio = report.iterations as f64 / plan.iterations as f64;
+        if reached && ratio <= 0.8 {
+            within_08 += 1;
+        }
+        ta.push(vec![
+            ds.name.into(),
+            format!("{:.2}", plan.mu),
+            plan.iterations.to_string(),
+            report.iterations.to_string(),
+            format!("{ratio:.3}x"),
+            reached.to_string(),
+            format!("{:.5}", report.stderr),
+            format!("{:.0}", report.ess),
+            format!("{:.1}", report.tau),
+        ]);
+        if !fam_json.is_empty() {
+            fam_json.push_str(",\n");
+        }
+        fam_json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"probe\": {r}, \"mu\": {:.3}, \"epsilon\": {eps}, \
+             \"delta\": {delta}, \"planned_iterations\": {}, \"adaptive_iterations\": {}, \
+             \"ratio_vs_plan\": {ratio:.4}, \"target_reached\": {reached}, \
+             \"stderr_at_stop\": {:.6}, \"ess\": {:.1}, \"tau\": {:.2}, \
+             \"final_bc\": {:.6}}}",
+            ds.name,
+            plan.mu,
+            plan.iterations,
+            report.iterations,
+            report.stderr,
+            report.ess,
+            report.tau,
+            est.bc
+        ));
+    }
+    ta.emit(&ctx.out, "perf_adaptive").expect("emit perf_adaptive");
+
+    // --- Segment-mode overhead vs. the old run-to-completion loop on `ba`
+    // (interleaved min-of-rounds; the manual `step()` loop below IS the
+    // historical `run()` body). The engine must not tax the PR 2-4
+    // hot-path wins: guard at <= 2% ns/iter.
+    let ba = &suite[0];
+    assert_eq!(ba.name, "ba", "suite order changed; update the overhead guard");
+    let g = &ba.graph;
+    let r = (0..g.num_vertices() as Vertex).max_by_key(|&v| g.degree(v)).expect("non-empty");
+    let iterations = ctx.budget(g.num_vertices()) * 2;
+    let config = SingleSpaceConfig::new(iterations, SEED);
+    let overhead_rounds = 9;
+    let (mut manual_best, mut engine_best) = (f64::MAX, f64::MAX);
+    for round in 0..=overhead_rounds {
+        // Manual loop: the pre-engine `run()` verbatim.
+        let started = Instant::now();
+        let mut sampler = SingleSpaceSampler::new(g, r, config.clone()).expect("valid config");
+        for _ in 0..iterations {
+            sampler.step();
+        }
+        let manual_est = sampler.finish();
+        let manual_secs = started.elapsed().as_secs_f64();
+
+        // Engine loop: segments + streaming diagnostics.
+        let started = Instant::now();
+        let (engine_est, _) = SingleSpaceSampler::new(g, r, config.clone())
+            .expect("valid config")
+            .into_engine(EngineConfig::fixed())
+            .run();
+        let engine_secs = started.elapsed().as_secs_f64();
+
+        assert_eq!(
+            manual_est.bc.to_bits(),
+            engine_est.bc.to_bits(),
+            "engine must reproduce the manual loop bitwise"
+        );
+        if round > 0 {
+            manual_best = manual_best.min(manual_secs);
+            engine_best = engine_best.min(engine_secs);
+        }
+    }
+    let manual_ns = manual_best * 1e9 / iterations as f64;
+    let engine_ns = engine_best * 1e9 / iterations as f64;
+    let overhead_pct = (engine_ns / manual_ns - 1.0) * 100.0;
+    eprintln!(
+        "[perf] segment overhead on ba: manual {manual_ns:.0} ns/iter, engine {engine_ns:.0} \
+         ns/iter, overhead {overhead_pct:+.2}%"
+    );
+    assert!(
+        overhead_pct <= 2.0,
+        "segment-mode overhead {overhead_pct:.2}% exceeds the 2% guard \
+         (manual {manual_ns:.1} ns/iter vs engine {engine_ns:.1} ns/iter)"
+    );
+
+    // --- Scheduler budget allocation for a 16-probe rank on `ba`: top
+    // degrees, per-probe stderr target, widest-interval-first.
+    let mut order: Vec<Vertex> = (0..g.num_vertices() as Vertex).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let probes: Vec<Vertex> = order.into_iter().take(16).collect();
+    let sched_budget = 16 * ctx.budget(g.num_vertices());
+    let sched = run_probe_schedule(
+        mhbc_spd::SpdView::direct(g),
+        &probes,
+        ScheduleConfig::target_stderr(sched_budget, 0.02, 0.05, SEED).with_segment(256),
+    )
+    .expect("valid probes");
+    let mut ts = Table::new(
+        "PERF/scheduler - 16-probe adaptive rank budget allocation (ba, widest-interval-first)",
+        &["probe", "allocated", "reached", "ci halfwidth", "BC (corrected)"],
+    );
+    let mut sched_json = String::new();
+    for o in &sched.probes {
+        ts.push(vec![
+            o.probe.to_string(),
+            o.allocated.to_string(),
+            o.reached.to_string(),
+            format!("{:.5}", o.ci_halfwidth),
+            format!("{:.6}", o.estimate.bc_corrected),
+        ]);
+        if !sched_json.is_empty() {
+            sched_json.push_str(", ");
+        }
+        sched_json.push_str(&format!(
+            "{{\"probe\": {}, \"allocated\": {}, \"reached\": {}, \"ci_halfwidth\": {:.6}}}",
+            o.probe, o.allocated, o.reached, o.ci_halfwidth
+        ));
+    }
+    ts.emit(&ctx.out, "perf_scheduler").expect("emit perf_scheduler");
+
+    let json = format!(
+        "{{\n  \"schema\": \"mhbc-bench-adaptive-v1\",\n  \"generated_by\": \"experiments perf\",\n  \
+         \"quick\": {},\n  \"host_cores\": {cores},\n  \"families\": [\n{fam_json}\n  ],\n  \
+         \"families_within_08x_of_plan\": {within_08},\n  \
+         \"segment_overhead\": {{\"graph\": \"ba\", \"iterations\": {iterations}, \
+         \"manual_ns_per_iter\": {manual_ns:.2}, \"engine_ns_per_iter\": {engine_ns:.2}, \
+         \"overhead_pct\": {overhead_pct:.3}}},\n  \
+         \"scheduler_16probe\": {{\"graph\": \"ba\", \"budget\": {sched_budget}, \
+         \"spent\": {}, \"rounds\": {}, \"target_se\": 0.02, \
+         \"probes\": [{sched_json}]}}\n}}\n",
+        ctx.quick, sched.spent, sched.rounds,
+    );
+    std::fs::write("BENCH_adaptive.json", &json).expect("write BENCH_adaptive.json");
+    eprintln!(
+        "[perf] wrote BENCH_adaptive.json ({within_08} of {} families within 0.8x of plan, \
+         segment overhead {overhead_pct:+.2}%)",
+        suite.len()
+    );
 }
 
 // ---------------------------------------------------------------- F9 ----

@@ -9,6 +9,16 @@
 //! statistic across chains, the standard multi-chain convergence check that
 //! complements the paper's single-chain guarantee.
 //!
+//! Since the engine refactor the ensemble executes in **segments**: every
+//! chain advances `segment` iterations per round (in parallel, each from
+//! its bit-exact [`mhbc_mcmc::ChainSnapshot`]), the pooled observation
+//! series feeds the streaming diagnostics, and a
+//! [`mhbc_mcmc::StoppingRule`] can end the run at any boundary — where the
+//! whole ensemble state (all chains, accumulators, diagnostics, shared
+//! cache) can also be checkpointed. Per-chain step sequences are unchanged
+//! by segmentation, so fixed-budget results are bit-identical to the
+//! historical run-to-completion ensemble.
+//!
 //! With a parallel [`PrefetchConfig`], each chain additionally gets its own
 //! squad of speculative prefetch workers (chains × pipeline): every chain's
 //! proposal stream is replayed by `threads - 1` workers that warm the
@@ -16,22 +26,30 @@
 //! estimates are bit-identical whatever the prefetch setting — chain
 //! results depend only on seeds and densities, never on cache timing.
 
+use crate::checkpoint::CheckpointKind;
+use crate::engine::{
+    open_checkpoint, AdaptiveReport, CheckpointDriver, EngineConfig, EngineDriver, EstimationEngine,
+};
 use crate::oracle::{OracleStats, SharedProbeOracle};
-use crate::pipeline::{derive_streams, prefetch_lane, Lane, PrefetchConfig, Progress};
+use crate::pipeline::{
+    derive_streams, prefetch_lane, CheckpointSink, Lane, Pacing, PacingGuard, PrefetchConfig,
+};
+use crate::single::{restore_oracle, save_oracle};
 use crate::CoreError;
 use mhbc_graph::{CsrGraph, Vertex};
 use mhbc_mcmc::diagnostics::RunningMoments;
-use mhbc_mcmc::{fn_target, MetropolisHastings, UniformProposal};
+use mhbc_mcmc::{fn_target, ChainSnapshot, ChainStats, MetropolisHastings, UniformProposal};
 use mhbc_spd::{SpdView, SpdWorkspacePool};
 use parking_lot::Mutex;
-use std::sync::atomic::AtomicU64;
+use rand::rngs::SmallRng;
+use std::sync::atomic::Ordering;
 
 /// Configuration for [`run_ensemble`].
 #[derive(Debug, Clone)]
 pub struct EnsembleConfig {
     /// Number of independent chains (one thread each).
     pub chains: usize,
-    /// Iterations per chain.
+    /// Iterations per chain (the per-chain budget under adaptive rules).
     pub iterations: u64,
     /// Base seed; chain `c` is seeded with `seed + c`.
     pub seed: u64,
@@ -54,18 +72,18 @@ impl EnsembleConfig {
     }
 }
 
-/// Per-chain accumulators brought back from a worker thread.
+/// One chain's resumable state between segments: the bit-exact chain
+/// snapshot plus its running estimator partials.
 #[derive(Debug, Clone)]
-struct ChainResult {
+struct ChainCell {
+    snap: ChainSnapshot<Vertex>,
     sum_delta: f64,
     counted: u64,
     proposals_support: u64,
     inv_delta_sum: f64,
     support_counted: u64,
-    accepted: u64,
     /// Welford moments of the per-step dependency series (for R̂).
-    mean: f64,
-    variance: f64,
+    moments: RunningMoments,
 }
 
 /// Result of a parallel ensemble run.
@@ -83,6 +101,9 @@ pub struct EnsembleEstimate {
     pub r_hat: f64,
     /// Acceptance rate pooled over chains.
     pub acceptance_rate: f64,
+    /// Iterations each chain actually ran (≤ the configured budget under
+    /// adaptive stopping).
+    pub iterations_per_chain: u64,
     /// Distinct sources evaluated across the *shared* cache (the whole
     /// point: `k` chains cost barely more than one). Deterministic for a
     /// given config — concurrent duplicate computations don't inflate it.
@@ -91,67 +112,344 @@ pub struct EnsembleEstimate {
     pub oracle_stats: OracleStats,
 }
 
-/// One chain of the ensemble; identical numerics whatever the prefetch
-/// setting (densities are a pure function of the source vertex).
-fn run_chain<'g>(
+/// [`EngineDriver`] for the segmented ensemble: each `run_segment` advances
+/// every chain `iters` steps in parallel (restoring each from its snapshot
+/// — no density re-evaluation), then re-snapshots. Iteration counts are
+/// **per chain**: the engine budget bounds each chain's length, and the
+/// monitored series interleaves chain segments in chain order
+/// (deterministic, so adaptive stops are too).
+pub struct EnsembleDriver<'g> {
+    view: SpdView<'g>,
+    r: Vertex,
     n: usize,
-    oracle: &SharedProbeOracle<'g>,
-    pool: &SpdWorkspacePool<'g>,
+    chains: usize,
     seed: u64,
-    iterations: u64,
-    progress: &AtomicU64,
-) -> ChainResult {
-    let mut calc = pool.checkout();
-    let (initial, prop_rng, acc_rng) = derive_streams(seed, None, n);
-    // The closure makes the shared oracle the chain's density.
-    let target = fn_target(|v: &Vertex| oracle.dep(*v, 0, &mut calc));
-    let mut chain = MetropolisHastings::with_streams(
-        target,
-        UniformProposal::new(n),
-        initial,
-        prop_rng,
-        acc_rng,
-    );
+    prefetch: PrefetchConfig,
+    oracle: SharedProbeOracle<'g>,
+    pool: SpdWorkspacePool<'g>,
+    cells: Vec<ChainCell>,
+    done_per_chain: u64,
+    budget: u64,
+}
 
-    let mut res = ChainResult {
-        sum_delta: chain.current_density(),
-        counted: 1,
-        proposals_support: 0,
-        inv_delta_sum: 0.0,
-        support_counted: 0,
-        accepted: 0,
-        mean: 0.0,
-        variance: 0.0,
-    };
-    let mut moments = RunningMoments::new();
-    moments.push(chain.current_density());
-    if chain.current_density() > 0.0 {
-        res.inv_delta_sum += 1.0 / chain.current_density();
-        res.support_counted += 1;
+impl<'g> EnsembleDriver<'g> {
+    /// Builds the driver and evaluates every chain's initial state (in
+    /// chain order — deterministic cache history).
+    fn create(view: SpdView<'g>, r: Vertex, config: &EnsembleConfig) -> Result<Self, CoreError> {
+        let n = view.num_vertices();
+        if n < 3 {
+            return Err(CoreError::GraphTooSmall { num_vertices: n });
+        }
+        if r as usize >= n {
+            return Err(CoreError::ProbeOutOfRange { probe: r, num_vertices: n });
+        }
+        if !view.is_retained(r) {
+            return Err(CoreError::PrunedProbe { probe: r });
+        }
+        assert!(config.chains >= 1, "need at least one chain");
+        let oracle = SharedProbeOracle::for_view(view, &[r]);
+        let pool = SpdWorkspacePool::for_view_workers(
+            view,
+            config.chains * config.prefetch.threads.max(1),
+        );
+        let cells = {
+            let mut calc = pool.checkout();
+            (0..config.chains)
+                .map(|c| {
+                    let (initial, prop_rng, acc_rng) =
+                        derive_streams(config.seed.wrapping_add(c as u64), None, n);
+                    let d0 = oracle.dep(initial, 0, &mut calc);
+                    let mut moments = RunningMoments::new();
+                    moments.push(d0);
+                    let (mut inv, mut support) = (0.0, 0);
+                    if d0 > 0.0 {
+                        inv = 1.0 / d0;
+                        support = 1;
+                    }
+                    ChainCell {
+                        snap: ChainSnapshot {
+                            state: initial,
+                            density: d0,
+                            stats: ChainStats::default(),
+                            proposal_rng: prop_rng.state(),
+                            accept_rng: acc_rng.state(),
+                        },
+                        sum_delta: d0,
+                        counted: 1,
+                        proposals_support: 0,
+                        inv_delta_sum: inv,
+                        support_counted: support,
+                        moments,
+                    }
+                })
+                .collect()
+        };
+        Ok(EnsembleDriver {
+            view,
+            r,
+            n,
+            chains: config.chains,
+            seed: config.seed,
+            prefetch: config.prefetch.clone(),
+            oracle,
+            pool,
+            cells,
+            done_per_chain: 0,
+            budget: config.iterations,
+        })
     }
-    // Released (set to MAX) on drop — including on panic — so this chain's
-    // prefetch squad can never spin on a window that will not advance.
-    let window = Progress(progress);
-    for t in 1..=iterations {
-        window.advance_to(t);
-        let out = chain.step();
-        res.sum_delta += out.density;
-        res.counted += 1;
-        moments.push(out.density);
-        if out.accepted {
-            res.accepted += 1;
-        }
-        if out.proposed_density > 0.0 {
-            res.proposals_support += 1;
-        }
-        if out.density > 0.0 {
-            res.inv_delta_sum += 1.0 / out.density;
-            res.support_counted += 1;
+
+    /// Wraps the driver in a segmented engine (budget = iterations per
+    /// chain).
+    fn into_engine(self, engine: EngineConfig) -> EstimationEngine<EnsembleDriver<'g>> {
+        let budget = self.budget;
+        EstimationEngine::new(self, budget, engine)
+    }
+}
+
+impl EngineDriver for EnsembleDriver<'_> {
+    type Output = EnsembleEstimate;
+
+    fn prime(&mut self, out: &mut Vec<f64>) {
+        if self.done_per_chain == 0 {
+            out.extend(self.cells.iter().map(|c| c.snap.density));
         }
     }
-    res.mean = moments.mean();
-    res.variance = moments.variance();
-    res
+
+    fn run_segment(&mut self, iters: u64, out: &mut Vec<f64>) {
+        let workers_per_chain = self.prefetch.threads.saturating_sub(1) as u64;
+        let depth = self.prefetch.depth.max(workers_per_chain);
+        let pacings: Vec<Pacing> = (0..self.chains).map(|_| Pacing::committed_to(iters)).collect();
+        let results: Mutex<Vec<(usize, ChainCell, Vec<f64>)>> =
+            Mutex::new(Vec::with_capacity(self.chains));
+
+        crossbeam::thread::scope(|scope| {
+            for (c, cell_ref) in self.cells.iter().enumerate() {
+                // The squads replay the chain's proposal stream from the
+                // same snapshot position.
+                let replay_state = cell_ref.snap.proposal_rng;
+                let cell = cell_ref.clone();
+                let (oracle, pool, results) = (&self.oracle, &self.pool, &results);
+                let pacing = &pacings[c];
+                let n = self.n;
+                scope.spawn(move |_| {
+                    let mut calc = pool.checkout();
+                    let target = fn_target(|v: &Vertex| oracle.dep(*v, 0, &mut calc));
+                    let mut chain: MetropolisHastings<_, _, SmallRng> = MetropolisHastings::restore(
+                        target,
+                        UniformProposal::new(n),
+                        cell.snap.clone(),
+                    );
+                    let mut cell = cell;
+                    let mut series = Vec::with_capacity(iters as usize);
+                    // Released on drop — including panic — so this chain's
+                    // prefetch squad can never spin forever.
+                    let guard = PacingGuard(pacing);
+                    for t in 1..=iters {
+                        guard.0.progress.store(t, Ordering::Release);
+                        let out = chain.step();
+                        cell.sum_delta += out.density;
+                        cell.counted += 1;
+                        cell.moments.push(out.density);
+                        if out.proposed_density > 0.0 {
+                            cell.proposals_support += 1;
+                        }
+                        if out.density > 0.0 {
+                            cell.inv_delta_sum += 1.0 / out.density;
+                            cell.support_counted += 1;
+                        }
+                        series.push(out.density);
+                    }
+                    cell.snap = chain.snapshot();
+                    results.lock().push((c, cell, series));
+                });
+                for lane in 0..workers_per_chain {
+                    let wrng = SmallRng::from_state(replay_state);
+                    let (oracle, pool) = (&self.oracle, &self.pool);
+                    let n = self.n;
+                    scope.spawn(move |_| {
+                        let mut calc = pool.checkout();
+                        prefetch_lane(
+                            UniformProposal::new(n),
+                            wrng,
+                            1,
+                            iters,
+                            Lane { lane, lanes: workers_per_chain, depth, pacing },
+                            |v: Vertex| {
+                                oracle.warm(v, &mut calc);
+                            },
+                        );
+                    });
+                }
+            }
+        })
+        .expect("ensemble threads joined");
+
+        let mut per = results.into_inner();
+        per.sort_by_key(|&(c, _, _)| c);
+        for (c, cell, series) in per {
+            self.cells[c] = cell;
+            out.extend(series);
+        }
+        self.done_per_chain += iters;
+    }
+
+    fn iterations(&self) -> u64 {
+        self.done_per_chain
+    }
+
+    fn scale(&self) -> f64 {
+        self.n as f64 - 1.0
+    }
+
+    fn finish(self) -> EnsembleEstimate {
+        let per = self.cells;
+        let chains = self.chains;
+        let iterations = self.done_per_chain;
+        let norm = self.n as f64 - 1.0;
+        let per_chain: Vec<f64> =
+            per.iter().map(|c| c.sum_delta / (c.counted as f64 * norm)).collect();
+
+        let total_counted: u64 = per.iter().map(|c| c.counted).sum();
+        let bc = per.iter().map(|c| c.sum_delta).sum::<f64>() / (total_counted as f64 * norm);
+
+        let total_proposals = chains as u64 * iterations;
+        let support: u64 = per.iter().map(|c| c.proposals_support).sum();
+        let inv_sum: f64 = per.iter().map(|c| c.inv_delta_sum).sum();
+        let support_counted: u64 = per.iter().map(|c| c.support_counted).sum();
+        let bc_corrected = if total_proposals == 0 || support_counted == 0 || inv_sum <= 0.0 {
+            0.0
+        } else {
+            (support as f64 / total_proposals as f64) * support_counted as f64 / (norm * inv_sum)
+        };
+
+        // Gelman-Rubin across chains: W = mean within-chain variance,
+        // B/n = variance of chain means; R^2 = ((m-1)/m W + B/m) / W with
+        // m = samples per chain.
+        let r_hat = if chains >= 2 {
+            let m = (iterations + 1) as f64;
+            let w = per.iter().map(|c| c.moments.variance()).sum::<f64>() / chains as f64;
+            let mut mean_moments = RunningMoments::new();
+            for c in &per {
+                mean_moments.push(c.moments.mean());
+            }
+            let b_over_m = mean_moments.variance();
+            if w > 0.0 {
+                (((m - 1.0) / m) * w / w + b_over_m / w).sqrt()
+            } else {
+                f64::NAN
+            }
+        } else {
+            f64::NAN
+        };
+
+        let accepted: u64 = per.iter().map(|c| c.snap.stats.accepted).sum();
+        EnsembleEstimate {
+            bc,
+            bc_corrected,
+            per_chain,
+            r_hat,
+            acceptance_rate: if total_proposals == 0 {
+                0.0
+            } else {
+                accepted as f64 / total_proposals as f64
+            },
+            iterations_per_chain: iterations,
+            spd_passes: self.oracle.cached_sources() as u64,
+            oracle_stats: self.oracle.stats(),
+        }
+    }
+}
+
+impl CheckpointDriver for EnsembleDriver<'_> {
+    fn kind(&self) -> CheckpointKind {
+        CheckpointKind::Ensemble
+    }
+
+    fn view(&self) -> SpdView<'_> {
+        self.view
+    }
+
+    fn save(&self, w: &mut crate::checkpoint::Writer) {
+        w.u32(self.r);
+        w.u64(self.chains as u64);
+        w.u64(self.budget);
+        w.u64(self.seed);
+        w.u64(self.done_per_chain);
+        for cell in &self.cells {
+            crate::single::save_chain_snapshot(w, &cell.snap);
+            w.f64(cell.sum_delta);
+            w.u64(cell.counted);
+            w.u64(cell.proposals_support);
+            w.f64(cell.inv_delta_sum);
+            w.u64(cell.support_counted);
+            let (count, mean, m2) = cell.moments.to_raw();
+            w.u64(count);
+            w.u64(mean);
+            w.u64(m2);
+        }
+        save_oracle(
+            w,
+            self.oracle.cached_sources() as u64,
+            self.oracle.stats(),
+            self.oracle.snapshot_rows(),
+        );
+    }
+}
+
+impl<'g> EnsembleDriver<'g> {
+    /// Rebuilds a driver from a checkpoint payload (see
+    /// `SingleDriver::restore_from`); the prefetch setting is a runtime
+    /// knob supplied by the caller, not part of the checkpoint.
+    pub(crate) fn restore_from(
+        view: SpdView<'g>,
+        r: &mut crate::checkpoint::Reader<'_>,
+        prefetch: PrefetchConfig,
+    ) -> Result<Self, CoreError> {
+        let probe = r.u32()?;
+        let chains = r.u64()? as usize;
+        let budget = r.u64()?;
+        let seed = r.u64()?;
+        let done_per_chain = r.u64()?;
+        let n = view.num_vertices();
+        if probe as usize >= n || !view.is_retained(probe) || chains == 0 {
+            return Err(crate::checkpoint::corrupt("invalid ensemble header"));
+        }
+        if chains > r.remaining() / (14 * 8) {
+            return Err(crate::checkpoint::corrupt("chain table longer than the checkpoint"));
+        }
+        let cells: Vec<ChainCell> = (0..chains)
+            .map(|_| -> Result<ChainCell, CoreError> {
+                let snap = crate::single::restore_chain_snapshot(r)?;
+                Ok(ChainCell {
+                    snap,
+                    sum_delta: r.f64()?,
+                    counted: r.u64()?,
+                    proposals_support: r.u64()?,
+                    inv_delta_sum: r.f64()?,
+                    support_counted: r.u64()?,
+                    moments: RunningMoments::from_raw((r.u64()?, r.u64()?, r.u64()?)),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let (_passes, stats, rows) = restore_oracle(r)?;
+        let oracle = SharedProbeOracle::for_view(view, &[probe]);
+        oracle.restore_cache(rows, stats);
+        let pool = SpdWorkspacePool::for_view_workers(view, chains * prefetch.threads.max(1));
+        Ok(EnsembleDriver {
+            view,
+            r: probe,
+            n,
+            chains,
+            seed,
+            prefetch,
+            oracle,
+            pool,
+            cells,
+            done_per_chain,
+            budget,
+        })
+    }
 }
 
 /// Runs `chains` independent single-space chains of `iterations` steps each,
@@ -175,111 +473,44 @@ pub fn run_ensemble_view(
     r: Vertex,
     config: &EnsembleConfig,
 ) -> Result<EnsembleEstimate, CoreError> {
-    let n = view.num_vertices();
-    if n < 3 {
-        return Err(CoreError::GraphTooSmall { num_vertices: n });
+    run_ensemble_view_adaptive(view, r, config, EngineConfig::fixed(), None).map(|(est, _)| est)
+}
+
+/// The adaptive/checkpointable ensemble entry point: segmented execution
+/// under `engine_cfg`, with a checkpoint written to `sink` at every segment
+/// boundary when one is given.
+pub fn run_ensemble_view_adaptive(
+    view: SpdView<'_>,
+    r: Vertex,
+    config: &EnsembleConfig,
+    engine_cfg: EngineConfig,
+    sink: Option<&mut CheckpointSink<'_>>,
+) -> Result<(EnsembleEstimate, AdaptiveReport), CoreError> {
+    let engine = EnsembleDriver::create(view, r, config)?.into_engine(engine_cfg);
+    match sink {
+        None => Ok(engine.run()),
+        Some(f) => engine.run_with(|e| f(e.checkpoint())),
     }
-    if r as usize >= n {
-        return Err(CoreError::ProbeOutOfRange { probe: r, num_vertices: n });
-    }
-    if !view.is_retained(r) {
-        return Err(CoreError::PrunedProbe { probe: r });
-    }
-    let chains = config.chains;
-    assert!(chains >= 1, "need at least one chain");
-    let workers_per_chain = config.prefetch.threads.saturating_sub(1) as u64;
-    let depth = config.prefetch.depth.max(workers_per_chain);
+}
 
-    let oracle = SharedProbeOracle::for_view(view, &[r]);
-    let pool = SpdWorkspacePool::for_view_workers(view, chains * config.prefetch.threads.max(1));
-    let progress: Vec<AtomicU64> = (0..chains).map(|_| AtomicU64::new(0)).collect();
-    let results: Mutex<Vec<(usize, ChainResult)>> = Mutex::new(Vec::with_capacity(chains));
-    let iterations = config.iterations;
-
-    crossbeam::thread::scope(|scope| {
-        for c in 0..chains {
-            let chain_seed = config.seed.wrapping_add(c as u64);
-            let (oracle, pool, results) = (&oracle, &pool, &results);
-            let chain_progress = &progress[c];
-            scope.spawn(move |_| {
-                let res = run_chain(n, oracle, pool, chain_seed, iterations, chain_progress);
-                results.lock().push((c, res));
-            });
-            // The chain's prefetch squad replays its proposal stream.
-            for lane in 0..workers_per_chain {
-                let progress = chain_progress;
-                scope.spawn(move |_| {
-                    let mut calc = pool.checkout();
-                    let (_, wrng, _) = derive_streams(chain_seed, None, n);
-                    prefetch_lane(
-                        UniformProposal::new(n),
-                        wrng,
-                        iterations,
-                        Lane { lane, lanes: workers_per_chain, depth, progress },
-                        |v: Vertex| {
-                            oracle.warm(v, &mut calc);
-                        },
-                    );
-                });
-            }
-        }
-    })
-    .expect("ensemble threads joined");
-
-    let mut per = results.into_inner();
-    per.sort_by_key(|&(c, _)| c);
-    let per: Vec<ChainResult> = per.into_iter().map(|(_, r)| r).collect();
-
-    let norm = n as f64 - 1.0;
-    let per_chain: Vec<f64> = per.iter().map(|c| c.sum_delta / (c.counted as f64 * norm)).collect();
-
-    let total_counted: u64 = per.iter().map(|c| c.counted).sum();
-    let bc = per.iter().map(|c| c.sum_delta).sum::<f64>() / (total_counted as f64 * norm);
-
-    let total_proposals = chains as u64 * iterations;
-    let support: u64 = per.iter().map(|c| c.proposals_support).sum();
-    let inv_sum: f64 = per.iter().map(|c| c.inv_delta_sum).sum();
-    let support_counted: u64 = per.iter().map(|c| c.support_counted).sum();
-    let bc_corrected = if total_proposals == 0 || support_counted == 0 || inv_sum <= 0.0 {
-        0.0
-    } else {
-        (support as f64 / total_proposals as f64) * support_counted as f64 / (norm * inv_sum)
-    };
-
-    // Gelman-Rubin across chains: W = mean within-chain variance,
-    // B/n = variance of chain means; R^2 = ((m-1)/m W + B/m) / W with
-    // m = samples per chain.
-    let r_hat = if chains >= 2 {
-        let m = (iterations + 1) as f64;
-        let w = per.iter().map(|c| c.variance).sum::<f64>() / chains as f64;
-        let mut mean_moments = RunningMoments::new();
-        for c in &per {
-            mean_moments.push(c.mean);
-        }
-        let b_over_m = mean_moments.variance();
-        if w > 0.0 {
-            (((m - 1.0) / m) * w / w + b_over_m / w).sqrt()
-        } else {
-            f64::NAN
-        }
-    } else {
-        f64::NAN
-    };
-
-    let accepted: u64 = per.iter().map(|c| c.accepted).sum();
-    Ok(EnsembleEstimate {
-        bc,
-        bc_corrected,
-        per_chain,
-        r_hat,
-        acceptance_rate: if total_proposals == 0 {
-            0.0
-        } else {
-            accepted as f64 / total_proposals as f64
-        },
-        spd_passes: oracle.cached_sources() as u64,
-        oracle_stats: oracle.stats(),
-    })
+/// Resumes a checkpointed ensemble run (see
+/// [`crate::pipeline::resume_single_view`] for the identity guarantees);
+/// `prefetch` re-attaches per-chain prefetch squads — a runtime knob that
+/// never changes any estimate.
+pub fn resume_ensemble<'g>(
+    view: SpdView<'g>,
+    bytes: &[u8],
+    prefetch: PrefetchConfig,
+) -> Result<EstimationEngine<EnsembleDriver<'g>>, CoreError> {
+    let (state, mut r) = open_checkpoint(&view, bytes, CheckpointKind::Ensemble)?;
+    let driver = EnsembleDriver::restore_from(view, &mut r, prefetch)?;
+    Ok(EstimationEngine::with_state(
+        driver,
+        state.budget,
+        state.config,
+        state.monitor,
+        state.segments,
+    ))
 }
 
 /// Back-compatible entry point: `chains` sequential chains, no prefetch.
@@ -306,6 +537,7 @@ mod tests {
         let est = run_parallel_ensemble(&g, 8, 4, 8_000, 3).expect("valid config");
         assert!((est.bc - limit).abs() < 0.02, "pooled {} vs limit {limit}", est.bc);
         assert_eq!(est.per_chain.len(), 4);
+        assert_eq!(est.iterations_per_chain, 8_000);
         let exact = mhbc_spd::exact_betweenness_of(&g, 8);
         assert!((est.bc_corrected - exact).abs() < 0.03);
     }
@@ -354,6 +586,93 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(seq.r_hat.to_bits(), pre.r_hat.to_bits());
+    }
+
+    #[test]
+    fn segment_length_never_changes_estimates() {
+        // Segmentation interleaves diagnostics between iterations but never
+        // perturbs any chain: estimates are invariant to the segment knob.
+        let g = generators::lollipop(6, 3);
+        let config = EnsembleConfig::new(3, 2_500, 13);
+        let run_with_segment = |segment: u64| {
+            run_ensemble_view_adaptive(
+                SpdView::direct(&g),
+                7,
+                &config,
+                EngineConfig::fixed().with_segment(segment),
+                None,
+            )
+            .expect("valid config")
+        };
+        let (a, ra) = run_with_segment(64);
+        let (b, rb) = run_with_segment(1024);
+        assert_eq!(a.bc.to_bits(), b.bc.to_bits());
+        assert_eq!(a.bc_corrected.to_bits(), b.bc_corrected.to_bits());
+        assert_eq!(a.r_hat.to_bits(), b.r_hat.to_bits());
+        assert_eq!(a.spd_passes, b.spd_passes);
+        assert!(ra.segments > rb.segments);
+    }
+
+    #[test]
+    fn adaptive_ensemble_stops_early_on_easy_targets() {
+        use mhbc_mcmc::StoppingRule;
+        let g = generators::lollipop(8, 4);
+        let config = EnsembleConfig::new(2, 50_000, 3);
+        let (est, report) = run_ensemble_view_adaptive(
+            SpdView::direct(&g),
+            9,
+            &config,
+            EngineConfig::adaptive(StoppingRule::TargetStderr { epsilon: 0.05, delta: 0.05 }),
+            None,
+        )
+        .expect("valid config");
+        assert!(
+            report.iterations < 50_000,
+            "loose target should stop early, ran {}",
+            report.iterations
+        );
+        assert_eq!(report.reason, crate::engine::StopReason::TargetReached);
+        assert_eq!(est.iterations_per_chain, report.iterations);
+        // The pooled estimate is still sane.
+        let limit = eq7_limit(&mhbc_spd::dependency_profile_par(&g, 9, 0));
+        assert!((est.bc - limit).abs() < 0.2, "{} vs {limit}", est.bc);
+    }
+
+    #[test]
+    fn ensemble_checkpoint_resume_is_bit_identical() {
+        let g = generators::lollipop(6, 3);
+        let config = EnsembleConfig::new(3, 2_000, 11);
+        let view = SpdView::direct(&g);
+        let uninterrupted = run_ensemble_view(view, 7, &config).expect("valid config");
+
+        // Capture a checkpoint a few segments in, then resume it.
+        let engine_cfg = EngineConfig::fixed().with_segment(256);
+        let mut saved: Option<Vec<u8>> = None;
+        let mut count = 0;
+        let mut sink = |bytes: Vec<u8>| {
+            count += 1;
+            if count == 3 {
+                saved = Some(bytes);
+            }
+            Ok(())
+        };
+        let _ = run_ensemble_view_adaptive(view, 7, &config, engine_cfg, Some(&mut sink))
+            .expect("valid config");
+        let bytes = saved.expect("checkpoint captured");
+
+        for prefetch in [PrefetchConfig::sequential(), PrefetchConfig::with_threads(3)] {
+            let engine = resume_ensemble(view, &bytes, prefetch).expect("resumable");
+            assert_eq!(engine.iterations(), 3 * 256);
+            let (resumed, _) = engine.run();
+            assert_eq!(uninterrupted.bc.to_bits(), resumed.bc.to_bits());
+            assert_eq!(uninterrupted.bc_corrected.to_bits(), resumed.bc_corrected.to_bits());
+            assert_eq!(uninterrupted.r_hat.to_bits(), resumed.r_hat.to_bits());
+            assert_eq!(uninterrupted.spd_passes, resumed.spd_passes);
+            assert_eq!(uninterrupted.acceptance_rate.to_bits(), resumed.acceptance_rate.to_bits());
+            for (a, b) in uninterrupted.per_chain.iter().zip(&resumed.per_chain) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

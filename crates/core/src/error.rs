@@ -19,6 +19,10 @@ pub enum CoreError {
     /// (`mhbc_graph::reduce::ReducedGraph::exact_pruned_bc`), so sampling
     /// it through the reduction is both unsupported and pointless.
     PrunedProbe { probe: Vertex },
+    /// A checkpoint file could not be decoded or does not match the
+    /// evaluation view it is being resumed against (see
+    /// [`crate::checkpoint`]).
+    Checkpoint { reason: String },
 }
 
 impl std::fmt::Display for CoreError {
@@ -42,6 +46,7 @@ impl std::fmt::Display for CoreError {
                      (ReducedGraph::exact_pruned_bc) — no sampling needed"
                 )
             }
+            CoreError::Checkpoint { reason } => write!(f, "checkpoint: {reason}"),
         }
     }
 }

@@ -1,10 +1,13 @@
 //! The joint-space MCMC sampler (§4.3).
 
+use crate::checkpoint::{CheckpointKind, Reader, Writer};
+use crate::engine::{CheckpointDriver, EngineConfig, EngineDriver, EstimationEngine};
 use crate::optimal::min_dependency_ratio;
 use crate::oracle::{OracleStats, ProbeOracle};
+use crate::single::{restore_oracle, save_oracle};
 use crate::CoreError;
 use mhbc_graph::{CsrGraph, Vertex};
-use mhbc_mcmc::{MetropolisHastings, Proposal, TargetDensity};
+use mhbc_mcmc::{ChainSnapshot, MetropolisHastings, Proposal, TargetDensity};
 use mhbc_spd::SpdView;
 use rand::{rngs::SmallRng, Rng, RngExt};
 
@@ -333,22 +336,33 @@ impl<'g> JointSpaceSampler<'g> {
 
     /// Performs one MH iteration.
     pub fn step(&mut self) -> JointStepInfo {
+        let accepted = self.step_raw();
+        JointStepInfo { iteration: self.iteration, accepted, probe_index: self.chain.state().0 }
+    }
+
+    /// One MH iteration; returns whether the proposal was accepted. The
+    /// engine driver reads the occupied density off the chain afterwards.
+    pub(crate) fn step_raw(&mut self) -> bool {
         let out = self.chain.step();
         self.iteration += 1;
         self.absorb_current_state();
-        JointStepInfo {
-            iteration: self.iteration,
-            accepted: out.accepted,
-            probe_index: self.chain.state().0,
-        }
+        out.accepted
     }
 
     /// Runs the configured number of iterations and finalises.
-    pub fn run(mut self) -> JointSpaceEstimate {
-        for _ in self.iteration..self.config.iterations {
-            self.step();
-        }
-        self.finish()
+    ///
+    /// Since the engine refactor this is a thin configuration of
+    /// [`EstimationEngine`] with [`mhbc_mcmc::StoppingRule::FixedIterations`] —
+    /// bit-identical to the historical run-to-completion loop.
+    pub fn run(self) -> JointSpaceEstimate {
+        self.into_engine(EngineConfig::fixed()).run().0
+    }
+
+    /// Wraps the sampler in a segmented [`EstimationEngine`] for adaptive
+    /// stopping and checkpointing.
+    pub fn into_engine(self, engine: EngineConfig) -> EstimationEngine<JointDriver<'g>> {
+        let budget = self.config.iterations;
+        EstimationEngine::new(JointDriver { sampler: self }, budget, engine)
     }
 
     /// Finalises early.
@@ -362,6 +376,178 @@ impl<'g> JointSpaceSampler<'g> {
             target.oracle.spd_passes(),
             target.oracle.stats(),
         )
+    }
+}
+
+/// [`EngineDriver`] for the sequential joint-space sampler. The monitored
+/// series is the occupied state's dependency `δ_{v•}(r_j)` — the same
+/// series the single-space diagnostics use; a stderr target applies to its
+/// normalised mean (a proxy for overall chain stability, since the joint
+/// estimate is a matrix rather than one scalar).
+pub struct JointDriver<'g> {
+    sampler: JointSpaceSampler<'g>,
+}
+
+impl JointDriver<'_> {
+    /// The wrapped sampler's probe set.
+    pub fn probes(&self) -> &[Vertex] {
+        self.sampler.probes()
+    }
+}
+
+impl EngineDriver for JointDriver<'_> {
+    type Output = JointSpaceEstimate;
+
+    fn prime(&mut self, out: &mut Vec<f64>) {
+        // The constructor absorbed the initial state as sample 0.
+        if self.sampler.iteration == 0 {
+            out.push(self.sampler.chain.current_density());
+        }
+    }
+
+    fn run_segment(&mut self, iters: u64, out: &mut Vec<f64>) {
+        for _ in 0..iters {
+            self.sampler.step_raw();
+            out.push(self.sampler.chain.current_density());
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        self.sampler.iteration
+    }
+
+    fn scale(&self) -> f64 {
+        self.sampler.chain.target().oracle.view().num_vertices() as f64 - 1.0
+    }
+
+    fn finish(self) -> JointSpaceEstimate {
+        self.sampler.finish()
+    }
+}
+
+impl JointAccumulator {
+    fn save_into(&self, w: &mut Writer) {
+        w.u64(self.k as u64);
+        w.f64s(&self.acc);
+        w.u64(self.counts.len() as u64);
+        for &c in &self.counts {
+            w.u64(c);
+        }
+        w.f64s(&self.trace);
+    }
+
+    fn restore_from(
+        trace_pair: Option<(usize, usize)>,
+        r: &mut Reader<'_>,
+    ) -> Result<Self, CoreError> {
+        let k = r.u64()? as usize;
+        let mut acc = JointAccumulator::new(k, trace_pair);
+        acc.acc = r.f64s()?;
+        if acc.acc.len() != k * k {
+            return Err(crate::checkpoint::corrupt("joint accumulator arity mismatch"));
+        }
+        let nc = r.u64()? as usize;
+        if nc != k {
+            return Err(crate::checkpoint::corrupt("joint count arity mismatch"));
+        }
+        acc.counts = (0..nc).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        acc.trace = r.f64s()?;
+        Ok(acc)
+    }
+}
+
+impl CheckpointDriver for JointDriver<'_> {
+    fn kind(&self) -> CheckpointKind {
+        CheckpointKind::Joint
+    }
+
+    fn view(&self) -> SpdView<'_> {
+        self.sampler.chain.target().oracle.view()
+    }
+
+    fn save(&self, w: &mut Writer) {
+        let s = &self.sampler;
+        w.u64(s.probes.len() as u64);
+        for &p in &s.probes {
+            w.u32(p);
+        }
+        w.u64(s.config.iterations);
+        w.u64(s.config.seed);
+        match s.config.trace_pair {
+            None => w.u8(0),
+            Some((i, j)) => {
+                w.u8(1);
+                w.u64(i as u64);
+                w.u64(j as u64);
+            }
+        }
+        w.u64(s.iteration);
+        let snap = s.chain.snapshot();
+        w.u32(snap.state.0);
+        w.u32(snap.state.1);
+        w.f64(snap.density);
+        w.u64(snap.stats.steps);
+        w.u64(snap.stats.accepted);
+        for x in snap.proposal_rng.iter().chain(&snap.accept_rng) {
+            w.u64(*x);
+        }
+        s.acc.save_into(w);
+        let oracle = &s.chain.target().oracle;
+        save_oracle(w, oracle.spd_passes(), oracle.stats(), oracle.snapshot_rows());
+    }
+}
+
+impl<'g> JointDriver<'g> {
+    /// Rebuilds a driver from a checkpoint payload against `view` (see
+    /// `SingleDriver::restore_from`): nothing is re-evaluated.
+    pub(crate) fn restore_from(view: SpdView<'g>, r: &mut Reader<'_>) -> Result<Self, CoreError> {
+        let np = r.u64()? as usize;
+        if np > r.remaining() / 4 {
+            return Err(crate::checkpoint::corrupt("probe list longer than the checkpoint"));
+        }
+        let probes: Vec<Vertex> = (0..np).map(|_| r.u32()).collect::<Result<_, _>>()?;
+        let mut config = JointSpaceConfig::new(r.u64()?, r.u64()?);
+        if r.u8()? != 0 {
+            config.trace_pair = Some((r.u64()? as usize, r.u64()? as usize));
+        }
+        let (n, k) = validate_joint(&view, &probes, &config)?;
+        let iteration = r.u64()?;
+        let state = (r.u32()?, r.u32()?);
+        if state.0 as usize >= k || state.1 as usize >= n {
+            return Err(crate::checkpoint::corrupt("chain state out of range"));
+        }
+        let snap = ChainSnapshot {
+            state,
+            density: r.f64()?,
+            stats: mhbc_mcmc::ChainStats { steps: r.u64()?, accepted: r.u64()? },
+            proposal_rng: {
+                let mut words = [0u64; 4];
+                for x in &mut words {
+                    *x = r.u64()?;
+                }
+                words
+            },
+            accept_rng: {
+                let mut words = [0u64; 4];
+                for x in &mut words {
+                    *x = r.u64()?;
+                }
+                words
+            },
+        };
+        let acc = JointAccumulator::restore_from(config.trace_pair, r)?;
+        if acc.k != k {
+            return Err(crate::checkpoint::corrupt("probe count does not match accumulator"));
+        }
+        let (passes, stats, rows) = restore_oracle(r)?;
+        let mut oracle = ProbeOracle::for_view(view, &probes);
+        oracle.restore_cache(rows, stats, passes);
+        let chain = MetropolisHastings::restore(
+            JointTarget { oracle },
+            JointProposal { k: k as u32, n: n as u32 },
+            snap,
+        );
+        Ok(JointDriver { sampler: JointSpaceSampler { chain, probes, config, iteration, acc } })
     }
 }
 

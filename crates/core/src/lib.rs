@@ -93,6 +93,8 @@
 //! assert!((est.bc_corrected - exact).abs() < 0.05);
 //! ```
 
+pub mod checkpoint;
+pub mod engine;
 pub mod ensemble;
 mod error;
 pub mod extended;
@@ -101,13 +103,22 @@ pub mod optimal;
 pub mod oracle;
 pub mod pipeline;
 pub mod planner;
+pub mod schedule;
 mod single;
 
+pub use engine::{
+    resume_joint, resume_single, AdaptiveReport, EngineConfig, EstimationEngine, StopReason,
+};
 pub use ensemble::{
     run_ensemble, run_ensemble_view, run_parallel_ensemble, EnsembleConfig, EnsembleEstimate,
 };
 pub use error::CoreError;
 pub use extended::{extended_relative_sampled, ExtendedEstimate};
-pub use joint::{JointSpaceConfig, JointSpaceEstimate, JointSpaceSampler, JointStepInfo};
+pub use joint::{
+    JointDriver, JointSpaceConfig, JointSpaceEstimate, JointSpaceSampler, JointStepInfo,
+};
+pub use mhbc_mcmc::StoppingRule;
 pub use pipeline::{run_joint, run_joint_view, run_single, run_single_view, PrefetchConfig};
-pub use single::{SingleSpaceConfig, SingleSpaceEstimate, SingleSpaceSampler, SingleStepInfo};
+pub use single::{
+    SingleDriver, SingleSpaceConfig, SingleSpaceEstimate, SingleSpaceSampler, SingleStepInfo,
+};

@@ -93,6 +93,10 @@ pub struct ProbeOracle<'g> {
     hand: usize,
     stats: OracleStats,
     capacity: usize,
+    /// SPD passes performed before this oracle existed — restored from a
+    /// checkpoint so [`ProbeOracle::spd_passes`] keeps counting across
+    /// save/resume boundaries.
+    passes_base: u64,
 }
 
 impl<'g> ProbeOracle<'g> {
@@ -117,6 +121,7 @@ impl<'g> ProbeOracle<'g> {
             hand: 0,
             stats: OracleStats::default(),
             capacity: usize::MAX,
+            passes_base: 0,
         }
     }
 
@@ -185,14 +190,40 @@ impl<'g> ProbeOracle<'g> {
     }
 
     /// Number of SPD passes performed (equals `stats().misses` while the
-    /// cache is unbounded).
+    /// cache is unbounded), counted across checkpoint/resume boundaries.
     pub fn spd_passes(&self) -> u64 {
-        self.calc.passes()
+        self.passes_base + self.calc.passes()
     }
 
     /// Number of distinct dependency rows currently cached.
     pub fn cached_sources(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The cached rows as `(row key, dependency row)` pairs, sorted by key —
+    /// a deterministic snapshot for checkpointing (insertion order is a
+    /// timing artifact under the shared oracle; key order is canonical).
+    pub fn snapshot_rows(&self) -> Vec<(u64, Vec<f64>)> {
+        let mut rows: Vec<(u64, Vec<f64>)> =
+            self.slots.iter().map(|s| (s.key, s.row.to_vec())).collect();
+        rows.sort_by_key(|&(k, _)| k);
+        rows
+    }
+
+    /// Restores a checkpointed cache: the given rows become the cache
+    /// contents (referenced bits cleared — only meaningful under a capacity
+    /// limit, which the samplers never set), and the counters resume from
+    /// the checkpointed values so `stats()` / [`ProbeOracle::spd_passes`]
+    /// continue as if the run had never stopped.
+    pub fn restore_cache(&mut self, rows: Vec<(u64, Vec<f64>)>, stats: OracleStats, passes: u64) {
+        debug_assert!(self.slots.is_empty(), "restore into a fresh oracle");
+        for (key, row) in rows {
+            let slot = Slot { key, row: row.into_boxed_slice(), referenced: false };
+            self.index.insert(key, self.slots.len());
+            self.slots.push(slot);
+        }
+        self.stats = stats;
+        self.passes_base = passes;
     }
 }
 
@@ -307,6 +338,31 @@ impl<'g> SharedProbeOracle<'g> {
     /// SPD-pass count for a run whose proposal set is fixed (see type docs).
     pub fn cached_sources(&self) -> usize {
         self.cache.read().len()
+    }
+
+    /// The cached rows as `(row key, dependency row)` pairs, sorted by key
+    /// (see [`ProbeOracle::snapshot_rows`]). At a segment boundary of the
+    /// speculative pipeline this set is deterministic: it equals the rows
+    /// of every proposal consumed so far, whatever the thread count —
+    /// workers never speculate past the committed iteration bound.
+    pub fn snapshot_rows(&self) -> Vec<(u64, Vec<f64>)> {
+        let cache = self.cache.read();
+        let mut rows: Vec<(u64, Vec<f64>)> =
+            cache.iter().map(|(&k, row)| (k, row.to_vec())).collect();
+        rows.sort_by_key(|&(k, _)| k);
+        rows
+    }
+
+    /// Restores a checkpointed cache (counterpart of
+    /// [`ProbeOracle::restore_cache`] for the shared oracle).
+    pub fn restore_cache(&self, rows: Vec<(u64, Vec<f64>)>, stats: OracleStats) {
+        let mut cache = self.cache.write();
+        debug_assert!(cache.is_empty(), "restore into a fresh oracle");
+        for (key, row) in rows {
+            cache.insert(key, row.into_boxed_slice());
+        }
+        self.hits.store(stats.hits, Ordering::Relaxed);
+        self.misses.store(stats.misses, Ordering::Relaxed);
     }
 }
 

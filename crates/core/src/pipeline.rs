@@ -45,17 +45,23 @@
 //! them and the entry points here fall back to the sequential samplers, as
 //! they also do for `threads <= 1`.
 
+use crate::checkpoint::CheckpointKind;
+use crate::engine::{
+    open_checkpoint, AdaptiveReport, CheckpointDriver, EngineConfig, EngineDriver, EstimationEngine,
+};
 use crate::joint::{self, JointAccumulator, JointProposal, JointState};
 use crate::oracle::SharedProbeOracle;
-use crate::single::{SingleAccumulator, SingleSpaceConfig, SingleSpaceEstimate};
+use crate::single::{self, SingleAccumulator, SingleSpaceConfig, SingleSpaceEstimate};
 use crate::{
     CoreError, JointSpaceConfig, JointSpaceEstimate, JointSpaceSampler, SingleSpaceSampler,
 };
 use mhbc_graph::{CsrGraph, Vertex};
-use mhbc_mcmc::{fn_target, MetropolisHastings, Proposal, StreamSplit, UniformProposal};
+use mhbc_mcmc::{
+    fn_target, FnTarget, MetropolisHastings, Proposal, RngSnapshot, StreamSplit, UniformProposal,
+};
 use mhbc_spd::{SpdView, SpdWorkspacePool};
 use rand::{rngs::SmallRng, RngExt, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Threading knobs for the speculative pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,21 +165,141 @@ pub(crate) fn derive_joint_streams(
     (initial, rng, accept_rng)
 }
 
-/// Publishes the chain's progress to the workers' speculation window; on
-/// drop (normal completion *or* panic) it releases the window entirely so
-/// no worker can spin forever.
-pub(crate) struct Progress<'a>(pub(crate) &'a AtomicU64);
+/// [`EngineDriver`] for the chain thread of the speculative single-space
+/// pipeline: the same accumulation code as the sequential sampler, reading
+/// densities through the shared pre-warmed cache, with segment boundaries
+/// publishing the committed iteration bound to the workers.
+struct PipelineSingleDriver<'a, 'g, F: FnMut(&Vertex) -> f64> {
+    chain: MetropolisHastings<FnTarget<Vertex, F>, UniformProposal, SmallRng>,
+    acc: SingleAccumulator,
+    burn_in: u64,
+    n: usize,
+    pacing: &'a Pacing,
+    proposal_sum: f64,
+    max_proposed: f64,
+    // Checkpoint context (header + payload identity).
+    oracle: &'a SharedProbeOracle<'g>,
+    config: &'a SingleSpaceConfig,
+    r: Vertex,
+}
 
-impl Progress<'_> {
-    #[inline]
-    pub(crate) fn advance_to(&self, t: u64) {
-        self.0.store(t, Ordering::Release);
+impl<F: FnMut(&Vertex) -> f64> EngineDriver for PipelineSingleDriver<'_, '_, F> {
+    type Output = (SingleAccumulator, f64);
+
+    fn prime(&mut self, out: &mut Vec<f64>) {
+        if self.acc.iteration() == 0 && self.acc.counted() == 1 {
+            out.push(self.chain.current_density());
+        }
+    }
+
+    fn run_segment(&mut self, iters: u64, out: &mut Vec<f64>) {
+        let start = self.acc.iteration();
+        // Monotone raise (fixed-budget runs pre-commit everything; never
+        // lower the bound back to a segment edge).
+        self.pacing.committed.fetch_max(start + iters, Ordering::AcqRel);
+        for t in start + 1..=start + iters {
+            self.pacing.progress.store(t, Ordering::Release);
+            let o = self.chain.step();
+            self.acc.absorb(&o);
+            self.proposal_sum += o.proposed_density;
+            if o.proposed_density > self.max_proposed {
+                self.max_proposed = o.proposed_density;
+            }
+            if self.acc.iteration() > self.burn_in {
+                out.push(o.density);
+            }
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        self.acc.iteration()
+    }
+
+    fn scale(&self) -> f64 {
+        self.n as f64 - 1.0
+    }
+
+    fn observed_mu(&self) -> Option<f64> {
+        let t = self.acc.iteration();
+        if t == 0 || self.proposal_sum <= 0.0 {
+            return None;
+        }
+        Some(self.max_proposed / (self.proposal_sum / t as f64))
+    }
+
+    fn finish(self) -> (SingleAccumulator, f64) {
+        (self.acc, self.chain.stats().acceptance_rate())
     }
 }
 
-impl Drop for Progress<'_> {
+impl<F: FnMut(&Vertex) -> f64> CheckpointDriver for PipelineSingleDriver<'_, '_, F> {
+    fn kind(&self) -> CheckpointKind {
+        CheckpointKind::Single
+    }
+
+    fn view(&self) -> SpdView<'_> {
+        self.oracle.view()
+    }
+
+    fn save(&self, w: &mut crate::checkpoint::Writer) {
+        // Same payload as the sequential driver; at a segment boundary the
+        // shared cache deterministically holds the rows of every consumed
+        // proposal (see [`Pacing`]), so `cached_sources` plays the role of
+        // the sequential `spd_passes`.
+        single::save_single_payload(
+            w,
+            self.r,
+            self.config,
+            &self.chain.snapshot(),
+            &self.acc,
+            self.proposal_sum,
+            self.max_proposed,
+            self.oracle.cached_sources() as u64,
+            self.oracle.stats(),
+            self.oracle.snapshot_rows(),
+        );
+    }
+}
+
+/// Shared pacing state between the chain thread and its prefetch workers.
+///
+/// `progress` is how far the chain has consumed; `committed` is how far the
+/// engine has *guaranteed* execution (raised segment by segment); `done`
+/// flips when no further iterations will ever be committed. Workers warm
+/// only proposals with `t ≤ committed` — under adaptive stopping the total
+/// iteration count is unknown upfront, and a worker that warmed past an
+/// early stop would inflate the cache (and with it the deterministic
+/// `spd_passes` figure) relative to the sequential run. At every segment
+/// boundary the cache therefore holds *exactly* the rows of the proposals
+/// consumed so far, whatever the thread count.
+pub(crate) struct Pacing {
+    pub(crate) progress: AtomicU64,
+    pub(crate) committed: AtomicU64,
+    pub(crate) done: AtomicBool,
+}
+
+impl Pacing {
+    /// Pacing with `committed` pre-set (fixed-budget runs commit the whole
+    /// budget upfront, reproducing the pre-adaptive protocol exactly).
+    pub(crate) fn committed_to(limit: u64) -> Self {
+        Pacing {
+            progress: AtomicU64::new(0),
+            committed: AtomicU64::new(limit),
+            done: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Releases prefetch workers on drop (normal completion *or* panic): no
+/// further iterations will be committed, so workers waiting past
+/// `committed` exit instead of spinning forever.
+pub(crate) struct PacingGuard<'a>(pub(crate) &'a Pacing);
+
+impl Drop for PacingGuard<'_> {
     fn drop(&mut self) {
-        self.0.store(u64::MAX, Ordering::Release);
+        self.0.done.store(true, Ordering::Release);
+        // Also release the depth window (mirrors the old Progress drop).
+        self.0.progress.store(u64::MAX, Ordering::Release);
     }
 }
 
@@ -183,33 +309,69 @@ pub(crate) struct Lane<'a> {
     pub(crate) lane: u64,
     pub(crate) lanes: u64,
     pub(crate) depth: u64,
-    pub(crate) progress: &'a AtomicU64,
+    pub(crate) pacing: &'a Pacing,
 }
 
-/// One prefetch worker: replays the proposal stream, warming its strided
-/// share `{t : (t - 1) ≡ lane (mod lanes)}` of the upcoming proposals,
-/// never speculating more than `depth` past the chain's progress. The one
-/// copy of the speculation-window protocol — `run_single`, `run_joint`,
-/// and the ensemble's per-chain squads all spawn exactly this.
+/// One prefetch worker: replays the proposal stream from iteration `start`
+/// to at most `max`, warming its strided share
+/// `{t : (t - 1) ≡ lane (mod lanes)}` of the upcoming proposals, never
+/// speculating more than `depth` past the chain's progress nor past the
+/// committed iteration bound (see [`Pacing`]). The one copy of the
+/// speculation-window protocol — `run_single`, `run_joint`, and the
+/// ensemble's per-chain squads all spawn exactly this.
 pub(crate) fn prefetch_lane<P, S>(
     mut proposal: P,
     mut rng: SmallRng,
-    iterations: u64,
+    start: u64,
+    max: u64,
     window: Lane<'_>,
     mut warm: impl FnMut(S),
 ) where
     P: Proposal<S>,
 {
-    for t in 1..=iterations {
+    for t in start..=max {
         let Some(state) = proposal.propose_iid(&mut rng) else {
             return; // state-dependent proposal: nothing to speculate on
         };
         if (t - 1) % window.lanes == window.lane {
-            while t > window.progress.load(Ordering::Acquire).saturating_add(window.depth) {
+            loop {
+                let committed = window.committed();
+                if t <= committed && t <= window.window_edge() {
+                    break;
+                }
+                if t > committed && window.pacing.done.load(Ordering::Acquire) {
+                    return; // the run stopped before iteration t
+                }
                 std::thread::yield_now();
             }
             warm(state);
         }
+    }
+}
+
+impl Lane<'_> {
+    fn committed(&self) -> u64 {
+        self.pacing.committed.load(Ordering::Acquire)
+    }
+
+    fn window_edge(&self) -> u64 {
+        self.pacing.progress.load(Ordering::Acquire).saturating_add(self.depth)
+    }
+}
+
+/// A consumer of checkpoint file images, called at every segment boundary
+/// (the CLI writes them to disk).
+pub type CheckpointSink<'x> = dyn FnMut(Vec<u8>) -> Result<(), CoreError> + 'x;
+
+/// Runs a checkpointable engine to completion, feeding every segment
+/// boundary's checkpoint to `sink` when one is given.
+fn drive<D: CheckpointDriver>(
+    engine: EstimationEngine<D>,
+    sink: Option<&mut CheckpointSink<'_>>,
+) -> Result<(D::Output, AdaptiveReport), CoreError> {
+    match sink {
+        None => Ok(engine.run()),
+        Some(f) => engine.run_with(|e| f(e.checkpoint())),
     }
 }
 
@@ -237,29 +399,130 @@ pub fn run_single_view(
     config: &SingleSpaceConfig,
     prefetch: &PrefetchConfig,
 ) -> Result<SingleSpaceEstimate, CoreError> {
+    run_single_view_adaptive(view, r, config, EngineConfig::fixed(), prefetch, None)
+        .map(|(est, _)| est)
+}
+
+/// The adaptive entry point of the single-space pipeline: executes through
+/// a segmented [`EstimationEngine`] (so a [`mhbc_mcmc::StoppingRule`] can
+/// end the run early), optionally writing a checkpoint at every segment
+/// boundary, with `prefetch.threads` evaluation threads.
+///
+/// Bit-identity holds in both directions: a `FixedIterations` run equals
+/// the pre-engine pipeline exactly, and an adaptive run's estimates,
+/// stopping point, and `spd_passes` agree across all thread counts —
+/// stopping decisions are pure functions of the observation series, and
+/// workers never warm past the committed iteration bound (the pacing
+/// protocol),
+/// so the cache holds exactly the consumed proposals' rows at every
+/// boundary.
+pub fn run_single_view_adaptive(
+    view: SpdView<'_>,
+    r: Vertex,
+    config: &SingleSpaceConfig,
+    engine_cfg: EngineConfig,
+    prefetch: &PrefetchConfig,
+    sink: Option<&mut CheckpointSink<'_>>,
+) -> Result<(SingleSpaceEstimate, AdaptiveReport), CoreError> {
     let n = validate_single(&view, r, config)?;
     if !prefetch.is_parallel() {
-        return Ok(SingleSpaceSampler::for_view(view, r, config.clone())?.run());
+        let engine = SingleSpaceSampler::for_view(view, r, config.clone())?.into_engine(engine_cfg);
+        return drive(engine, sink);
     }
-    let workers = (prefetch.threads - 1) as u64;
-    let depth = prefetch.depth.max(workers);
     let (initial, prop_rng, acc_rng) = derive_streams(config.seed, config.initial, n);
     let oracle = SharedProbeOracle::for_view(view, &[r]);
-    let pool = SpdWorkspacePool::for_view_workers(view, prefetch.threads);
-    let progress = AtomicU64::new(0);
-    let iterations = config.iterations;
+    parallel_single(
+        view, r, config, engine_cfg, prefetch, sink, &oracle, None, initial, prop_rng, acc_rng, n,
+    )
+}
 
-    let (acc, acceptance_rate) = crossbeam::thread::scope(|scope| {
+/// Resumes a checkpointed single-space run against `view` (same graph,
+/// same preprocess level — validated; any kernel mode) with
+/// `prefetch.threads` evaluation threads. The resumed run is bit-identical
+/// to an uninterrupted one whatever the thread counts on either side of
+/// the checkpoint.
+pub fn resume_single_view(
+    view: SpdView<'_>,
+    bytes: &[u8],
+    prefetch: &PrefetchConfig,
+    sink: Option<&mut CheckpointSink<'_>>,
+) -> Result<(SingleSpaceEstimate, AdaptiveReport), CoreError> {
+    if !prefetch.is_parallel() {
+        let engine = crate::engine::resume_single(view, bytes)?;
+        return drive(engine, sink);
+    }
+    let (state, mut rdr) = open_checkpoint(&view, bytes, CheckpointKind::Single)?;
+    let mut parts = single::decode_single_parts(&view, &mut rdr)?;
+    let oracle = SharedProbeOracle::for_view(view, &[parts.r]);
+    // Hand the decoded rows over without duplicating them (a checkpointed
+    // cache can hold thousands of length-k rows).
+    oracle.restore_cache(std::mem::take(&mut parts.rows), parts.stats);
+    let prop_rng = SmallRng::restore_state(parts.snap.proposal_rng);
+    let acc_rng = SmallRng::restore_state(parts.snap.accept_rng);
+    parallel_single(
+        view,
+        parts.r,
+        &parts.config.clone(),
+        state.config,
+        prefetch,
+        sink,
+        &oracle,
+        Some((parts, state.monitor, state.segments, state.budget)),
+        0,
+        prop_rng,
+        acc_rng,
+        view.num_vertices(),
+    )
+}
+
+/// The shared parallel body of [`run_single_view_adaptive`] and
+/// [`resume_single_view`]: spawns the prefetch squad, then runs the chain
+/// thread through the segmented engine.
+#[allow(clippy::too_many_arguments)]
+fn parallel_single(
+    view: SpdView<'_>,
+    r: Vertex,
+    config: &SingleSpaceConfig,
+    engine_cfg: EngineConfig,
+    prefetch: &PrefetchConfig,
+    sink: Option<&mut CheckpointSink<'_>>,
+    oracle: &SharedProbeOracle<'_>,
+    resume: Option<(single::SingleResumeParts, mhbc_mcmc::DiagnosticsMonitor, u64, u64)>,
+    initial: Vertex,
+    prop_rng: SmallRng,
+    acc_rng: SmallRng,
+    n: usize,
+) -> Result<(SingleSpaceEstimate, AdaptiveReport), CoreError> {
+    let workers = (prefetch.threads - 1) as u64;
+    let depth = prefetch.depth.max(workers);
+    let budget = match &resume {
+        None => config.iterations,
+        Some((_, _, _, budget)) => *budget,
+    };
+    let start = resume.as_ref().map_or(1, |(parts, _, _, _)| parts.acc.iteration() + 1);
+    // Fixed-budget runs commit everything upfront (the historical
+    // behaviour); adaptive runs commit segment by segment.
+    let committed0 = match engine_cfg.stopping {
+        mhbc_mcmc::StoppingRule::FixedIterations => budget,
+        _ => start.saturating_sub(1),
+    };
+    let pacing = Pacing::committed_to(committed0);
+    let pool = SpdWorkspacePool::for_view_workers(view, prefetch.threads);
+    // Workers replay the proposal stream from the chain's current position.
+    let worker_rng = prop_rng.clone();
+
+    let out = crossbeam::thread::scope(|scope| {
         for lane in 0..workers {
-            let wrng = prop_rng.clone();
-            let (oracle, pool, progress) = (&oracle, &pool, &progress);
+            let wrng = worker_rng.clone();
+            let (pool, pacing) = (&pool, &pacing);
             scope.spawn(move |_| {
                 let mut calc = pool.checkout();
                 prefetch_lane(
                     UniformProposal::new(n),
                     wrng,
-                    iterations,
-                    Lane { lane, lanes: workers, depth, progress },
+                    start,
+                    budget,
+                    Lane { lane, lanes: workers, depth, pacing },
                     |v: Vertex| {
                         oracle.warm(v, &mut calc);
                     },
@@ -270,28 +533,63 @@ pub fn run_single_view(
         // The chain thread: identical code path to the sequential sampler,
         // reading densities through the shared (pre-warmed) cache.
         let mut calc = pool.checkout();
-        let oracle_ref = &oracle;
-        let target = fn_target(|v: &Vertex| oracle_ref.dep(*v, 0, &mut calc));
-        let mut chain = MetropolisHastings::with_streams(
-            target,
-            UniformProposal::new(n),
-            initial,
-            prop_rng,
-            acc_rng,
-        );
-        let mut acc = SingleAccumulator::new(config, n);
-        acc.absorb_initial(chain.current_density());
-        let window = Progress(&progress);
-        for t in 1..=iterations {
-            window.advance_to(t);
-            let out = chain.step();
-            acc.absorb(&out);
+        let target = fn_target(|v: &Vertex| oracle.dep(*v, 0, &mut calc));
+        let guard = PacingGuard(&pacing);
+        let (engine, run_config);
+        match resume {
+            None => {
+                let chain = MetropolisHastings::with_streams(
+                    target,
+                    UniformProposal::new(n),
+                    initial,
+                    prop_rng,
+                    acc_rng,
+                );
+                let mut acc = SingleAccumulator::new(config, n);
+                acc.absorb_initial(chain.current_density());
+                run_config = config.clone();
+                let driver = PipelineSingleDriver {
+                    chain,
+                    acc,
+                    burn_in: run_config.burn_in,
+                    n,
+                    pacing: &pacing,
+                    proposal_sum: 0.0,
+                    max_proposed: 0.0,
+                    oracle,
+                    config: &run_config,
+                    r,
+                };
+                engine = EstimationEngine::new(driver, budget, engine_cfg);
+            }
+            Some((parts, monitor, segments, _)) => {
+                let chain =
+                    MetropolisHastings::restore(target, UniformProposal::new(n), parts.snap);
+                run_config = parts.config;
+                let driver = PipelineSingleDriver {
+                    chain,
+                    acc: parts.acc,
+                    burn_in: run_config.burn_in,
+                    n,
+                    pacing: &pacing,
+                    proposal_sum: parts.proposal_sum,
+                    max_proposed: parts.max_proposed,
+                    oracle,
+                    config: &run_config,
+                    r,
+                };
+                engine =
+                    EstimationEngine::with_state(driver, budget, engine_cfg, monitor, segments);
+            }
         }
-        (acc, chain.stats().acceptance_rate())
+        let out = drive(engine, sink);
+        drop(guard);
+        out
     })
     .expect("pipeline threads joined");
 
-    Ok(acc.finish(r, acceptance_rate, oracle.cached_sources() as u64, oracle.stats()))
+    let ((acc, acceptance_rate), report) = out?;
+    Ok((acc.finish(r, acceptance_rate, oracle.cached_sources() as u64, oracle.stats()), report))
 }
 
 /// Runs the joint-space sampler (§4.3) with `prefetch.threads` evaluation
@@ -308,6 +606,14 @@ pub fn run_joint(
 
 /// [`run_joint`] evaluating densities through `view`; every probe must
 /// survive the reduction ([`CoreError::PrunedProbe`] otherwise).
+///
+/// The threaded joint pipeline runs the full fixed budget (adaptive
+/// stopping for probe sets goes through the per-probe
+/// [`crate::schedule::ProbeScheduler`][sched] instead, and the sequential
+/// joint engine — [`JointSpaceSampler::into_engine`] — supports adaptive
+/// rules and checkpointing directly).
+///
+/// [sched]: crate::schedule::run_probe_schedule
 pub fn run_joint_view(
     view: SpdView<'_>,
     probes: &[Vertex],
@@ -323,20 +629,21 @@ pub fn run_joint_view(
     let (initial, prop_rng, acc_rng) = derive_joint_streams(config.seed, config.initial, k, n);
     let oracle = SharedProbeOracle::for_view(view, probes);
     let pool = SpdWorkspacePool::for_view_workers(view, prefetch.threads + 1);
-    let progress = AtomicU64::new(0);
     let iterations = config.iterations;
+    let pacing = Pacing::committed_to(iterations);
 
     let (acc, acceptance_rate) = crossbeam::thread::scope(|scope| {
         for lane in 0..workers {
             let wrng = prop_rng.clone();
-            let (oracle, pool, progress) = (&oracle, &pool, &progress);
+            let (oracle, pool, pacing) = (&oracle, &pool, &pacing);
             scope.spawn(move |_| {
                 let mut calc = pool.checkout();
                 prefetch_lane(
                     JointProposal { k: k as u32, n: n as u32 },
                     wrng,
+                    1,
                     iterations,
-                    Lane { lane, lanes: workers, depth, progress },
+                    Lane { lane, lanes: workers, depth, pacing },
                     |(_, v): JointState| {
                         oracle.warm(v, &mut calc);
                     },
@@ -361,9 +668,9 @@ pub fn run_joint_view(
             oracle_ref.with_deps(v, &mut absorb_calc, |row| acc.absorb(j as usize, row));
         };
         absorb(*chain.state(), &mut acc);
-        let window = Progress(&progress);
+        let guard = PacingGuard(&pacing);
         for t in 1..=iterations {
-            window.advance_to(t);
+            guard.0.progress.store(t, Ordering::Release);
             chain.step();
             absorb(*chain.state(), &mut acc);
         }
@@ -466,6 +773,84 @@ mod tests {
             run_single_view(view, 8, &SingleSpaceConfig::new(10, 0), &PrefetchConfig::sequential()),
             Err(CoreError::PrunedProbe { probe: 8 })
         ));
+    }
+
+    #[test]
+    fn adaptive_pipeline_bit_identical_across_thread_counts() {
+        use mhbc_mcmc::StoppingRule;
+        let g = generators::lollipop(8, 4);
+        let view = SpdView::direct(&g);
+        let config = SingleSpaceConfig::new(200_000, 5);
+        let engine_cfg =
+            EngineConfig::adaptive(StoppingRule::TargetStderr { epsilon: 0.01, delta: 0.05 })
+                .with_segment(512);
+        let (seq, seq_report) = run_single_view_adaptive(
+            view,
+            9,
+            &config,
+            engine_cfg,
+            &PrefetchConfig::sequential(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(seq_report.reason, crate::engine::StopReason::TargetReached);
+        assert!(seq_report.iterations < 200_000);
+        for threads in [2usize, 4] {
+            let (par, par_report) = run_single_view_adaptive(
+                view,
+                9,
+                &config,
+                engine_cfg,
+                &PrefetchConfig::with_threads(threads),
+                None,
+            )
+            .unwrap();
+            // Same stopping point, same estimates, same distinct SPD
+            // passes: workers never warm past the committed bound, so the
+            // early stop cannot inflate the cache.
+            assert_eq!(seq_report.iterations, par_report.iterations, "threads {threads}");
+            assert_eq!(fingerprint(&seq), fingerprint(&par), "threads {threads}");
+            assert_eq!(seq_report.stderr.to_bits(), par_report.stderr.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_resume_matches_uninterrupted_bitwise() {
+        let g = generators::lollipop(8, 4);
+        let view = SpdView::direct(&g);
+        let config = SingleSpaceConfig::new(2_500, 17).with_trace();
+        let seq = SingleSpaceSampler::for_view(view, 9, config.clone()).unwrap().run();
+
+        // Checkpoint mid-run from a *parallel* execution…
+        let engine_cfg = EngineConfig::fixed().with_segment(250);
+        let mut saved: Option<Vec<u8>> = None;
+        let mut count = 0;
+        let mut sink = |bytes: Vec<u8>| {
+            count += 1;
+            if count == 4 {
+                saved = Some(bytes);
+            }
+            Ok(())
+        };
+        let _ = run_single_view_adaptive(
+            view,
+            9,
+            &config,
+            engine_cfg,
+            &PrefetchConfig::with_threads(3),
+            Some(&mut sink),
+        )
+        .unwrap();
+        let bytes = saved.expect("checkpoint captured");
+
+        // …and resume it sequentially and in parallel: all bit-identical.
+        for threads in [1usize, 2, 8] {
+            let (resumed, _) =
+                resume_single_view(view, &bytes, &PrefetchConfig::with_threads(threads), None)
+                    .unwrap();
+            assert_eq!(fingerprint(&seq), fingerprint(&resumed), "threads {threads}");
+            assert_eq!(seq.trace, resumed.trace, "threads {threads}");
+        }
     }
 
     #[test]

@@ -123,6 +123,68 @@ pub fn plan_single_view(
     Ok(Plan { mu, iterations: bounds::required_samples(mu, epsilon, delta), epsilon, delta })
 }
 
+/// The planner's bound refitted from what a chain actually observed — the
+/// "plan vs. actual" line the adaptive engine reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Refit {
+    /// The plug-in concentration constant `µ̂(r)` (clamped to ≥ 1, its
+    /// analytic lower bound).
+    pub mu: f64,
+    /// Ineq 14 re-evaluated at `µ̂(r)`: the budget the planner *would* have
+    /// issued had it known the observed profile.
+    pub iterations: u64,
+    /// The observed integrated autocorrelation time `τ̂` (context: the
+    /// CLT-style `TargetStderr` stop already accounts for it through the
+    /// batch-means variance).
+    pub tau: f64,
+}
+
+/// Refits the Ineq 14 budget from a finished run's observations
+/// ([`crate::AdaptiveReport`]).
+///
+/// # The refit math
+///
+/// The a-priori plan is `T ≥ µ(r)²/(2ε²)·ln(2/δ)` (Ineq 14), where the
+/// concentration constant is
+///
+/// ```text
+/// µ(r) = n · max_v δ_{v•}(r) / Σ_v δ_{v•}(r)        (Ineq 11)
+/// ```
+///
+/// — computable exactly only from the full dependency profile (`n` SPD
+/// passes). But the sampler's *proposal stream* is uniform i.i.d. over
+/// `V(G)` (independence MH), so over `T` proposals,
+///
+/// ```text
+/// mean_t δ(proposal_t)  →  Σ_v δ_v / n      (uniform mean)
+/// max_t  δ(proposal_t)  →  max_v δ_v        (once the support is swept)
+/// ```
+///
+/// and the plug-in `µ̂ = max_t δ(proposal_t) / mean_t δ(proposal_t)`
+/// converges to `µ(r)` from below (the max is reached late, the mean is
+/// unbiased throughout) — a **free** by-product of the run: the proposals'
+/// densities were all evaluated anyway. Re-running Ineq 14 at `µ̂` gives
+/// the budget the planner would have issued with hindsight; comparing it
+/// to the actual adaptive stopping point (which uses the observed
+/// *variance*, not the worst-case bound, and so is usually smaller still)
+/// quantifies how much the a-priori bound overshoots (experiment F3c).
+///
+/// `τ̂` is reported alongside: Ineq 14's constant absorbs the chain's
+/// mixing through the minorisation `λ = 1/µ(r)`, while the CLT view prices
+/// it as `Var · τ̂ / T` — when `τ̂ ≪ µ̂²` the bound is loose and adaptive
+/// stopping wins by roughly that ratio.
+///
+/// Returns `None` when the run observed no positive proposal density
+/// (zero-betweenness probe: `µ(r)` is undefined and no sampling is needed).
+pub fn refit_plan(epsilon: f64, delta: f64, report: &crate::AdaptiveReport) -> Option<Refit> {
+    let mu_hat = report.observed_mu?;
+    if !(mu_hat.is_finite() && mu_hat > 0.0) {
+        return None;
+    }
+    let mu = mu_hat.max(1.0);
+    Some(Refit { mu, iterations: bounds::required_samples(mu, epsilon, delta), tau: report.tau })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +248,44 @@ mod tests {
             plan_single(&g, 99, 0.1, 0.1, MuSource::Provided(2.0)).unwrap_err(),
             PlanError::Core(CoreError::ProbeOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn refit_recovers_mu_from_a_long_run() {
+        use crate::engine::EngineConfig;
+        use crate::{SingleSpaceConfig, SingleSpaceSampler};
+        // Long fixed run on a small graph: the proposal stream sweeps the
+        // whole support, so the plug-in mu approaches the exact one.
+        let g = generators::barbell(6, 1);
+        let r = 6;
+        let exact = plan_single(&g, r, 0.05, 0.05, MuSource::Exact { threads: 1 }).unwrap();
+        let (_, report) = SingleSpaceSampler::new(&g, r, SingleSpaceConfig::new(20_000, 3))
+            .unwrap()
+            .into_engine(EngineConfig::fixed())
+            .run();
+        let refit = refit_plan(0.05, 0.05, &report).expect("positive-BC probe refits");
+        assert!(
+            (refit.mu - exact.mu).abs() / exact.mu < 0.02,
+            "refit mu {} vs exact {}",
+            refit.mu,
+            exact.mu
+        );
+        // Same epsilon/delta, near-equal mu: near-equal budgets.
+        let ratio = refit.iterations as f64 / exact.iterations as f64;
+        assert!((0.9..1.1).contains(&ratio), "budget ratio {ratio}");
+        assert!(refit.tau.is_finite() && refit.tau >= 1.0);
+    }
+
+    #[test]
+    fn refit_is_none_for_zero_betweenness_probes() {
+        use crate::engine::EngineConfig;
+        use crate::{SingleSpaceConfig, SingleSpaceSampler};
+        let g = generators::star(10);
+        let (_, report) = SingleSpaceSampler::new(&g, 3, SingleSpaceConfig::new(500, 1))
+            .unwrap()
+            .into_engine(EngineConfig::fixed())
+            .run();
+        assert!(refit_plan(0.05, 0.05, &report).is_none());
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The single-space MCMC sampler (§4.2).
 
+use crate::checkpoint::{CheckpointKind, Reader, Writer};
+use crate::engine::{CheckpointDriver, EngineConfig, EngineDriver, EstimationEngine};
 use crate::oracle::{OracleStats, ProbeOracle};
 use crate::CoreError;
 use mhbc_graph::{CsrGraph, Vertex};
-use mhbc_mcmc::{MetropolisHastings, StepOutcome, TargetDensity, UniformProposal};
+use mhbc_mcmc::{ChainSnapshot, MetropolisHastings, StepOutcome, TargetDensity, UniformProposal};
 use mhbc_spd::SpdView;
 use rand::rngs::SmallRng;
 
@@ -209,6 +211,10 @@ impl SingleAccumulator {
         self.iteration
     }
 
+    pub(crate) fn counted(&self) -> u64 {
+        self.counted
+    }
+
     pub(crate) fn estimate(&self) -> f64 {
         if self.counted == 0 {
             return 0.0;
@@ -335,8 +341,7 @@ impl<'g> SingleSpaceSampler<'g> {
 
     /// Performs one MH iteration and updates the estimator.
     pub fn step(&mut self) -> SingleStepInfo {
-        let out = self.chain.step();
-        self.acc.absorb(&out);
+        let out = self.step_raw();
         SingleStepInfo {
             iteration: self.acc.iteration(),
             accepted: out.accepted,
@@ -344,12 +349,29 @@ impl<'g> SingleSpaceSampler<'g> {
         }
     }
 
+    /// One MH iteration, exposing the raw chain outcome (the engine driver
+    /// needs the occupied-state and proposal densities).
+    pub(crate) fn step_raw(&mut self) -> StepOutcome {
+        let out = self.chain.step();
+        self.acc.absorb(&out);
+        out
+    }
+
     /// Runs the configured number of iterations and finalises.
-    pub fn run(mut self) -> SingleSpaceEstimate {
-        for _ in self.acc.iteration()..self.config.iterations {
-            self.step();
-        }
-        self.finish()
+    ///
+    /// Since the engine refactor this is a thin configuration of
+    /// [`EstimationEngine`] with [`mhbc_mcmc::StoppingRule::FixedIterations`] —
+    /// bit-identical to the historical run-to-completion loop.
+    pub fn run(self) -> SingleSpaceEstimate {
+        self.into_engine(EngineConfig::fixed()).run().0
+    }
+
+    /// Wraps the sampler in a segmented [`EstimationEngine`] for adaptive
+    /// stopping and checkpointing; the iteration count in the sampler's
+    /// config becomes the engine's budget (upper bound).
+    pub fn into_engine(self, engine: EngineConfig) -> EstimationEngine<SingleDriver<'g>> {
+        let budget = self.config.iterations;
+        EstimationEngine::new(SingleDriver::new(self), budget, engine)
     }
 
     /// Finalises early (fewer than `config.iterations` steps).
@@ -357,6 +379,319 @@ impl<'g> SingleSpaceSampler<'g> {
         let acceptance_rate = self.chain.stats().acceptance_rate();
         let target = self.chain.into_target();
         self.acc.finish(self.r, acceptance_rate, target.oracle.spd_passes(), target.oracle.stats())
+    }
+}
+
+impl SingleAccumulator {
+    fn save_into(&self, w: &mut Writer) {
+        w.u64(self.iteration);
+        w.f64(self.sum_delta);
+        w.u64(self.counted);
+        w.u64(self.proposals_support);
+        w.f64(self.inv_delta_sum);
+        w.u64(self.support_counted);
+        w.f64s(&self.trace);
+        w.f64s(&self.density_series);
+    }
+
+    fn restore_from(
+        config: &SingleSpaceConfig,
+        n: usize,
+        r: &mut Reader<'_>,
+    ) -> Result<Self, CoreError> {
+        let mut acc = SingleAccumulator::new(config, n);
+        acc.iteration = r.u64()?;
+        acc.sum_delta = r.f64()?;
+        acc.counted = r.u64()?;
+        acc.proposals_support = r.u64()?;
+        acc.inv_delta_sum = r.f64()?;
+        acc.support_counted = r.u64()?;
+        acc.trace = r.f64s()?;
+        acc.density_series = r.f64s()?;
+        Ok(acc)
+    }
+}
+
+fn save_config(w: &mut Writer, config: &SingleSpaceConfig) {
+    w.u64(config.iterations);
+    w.u64(config.seed);
+    w.u64(config.burn_in);
+    w.u8(config.count_rejections as u8);
+    w.u8(config.record_trace as u8);
+}
+
+fn restore_config(r: &mut Reader<'_>) -> Result<SingleSpaceConfig, CoreError> {
+    let mut config = SingleSpaceConfig::new(r.u64()?, r.u64()?);
+    config.burn_in = r.u64()?;
+    config.count_rejections = r.u8()? != 0;
+    config.record_trace = r.u8()? != 0;
+    Ok(config)
+}
+
+pub(crate) fn save_chain_snapshot(w: &mut Writer, snap: &ChainSnapshot<Vertex>) {
+    w.u32(snap.state);
+    w.f64(snap.density);
+    w.u64(snap.stats.steps);
+    w.u64(snap.stats.accepted);
+    for x in snap.proposal_rng.iter().chain(&snap.accept_rng) {
+        w.u64(*x);
+    }
+}
+
+pub(crate) fn restore_chain_snapshot(
+    r: &mut Reader<'_>,
+) -> Result<ChainSnapshot<Vertex>, CoreError> {
+    let state = r.u32()?;
+    let density = r.f64()?;
+    let stats = mhbc_mcmc::ChainStats { steps: r.u64()?, accepted: r.u64()? };
+    let mut words = [0u64; 8];
+    for x in &mut words {
+        *x = r.u64()?;
+    }
+    Ok(ChainSnapshot {
+        state,
+        density,
+        stats,
+        proposal_rng: words[..4].try_into().expect("4 words"),
+        accept_rng: words[4..].try_into().expect("4 words"),
+    })
+}
+
+pub(crate) fn save_oracle(
+    w: &mut Writer,
+    passes: u64,
+    stats: OracleStats,
+    rows: Vec<(u64, Vec<f64>)>,
+) {
+    w.u64(passes);
+    w.u64(stats.hits);
+    w.u64(stats.misses);
+    w.u64(rows.len() as u64);
+    for (key, row) in rows {
+        w.u64(key);
+        w.f64s(&row);
+    }
+}
+
+/// Decoded oracle state: `(SPD passes, stats, cached rows)`.
+pub(crate) type OracleSnapshot = (u64, OracleStats, Vec<(u64, Vec<f64>)>);
+
+pub(crate) fn restore_oracle(r: &mut Reader<'_>) -> Result<OracleSnapshot, CoreError> {
+    let passes = r.u64()?;
+    let stats = OracleStats { hits: r.u64()?, misses: r.u64()? };
+    let n = r.u64()? as usize;
+    if n > r.remaining() / 16 {
+        return Err(crate::checkpoint::corrupt("row table longer than the checkpoint"));
+    }
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.u64()?;
+        rows.push((key, r.f64s()?));
+    }
+    Ok((passes, stats, rows))
+}
+
+/// [`EngineDriver`] for the sequential single-space sampler: the thin
+/// configuration layer that turns [`SingleSpaceSampler`] into an
+/// [`EstimationEngine`] workload. Also tracks the observed proposal-stream
+/// maximum and mean for the planner's `µ(r)` refit (the proposals are
+/// uniform i.i.d. draws, so `max/mean` is a plug-in for `n·max δ / Σ δ`).
+pub struct SingleDriver<'g> {
+    sampler: SingleSpaceSampler<'g>,
+    proposal_sum: f64,
+    max_proposed: f64,
+}
+
+impl<'g> SingleDriver<'g> {
+    pub(crate) fn new(sampler: SingleSpaceSampler<'g>) -> Self {
+        SingleDriver { sampler, proposal_sum: 0.0, max_proposed: 0.0 }
+    }
+
+    /// The wrapped sampler's probe vertex.
+    pub fn probe(&self) -> Vertex {
+        self.sampler.r
+    }
+
+    /// The wrapped sampler's configuration.
+    pub fn sampler_config(&self) -> &SingleSpaceConfig {
+        &self.sampler.config
+    }
+
+    /// Current Eq 7 estimate.
+    pub fn estimate(&self) -> f64 {
+        self.sampler.acc.estimate()
+    }
+
+    /// Current support-corrected estimate.
+    pub fn estimate_corrected(&self) -> f64 {
+        self.sampler.acc.estimate_corrected()
+    }
+}
+
+impl EngineDriver for SingleDriver<'_> {
+    type Output = SingleSpaceEstimate;
+
+    fn prime(&mut self, out: &mut Vec<f64>) {
+        // Mirror `absorb_initial`: a fresh, unburnt sampler counted the
+        // initial state's density as sample 0.
+        if self.sampler.acc.iteration() == 0 && self.sampler.acc.counted == 1 {
+            out.push(self.sampler.chain.current_density());
+        }
+    }
+
+    fn run_segment(&mut self, iters: u64, out: &mut Vec<f64>) {
+        let burn_in = self.sampler.config.burn_in;
+        for _ in 0..iters {
+            let o = self.sampler.step_raw();
+            self.proposal_sum += o.proposed_density;
+            if o.proposed_density > self.max_proposed {
+                self.max_proposed = o.proposed_density;
+            }
+            if self.sampler.acc.iteration() > burn_in {
+                out.push(o.density);
+            }
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        self.sampler.acc.iteration()
+    }
+
+    fn scale(&self) -> f64 {
+        self.sampler.acc.n as f64 - 1.0
+    }
+
+    fn observed_mu(&self) -> Option<f64> {
+        let t = self.sampler.acc.iteration();
+        if t == 0 || self.proposal_sum <= 0.0 {
+            return None;
+        }
+        Some(self.max_proposed / (self.proposal_sum / t as f64))
+    }
+
+    fn finish(self) -> SingleSpaceEstimate {
+        self.sampler.finish()
+    }
+}
+
+impl CheckpointDriver for SingleDriver<'_> {
+    fn kind(&self) -> CheckpointKind {
+        CheckpointKind::Single
+    }
+
+    fn view(&self) -> SpdView<'_> {
+        self.sampler.chain.target().oracle.view()
+    }
+
+    fn save(&self, w: &mut Writer) {
+        let s = &self.sampler;
+        let oracle = &s.chain.target().oracle;
+        save_single_payload(
+            w,
+            s.r,
+            &s.config,
+            &s.chain.snapshot(),
+            &s.acc,
+            self.proposal_sum,
+            self.max_proposed,
+            oracle.spd_passes(),
+            oracle.stats(),
+            oracle.snapshot_rows(),
+        );
+    }
+}
+
+/// Serialises a single-space payload — shared by the sequential driver and
+/// the pipeline's parallel chain-thread driver, which must write
+/// interchangeable checkpoints.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn save_single_payload(
+    w: &mut Writer,
+    r: Vertex,
+    config: &SingleSpaceConfig,
+    snap: &ChainSnapshot<Vertex>,
+    acc: &SingleAccumulator,
+    proposal_sum: f64,
+    max_proposed: f64,
+    passes: u64,
+    stats: OracleStats,
+    rows: Vec<(u64, Vec<f64>)>,
+) {
+    w.u32(r);
+    save_config(w, config);
+    save_chain_snapshot(w, snap);
+    acc.save_into(w);
+    w.f64(proposal_sum);
+    w.f64(max_proposed);
+    save_oracle(w, passes, stats, rows);
+}
+
+/// Decoded single-space payload: everything either execution mode
+/// (sequential sampler or parallel pipeline) needs to resume.
+pub(crate) struct SingleResumeParts {
+    pub(crate) r: Vertex,
+    pub(crate) config: SingleSpaceConfig,
+    pub(crate) n: usize,
+    pub(crate) snap: ChainSnapshot<Vertex>,
+    pub(crate) acc: SingleAccumulator,
+    pub(crate) proposal_sum: f64,
+    pub(crate) max_proposed: f64,
+    pub(crate) passes: u64,
+    pub(crate) stats: OracleStats,
+    pub(crate) rows: Vec<(u64, Vec<f64>)>,
+}
+
+pub(crate) fn decode_single_parts(
+    view: &SpdView<'_>,
+    r: &mut Reader<'_>,
+) -> Result<SingleResumeParts, CoreError> {
+    let probe = r.u32()?;
+    let config = restore_config(r)?;
+    let n = crate::pipeline::validate_single(view, probe, &config)?;
+    let snap = restore_chain_snapshot(r)?;
+    if (snap.state as usize) >= n {
+        return Err(crate::checkpoint::corrupt("chain state out of range"));
+    }
+    let acc = SingleAccumulator::restore_from(&config, n, r)?;
+    let proposal_sum = r.f64()?;
+    let max_proposed = r.f64()?;
+    let (passes, stats, rows) = restore_oracle(r)?;
+    Ok(SingleResumeParts {
+        r: probe,
+        config,
+        n,
+        snap,
+        acc,
+        proposal_sum,
+        max_proposed,
+        passes,
+        stats,
+        rows,
+    })
+}
+
+impl<'g> SingleDriver<'g> {
+    /// Rebuilds a driver from a checkpoint payload against `view`
+    /// (validated by the caller). Nothing is re-evaluated: the chain's
+    /// cached density, the accumulators, and the memoised rows come back
+    /// verbatim, so the resumed run is bit-identical to an uninterrupted
+    /// one.
+    pub(crate) fn restore_from(view: SpdView<'g>, r: &mut Reader<'_>) -> Result<Self, CoreError> {
+        let parts = decode_single_parts(&view, r)?;
+        let mut oracle = ProbeOracle::for_view(view, &[parts.r]);
+        oracle.restore_cache(parts.rows, parts.stats, parts.passes);
+        let chain = MetropolisHastings::restore(
+            SingleTarget { oracle },
+            UniformProposal::new(parts.n),
+            parts.snap,
+        );
+        let sampler =
+            SingleSpaceSampler { chain, r: parts.r, config: parts.config, acc: parts.acc };
+        Ok(SingleDriver {
+            sampler,
+            proposal_sum: parts.proposal_sum,
+            max_proposed: parts.max_proposed,
+        })
     }
 }
 

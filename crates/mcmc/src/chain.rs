@@ -1,6 +1,6 @@
 //! The Metropolis–Hastings chain runner.
 
-use crate::{Proposal, StreamSplit};
+use crate::{Proposal, RngSnapshot, StreamSplit};
 use rand::{Rng, RngExt};
 
 /// An unnormalised target density `f(x) ∝ P[x]`.
@@ -53,6 +53,30 @@ impl ChainStats {
             self.accepted as f64 / self.steps as f64
         }
     }
+}
+
+/// The full resumable state of a [`MetropolisHastings`] chain: current
+/// state and its cached density, acceptance counters, and both RNG stream
+/// states. Everything *except* the target (whose memoisation caches are
+/// checkpointed separately by the caller — they are a performance artifact,
+/// not chain state) and the proposal (stateless for the samplers here).
+///
+/// [`MetropolisHastings::restore`] rebuilds a chain from a snapshot
+/// **without re-evaluating the density**, so a resumed chain is
+/// bit-identical to an uninterrupted one — including the exact sequence of
+/// proposal and acceptance draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainSnapshot<S> {
+    /// The chain's current state.
+    pub state: S,
+    /// Cached density of `state` (restored verbatim; never re-evaluated).
+    pub density: f64,
+    /// Acceptance counters.
+    pub stats: ChainStats,
+    /// Saved proposal-stream generator state.
+    pub proposal_rng: [u64; 4],
+    /// Saved acceptance-stream generator state.
+    pub accept_rng: [u64; 4],
 }
 
 /// Outcome of a single MH step.
@@ -149,6 +173,39 @@ where
             current: initial,
             current_density,
             stats: ChainStats::default(),
+        }
+    }
+
+    /// Captures the chain's full resumable state (see [`ChainSnapshot`]).
+    pub fn snapshot(&self) -> ChainSnapshot<T::State>
+    where
+        R: RngSnapshot,
+    {
+        ChainSnapshot {
+            state: self.current.clone(),
+            density: self.current_density,
+            stats: self.stats.clone(),
+            proposal_rng: self.proposal_rng.save_state(),
+            accept_rng: self.accept_rng.save_state(),
+        }
+    }
+
+    /// Rebuilds a chain from a [`ChainSnapshot`] **without evaluating the
+    /// density** (the snapshot's cached value is restored verbatim), so the
+    /// resumed chain's draw sequence, acceptance decisions, and target-side
+    /// evaluation counts continue exactly where the snapshot left off.
+    pub fn restore(target: T, proposal: P, snapshot: ChainSnapshot<T::State>) -> Self
+    where
+        R: RngSnapshot,
+    {
+        MetropolisHastings {
+            target,
+            proposal,
+            proposal_rng: R::restore_state(snapshot.proposal_rng),
+            accept_rng: R::restore_state(snapshot.accept_rng),
+            current: snapshot.state,
+            current_density: snapshot.density,
+            stats: snapshot.stats,
         }
     }
 
@@ -376,6 +433,44 @@ mod tests {
         // record() evaluates the initial state first, then one proposal per
         // step — so the recorded tail equals the replayed stream.
         assert_eq!(&record(0.0)[1..], &replayed[..]);
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_to_uninterrupted() {
+        let weights = [1.0f64, 3.0, 2.0, 5.0, 0.5];
+        let mk_target = || fn_target(|x: &u32| weights[*x as usize]);
+        let mut full = MetropolisHastings::new(
+            mk_target(),
+            UniformProposal::new(5),
+            0u32,
+            SmallRng::seed_from_u64(33),
+        );
+        let mut half = MetropolisHastings::new(
+            mk_target(),
+            UniformProposal::new(5),
+            0u32,
+            SmallRng::seed_from_u64(33),
+        );
+        for _ in 0..120 {
+            half.step();
+        }
+        let snap = half.snapshot();
+        let mut resumed: MetropolisHastings<_, _, SmallRng> =
+            MetropolisHastings::restore(mk_target(), UniformProposal::new(5), snap);
+        let uninterrupted: Vec<(bool, u32, u64)> = (0..240)
+            .map(|_| {
+                let o = full.step();
+                (o.accepted, *full.state(), o.density.to_bits())
+            })
+            .collect();
+        let resumed_tail: Vec<(bool, u32, u64)> = (0..120)
+            .map(|_| {
+                let o = resumed.step();
+                (o.accepted, *resumed.state(), o.density.to_bits())
+            })
+            .collect();
+        assert_eq!(&uninterrupted[120..], &resumed_tail[..]);
+        assert_eq!(full.stats(), resumed.stats());
     }
 
     #[test]

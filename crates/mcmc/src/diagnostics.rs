@@ -38,18 +38,38 @@ impl RunningMoments {
         self.mean
     }
 
-    /// Unbiased sample variance (0 with < 2 observations).
+    /// Unbiased sample variance.
+    ///
+    /// With fewer than two observations the sample variance is
+    /// **undefined**, and this returns a clean `f64::NAN` (it used to
+    /// return 0, silently conflating "no evidence" with "zero spread" —
+    /// a zero that e.g. a stopping rule would happily treat as converged).
+    /// `NaN` propagates through every comparison as `false`, so degenerate
+    /// inputs can never satisfy a threshold by accident.
     pub fn variance(&self) -> f64 {
         if self.count < 2 {
-            0.0
+            f64::NAN
         } else {
             self.m2 / (self.count - 1) as f64
         }
     }
 
-    /// Sample standard deviation.
+    /// Sample standard deviation (`NaN` with < 2 observations, like
+    /// [`RunningMoments::variance`]).
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
+    }
+
+    /// The accumulator's raw state `(count, mean bits, m2 bits)` — the
+    /// exact Welford registers, for bit-faithful checkpointing.
+    pub fn to_raw(&self) -> (u64, u64, u64) {
+        (self.count, self.mean.to_bits(), self.m2.to_bits())
+    }
+
+    /// Rebuilds an accumulator from [`RunningMoments::to_raw`] output;
+    /// future pushes continue the exact Welford recursion.
+    pub fn from_raw(raw: (u64, u64, u64)) -> Self {
+        RunningMoments { count: raw.0, mean: f64::from_bits(raw.1), m2: f64::from_bits(raw.2) }
     }
 }
 
@@ -105,11 +125,18 @@ pub fn effective_sample_size(series: &[f64]) -> f64 {
 /// Geweke convergence z-score comparing the mean of the first
 /// `first_frac` of the series against the last `last_frac` (classically 0.1
 /// and 0.5). |z| ≲ 2 is consistent with stationarity.
+///
+/// Degenerate inputs return a clean `f64::NAN` (they used to return 0 — a
+/// value indistinguishable from "perfectly stationary"): a series shorter
+/// than 10 observations has no meaningful windows, and zero-variance
+/// windows make the z denominator 0, so the score is undefined rather than
+/// reassuring. `NaN` fails every `|z| < threshold` comparison, which is the
+/// safe default for a convergence check.
 pub fn geweke_z(series: &[f64], first_frac: f64, last_frac: f64) -> f64 {
     assert!(first_frac > 0.0 && last_frac > 0.0 && first_frac + last_frac <= 1.0);
     let n = series.len();
     if n < 10 {
-        return 0.0;
+        return f64::NAN;
     }
     let na = ((n as f64 * first_frac) as usize).max(2);
     let nb = ((n as f64 * last_frac) as usize).max(2);
@@ -124,7 +151,7 @@ pub fn geweke_z(series: &[f64], first_frac: f64, last_frac: f64) -> f64 {
     }
     let se = (ma.variance() / na as f64 + mb.variance() / nb as f64).sqrt();
     if se == 0.0 {
-        0.0
+        f64::NAN
     } else {
         (ma.mean() - mb.mean()) / se
     }
@@ -167,13 +194,46 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_single_moments() {
+    fn empty_and_single_moments_have_undefined_variance() {
         let mut m = RunningMoments::new();
         assert_eq!(m.mean(), 0.0);
-        assert_eq!(m.variance(), 0.0);
+        assert!(m.variance().is_nan(), "variance of 0 observations is undefined");
+        assert!(m.std_dev().is_nan());
         m.push(3.0);
         assert_eq!(m.mean(), 3.0);
-        assert_eq!(m.variance(), 0.0);
+        assert!(m.variance().is_nan(), "variance of 1 observation is undefined");
+        m.push(3.0);
+        assert_eq!(m.variance(), 0.0, "two equal observations have zero variance, not NaN");
+    }
+
+    #[test]
+    fn moments_raw_roundtrip_is_bit_exact() {
+        let mut m = RunningMoments::new();
+        for x in [0.25, -1.5, 3.75, 0.1, 9.0] {
+            m.push(x);
+        }
+        let mut r = RunningMoments::from_raw(m.to_raw());
+        assert_eq!(m.count(), r.count());
+        assert_eq!(m.mean().to_bits(), r.mean().to_bits());
+        assert_eq!(m.variance().to_bits(), r.variance().to_bits());
+        // Continued pushes agree bit for bit.
+        m.push(0.7);
+        r.push(0.7);
+        assert_eq!(m.mean().to_bits(), r.mean().to_bits());
+        assert_eq!(m.variance().to_bits(), r.variance().to_bits());
+    }
+
+    #[test]
+    fn geweke_degenerate_inputs_are_nan() {
+        // Too short for meaningful windows.
+        assert!(geweke_z(&[1.0; 9], 0.1, 0.5).is_nan());
+        // Zero-variance slices: the z denominator is 0, score undefined.
+        assert!(geweke_z(&[2.0; 100], 0.1, 0.5).is_nan());
+        // A NaN score fails any "is it converged" comparison — the safe
+        // direction for a stopping rule.
+        let z = geweke_z(&[2.0; 100], 0.1, 0.5);
+        let converged = z.abs() < 2.0;
+        assert!(!converged);
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //! - [`diagnostics`] — acceptance statistics, running moments,
 //!   autocorrelation / integrated autocorrelation time, effective sample
 //!   size, Geweke z-scores, batch-means standard errors.
+//! - [`monitor`] — the *streaming* counterpart: [`DiagnosticsMonitor`]
+//!   computes ESS, Geweke drift, and batch-means standard errors
+//!   incrementally (bounded memory, no trace rescans), and
+//!   [`StoppingRule`] turns them into the continue/stop decisions of the
+//!   adaptive estimation engine in `mhbc-core`.
+//! - [`ChainSnapshot`] / [`RngSnapshot`] — bit-exact chain state export,
+//!   the foundation of `mhbc-core`'s checkpoint/resume.
 //! - [`bounds`] — the MCMC Hoeffding tail of Łatuszyński et al. (Ineq 9),
 //!   the sample-size planner (Ineq 14 / 27), and its inverse.
 //!
@@ -48,9 +55,13 @@
 pub mod bounds;
 mod chain;
 pub mod diagnostics;
+pub mod monitor;
 mod proposal;
 mod stream;
 
-pub use chain::{fn_target, ChainStats, FnTarget, MetropolisHastings, StepOutcome, TargetDensity};
+pub use chain::{
+    fn_target, ChainSnapshot, ChainStats, FnTarget, MetropolisHastings, StepOutcome, TargetDensity,
+};
+pub use monitor::{DiagnosticsMonitor, StoppingRule};
 pub use proposal::{Proposal, UniformProposal, WeightedProposal};
-pub use stream::StreamSplit;
+pub use stream::{RngSnapshot, StreamSplit};

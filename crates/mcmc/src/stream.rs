@@ -38,6 +38,32 @@ impl StreamSplit for SmallRng {
     }
 }
 
+/// Generators whose full internal state can be captured and restored —
+/// the property the checkpoint/resume machinery needs to make a resumed
+/// chain continue the *exact* draw sequence of an uninterrupted run.
+///
+/// The saved form is four 64-bit words (xoshiro256++-sized; smaller
+/// generators may pad with zeros). Restoring must be exact:
+/// `R::restore_state(r.save_state())` produces a generator whose future
+/// output is bit-identical to `r`'s.
+pub trait RngSnapshot: Sized {
+    /// Captures the generator's full internal state.
+    fn save_state(&self) -> [u64; 4];
+
+    /// Rebuilds a generator that continues the captured stream exactly.
+    fn restore_state(state: [u64; 4]) -> Self;
+}
+
+impl RngSnapshot for SmallRng {
+    fn save_state(&self) -> [u64; 4] {
+        self.state()
+    }
+
+    fn restore_state(state: [u64; 4]) -> Self {
+        SmallRng::from_state(state)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +80,19 @@ mod tests {
             assert_eq!(ca.random::<u64>(), cb.random::<u64>());
             assert_eq!(a.random::<u64>(), b.random::<u64>());
         }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_the_stream() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let _ = rng.random::<u64>();
+        }
+        let saved = rng.save_state();
+        let tail: Vec<u64> = (0..16).map(|_| rng.random()).collect();
+        let mut restored = SmallRng::restore_state(saved);
+        let replay: Vec<u64> = (0..16).map(|_| restored.random()).collect();
+        assert_eq!(tail, replay);
     }
 
     #[test]

@@ -198,6 +198,25 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's full internal state (four xoshiro256++ words).
+        ///
+        /// Together with [`SmallRng::from_state`] this makes the stream
+        /// checkpointable: a generator rebuilt from a saved state continues
+        /// the exact draw sequence. Shim-only API (the upstream crate keeps
+        /// its state private); the `mhbc` checkpoint layer is the only
+        /// consumer, via `mhbc_mcmc::RngSnapshot`.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`SmallRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl Rng for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let [s0, s1, s2, s3] = self.s;

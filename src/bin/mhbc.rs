@@ -22,7 +22,8 @@ fn main() {
     let path = match &cmd {
         cli::Command::Estimate { path, .. }
         | cli::Command::Rank { path, .. }
-        | cli::Command::Plan { path, .. } => path.clone(),
+        | cli::Command::Plan { path, .. }
+        | cli::Command::Resume { path, .. } => path.clone(),
     };
     let file = match File::open(&path) {
         Ok(f) => f,

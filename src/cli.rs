@@ -1,8 +1,13 @@
 //! Library half of the `mhbc` command-line tool: argument parsing and
 //! command execution, kept binary-free so the logic is unit-testable.
 
-use mhbc_core::planner::{plan_single_view, MuSource};
-use mhbc_core::{pipeline, JointSpaceConfig, PrefetchConfig, SingleSpaceConfig};
+use mhbc_core::checkpoint::{self, CheckpointKind};
+use mhbc_core::planner::{plan_single_view, refit_plan, MuSource};
+use mhbc_core::schedule::{run_probe_schedule, ScheduleConfig};
+use mhbc_core::{
+    pipeline, AdaptiveReport, EngineConfig, JointSpaceConfig, JointSpaceSampler, PrefetchConfig,
+    SingleSpaceConfig, StopReason, StoppingRule,
+};
 use mhbc_graph::reduce::{reduce, ReduceLevel, ReducedGraph};
 use mhbc_graph::{algo, io, CsrGraph, Vertex};
 use mhbc_spd::{KernelMode, SpdView};
@@ -45,6 +50,46 @@ impl PreprocessChoice {
     }
 }
 
+/// Adaptive-estimation knobs shared by `estimate`, `rank`, and `resume`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveArgs {
+    /// `--target-se`: stop when the estimate's confidence half-width drops
+    /// to this value (`None` = fixed budget).
+    pub target_se: Option<f64>,
+    /// `--target-delta`: the confidence level's failure probability.
+    pub target_delta: f64,
+    /// `--segment`: iterations per engine segment.
+    pub segment: u64,
+    /// `--checkpoint`: write a resumable checkpoint here at every segment
+    /// boundary.
+    pub checkpoint: Option<String>,
+}
+
+impl Default for AdaptiveArgs {
+    fn default() -> Self {
+        AdaptiveArgs {
+            target_se: None,
+            target_delta: 0.05,
+            segment: EngineConfig::DEFAULT_SEGMENT,
+            checkpoint: None,
+        }
+    }
+}
+
+impl AdaptiveArgs {
+    /// The stopping rule these arguments select.
+    fn stopping(&self) -> StoppingRule {
+        match self.target_se {
+            None => StoppingRule::FixedIterations,
+            Some(epsilon) => StoppingRule::TargetStderr { epsilon, delta: self.target_delta },
+        }
+    }
+
+    fn engine(&self) -> EngineConfig {
+        EngineConfig::adaptive(self.stopping()).with_segment(self.segment)
+    }
+}
+
 /// Parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -59,6 +104,7 @@ pub enum Command {
         prefetch_depth: u64,
         preprocess: PreprocessChoice,
         kernel: KernelMode,
+        adaptive: AdaptiveArgs,
     },
     /// Relative ranking of several vertices: `rank <edge-list> <v1,v2,...>`.
     Rank {
@@ -70,6 +116,7 @@ pub enum Command {
         prefetch_depth: u64,
         preprocess: PreprocessChoice,
         kernel: KernelMode,
+        adaptive: AdaptiveArgs,
     },
     /// Plan an (epsilon, delta) budget: `plan <edge-list> <vertex> <eps> <delta>`.
     Plan {
@@ -80,13 +127,25 @@ pub enum Command {
         preprocess: PreprocessChoice,
         kernel: KernelMode,
     },
+    /// Continue a checkpointed run: `resume <edge-list> <checkpoint>`.
+    Resume {
+        path: String,
+        checkpoint_path: String,
+        threads: usize,
+        prefetch_depth: u64,
+        kernel: KernelMode,
+        /// Where to keep writing checkpoints (defaults to continuing over
+        /// the checkpoint file being resumed).
+        checkpoint: Option<String>,
+    },
 }
 
 /// CLI usage string.
 pub const USAGE: &str = "usage:
-  mhbc estimate <edge-list> <vertex> [--iters N] [--seed S] [--exact] [--threads T] [--prefetch K] [--preprocess L] [--kernel M]
-  mhbc rank     <edge-list> <v1,v2,...> [--iters N] [--seed S] [--threads T] [--prefetch K] [--preprocess L] [--kernel M]
+  mhbc estimate <edge-list> <vertex> [--iters N] [--seed S] [--exact] [--threads T] [--prefetch K] [--preprocess L] [--kernel M] [--target-se E] [--target-delta D] [--segment B] [--checkpoint F]
+  mhbc rank     <edge-list> <v1,v2,...> [--iters N] [--seed S] [--threads T] [--prefetch K] [--preprocess L] [--kernel M] [--target-se E] [--target-delta D] [--segment B] [--checkpoint F]
   mhbc plan     <edge-list> <vertex> <epsilon> <delta> [--preprocess L] [--kernel M]
+  mhbc resume   <edge-list> <checkpoint> [--threads T] [--prefetch K] [--kernel M] [--checkpoint F]
 
 Edge lists are whitespace-separated `u v [w]` lines; `#`/`%` comments allowed.
 --threads T      total density-evaluation threads (default 1 = sequential;
@@ -103,7 +162,22 @@ Edge lists are whitespace-separated `u v [w]` lines; `#`/`%` comments allowed.
 --kernel M       SPD forward-pass strategy: auto (default), topdown, or
                  hybrid (direction-optimizing top-down/bottom-up BFS). All
                  modes produce bit-identical estimates; this is purely a
-                 performance knob.";
+                 performance knob.
+--target-se E    adaptive stopping: run until the estimate's confidence
+                 half-width drops to E (at confidence 1 - delta), instead
+                 of spending the full --iters budget (--iters stays the
+                 upper bound). `rank` with --target-se switches to per-probe
+                 single-space estimation with widest-interval-first budget
+                 scheduling.
+--target-delta D confidence failure probability for --target-se
+                 (default 0.05 = 95% intervals).
+--segment B      engine segment length: iterations between diagnostics
+                 updates, stopping decisions, and checkpoints (default 1024).
+--checkpoint F   write a resumable checkpoint to F at every segment
+                 boundary (estimate at any thread count; rank needs
+                 --threads 1). `mhbc resume <edge-list> F` continues the
+                 run bit-identically — same estimates, same stopping point,
+                 as if it had never been interrupted.";
 
 /// Parses `args` (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, String> {
@@ -115,9 +189,46 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut prefetch_depth = PrefetchConfig::DEFAULT_DEPTH;
     let mut preprocess = PreprocessChoice::Level(ReduceLevel::Off);
     let mut kernel = KernelMode::Auto;
+    let mut adaptive = AdaptiveArgs::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--target-se" => {
+                i += 1;
+                adaptive.target_se = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&e: &f64| e > 0.0 && e.is_finite())
+                        .ok_or_else(|| "missing/invalid value for --target-se".to_string())?,
+                );
+            }
+            "--target-delta" => {
+                i += 1;
+                adaptive.target_delta = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&d: &f64| d > 0.0 && d < 1.0)
+                    .ok_or_else(|| {
+                        "missing/invalid value for --target-delta (need 0 < d < 1)".to_string()
+                    })?;
+            }
+            "--segment" => {
+                i += 1;
+                adaptive.segment = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&b| b > 0)
+                    .ok_or_else(|| "missing/invalid value for --segment".to_string())?;
+            }
+            "--checkpoint" => {
+                i += 1;
+                adaptive.checkpoint = Some(
+                    args.get(i)
+                        .filter(|s| !s.starts_with("--"))
+                        .ok_or_else(|| "missing value for --checkpoint".to_string())?
+                        .to_string(),
+                );
+            }
             "--iters" => {
                 i += 1;
                 iterations = args
@@ -180,6 +291,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             prefetch_depth,
             preprocess,
             kernel,
+            adaptive,
         }),
         ["rank", path, list] => {
             let vertices = list.split(',').map(parse_vertex).collect::<Result<Vec<_>, _>>()?;
@@ -195,6 +307,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 prefetch_depth,
                 preprocess,
                 kernel,
+                adaptive,
             })
         }
         ["plan", path, vertex, eps, delta] => Ok(Command::Plan {
@@ -204,6 +317,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             delta: delta.parse().map_err(|_| format!("invalid delta `{delta}`"))?,
             preprocess,
             kernel,
+        }),
+        ["resume", path, ckpt] => Ok(Command::Resume {
+            path: path.to_string(),
+            checkpoint_path: ckpt.to_string(),
+            threads,
+            prefetch_depth,
+            kernel,
+            checkpoint: adaptive.checkpoint,
         }),
         _ => Err(USAGE.to_string()),
     }
@@ -309,6 +430,45 @@ pub fn load_graph<R: BufRead>(reader: R) -> Result<(CsrGraph, Vec<Vertex>), Stri
     Ok((lcc, map))
 }
 
+/// A checkpoint-writing sink for the engine's segment boundaries. Writes
+/// are atomic (temp file + rename), so a crash mid-write can never destroy
+/// the previous recovery point — the one property a checkpoint file must
+/// keep.
+fn checkpoint_sink(path: &str) -> impl FnMut(Vec<u8>) -> Result<(), mhbc_core::CoreError> + '_ {
+    move |bytes| {
+        let io_err = |what: &str, e: std::io::Error| mhbc_core::CoreError::Checkpoint {
+            reason: format!("cannot {what} checkpoint {path}: {e}"),
+        };
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, bytes).map_err(|e| io_err("write", e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err("replace", e))
+    }
+}
+
+/// The engine's "plan vs. actual" line: budget vs. stopping point, the
+/// observed-µ refit of the planner's Ineq 14 bound, and the diagnostics at
+/// stop.
+fn plan_vs_actual_line(report: &AdaptiveReport) -> String {
+    let stopped = match report.reason {
+        StopReason::TargetReached => "target reached",
+        StopReason::BudgetExhausted => "budget exhausted",
+    };
+    let mut line = format!(
+        "plan vs actual: budget {} | stopped at {} ({stopped}) | se {:.6} | ESS {:.0} | \
+         tau {:.1} | geweke z {:.2}",
+        report.budget, report.iterations, report.stderr, report.ess, report.tau, report.geweke_z
+    );
+    if let StoppingRule::TargetStderr { epsilon, delta } = report.stopping {
+        if let Some(refit) = refit_plan(epsilon, delta, report) {
+            line.push_str(&format!(
+                " | refit mu {:.3} -> Ineq 14 budget {}",
+                refit.mu, refit.iterations
+            ));
+        }
+    }
+    line
+}
+
 /// Executes a command against an already-loaded graph; returns printable
 /// output lines. `map` translates internal ids back to input ids.
 pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String>, String> {
@@ -319,6 +479,9 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             .map(|i| i as Vertex)
             .ok_or_else(|| format!("vertex {input} is not in the largest component"))
     };
+    // And back: internal id to input id (resume reads internal ids from the
+    // checkpoint).
+    let external = |r: Vertex| -> Vertex { map[r as usize] };
     match cmd {
         Command::Estimate {
             vertex,
@@ -329,6 +492,7 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             prefetch_depth,
             preprocess,
             kernel,
+            adaptive,
             ..
         } => {
             let r = internal(*vertex)?;
@@ -350,11 +514,14 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             }
             let view = SpdView::from_option(g, prep.sampling()).with_kernel(*kernel);
             let prefetch = PrefetchConfig::with_threads(*threads).with_depth(*prefetch_depth);
-            let est = pipeline::run_single_view(
+            let mut sink = adaptive.checkpoint.as_deref().map(checkpoint_sink);
+            let (est, report) = pipeline::run_single_view_adaptive(
                 view,
                 r,
                 &SingleSpaceConfig::new(*iterations, *seed),
+                adaptive.engine(),
                 &prefetch,
+                sink.as_mut().map(|s| s as &mut pipeline::CheckpointSink<'_>),
             )
             .map_err(|e| e.to_string())?;
             out.push(format!(
@@ -369,6 +536,14 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
                 (*threads).max(1),
                 kernel.as_str()
             ));
+            if adaptive.target_se.is_some() {
+                out.push(plan_vs_actual_line(&report));
+            }
+            if let Some(path) = &adaptive.checkpoint {
+                out.push(format!(
+                    "checkpoint: {path} (resume with `mhbc resume <edge-list> {path}`)"
+                ));
+            }
             if *exact {
                 let truth = mhbc_spd::exact_betweenness_of(g, r);
                 out.push(format!("exact (Brandes): {truth:.6}"));
@@ -383,6 +558,7 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             prefetch_depth,
             preprocess,
             kernel,
+            adaptive,
             ..
         } => {
             let probes = vertices.iter().map(|&v| internal(v)).collect::<Result<Vec<_>, _>>()?;
@@ -402,17 +578,79 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
             }
             let view = SpdView::from_option(g, prep.sampling()).with_kernel(*kernel);
             let prefetch = PrefetchConfig::with_threads(*threads).with_depth(*prefetch_depth);
-            let est = pipeline::run_joint_view(
-                view,
-                &probes,
-                &JointSpaceConfig::new(*iterations, *seed),
-                &prefetch,
-            )
-            .map_err(|e| e.to_string())?;
+            let mut out: Vec<String> = prep.note.clone().into_iter().collect();
+
+            if let Some(epsilon) = adaptive.target_se {
+                if adaptive.checkpoint.is_some() {
+                    return Err("adaptive rank (--target-se) does not support --checkpoint; \
+                                checkpoint individual probes via `estimate`, or drop --target-se"
+                        .into());
+                }
+                // Adaptive rank: per-probe single-space engines sharing one
+                // budget, reallocated toward the widest intervals.
+                let budget = iterations.saturating_mul(probes.len() as u64);
+                let cfg = ScheduleConfig {
+                    budget,
+                    segment: adaptive.segment,
+                    target: StoppingRule::TargetStderr { epsilon, delta: adaptive.target_delta },
+                    seed: *seed,
+                };
+                let sched = run_probe_schedule(view, &probes, cfg).map_err(|e| e.to_string())?;
+                out.push(format!(
+                    "adaptive ranking by estimated BC (target se {epsilon}, budget {budget}, \
+                     spent {}, {} scheduling rounds):",
+                    sched.spent, sched.rounds
+                ));
+                let mut ranked: Vec<(Vertex, &mhbc_core::schedule::ProbeOutcome)> =
+                    vertices.iter().zip(&sched.probes).map(|(&v, o)| (v, o)).collect();
+                ranked.sort_by(|a, b| {
+                    b.1.estimate
+                        .bc_corrected
+                        .partial_cmp(&a.1.estimate.bc_corrected)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for (v, o) in ranked {
+                    out.push(format!(
+                        "  {v:>8}  BC ~ {:.6} +- {:.6}  ({} iters{})",
+                        o.estimate.bc_corrected,
+                        o.ci_halfwidth,
+                        o.allocated,
+                        if o.reached { "" } else { ", budget cut" }
+                    ));
+                }
+                return Ok(out);
+            }
+
+            if adaptive.checkpoint.is_some() && prefetch.is_parallel() {
+                return Err("checkpointing a rank run requires --threads 1 (the joint engine \
+                     checkpoints sequentially; estimate checkpoints at any thread count)"
+                    .into());
+            }
+            let est = if let Some(path) = &adaptive.checkpoint {
+                let sampler = JointSpaceSampler::for_view(
+                    view,
+                    &probes,
+                    JointSpaceConfig::new(*iterations, *seed),
+                )
+                .map_err(|e| e.to_string())?;
+                let mut sink = checkpoint_sink(path);
+                sampler
+                    .into_engine(adaptive.engine())
+                    .run_with(|e| sink(e.checkpoint()))
+                    .map_err(|e| e.to_string())?
+                    .0
+            } else {
+                pipeline::run_joint_view(
+                    view,
+                    &probes,
+                    &JointSpaceConfig::new(*iterations, *seed),
+                    &prefetch,
+                )
+                .map_err(|e| e.to_string())?
+            };
             let mut ranked: Vec<(Vertex, f64)> =
                 vertices.iter().enumerate().map(|(i, &v)| (v, est.ratio(i, 0))).collect();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let mut out: Vec<String> = prep.note.clone().into_iter().collect();
             out.push(format!(
                 "ranking by betweenness ratio vs vertex {} ({} iterations):",
                 vertices[0], est.iterations
@@ -469,6 +707,115 @@ pub fn execute(cmd: &Command, g: &CsrGraph, map: &[Vertex]) -> Result<Vec<String
                     plan.iterations,
                     red.stats().work_ratio()
                 ));
+            } else if prep.built.is_some() {
+                // `--preprocess auto` built a reduction but discarded it:
+                // the sampling runs on the unreduced graph, so the honest
+                // ratio is 1.0 — not the ratio the discarded reduction
+                // would have had.
+                out.push("assumed reduction ratio: 1.0 (discarded)".to_string());
+            }
+            Ok(out)
+        }
+        Command::Resume {
+            checkpoint_path, threads, prefetch_depth, kernel, checkpoint, ..
+        } => {
+            let bytes = std::fs::read(checkpoint_path)
+                .map_err(|e| format!("cannot read checkpoint {checkpoint_path}: {e}"))?;
+            let info = checkpoint::peek(&bytes).map_err(|e| e.to_string())?;
+            // Rebuild the evaluation view at the checkpoint's preprocess
+            // level (cached rows are keyed in its reduction's key space).
+            let red = match info.preprocess {
+                ReduceLevel::Off => None,
+                level => Some(reduce(g, level).map_err(|e| {
+                    format!("cannot rebuild `{}` reduction for resume: {e}", level.as_str())
+                })?),
+            };
+            let view = SpdView::from_option(g, red.as_ref()).with_kernel(*kernel);
+            let prefetch = PrefetchConfig::with_threads(*threads).with_depth(*prefetch_depth);
+            let mut out = vec![format!("graph: {g}")];
+            // A resumed run keeps checkpointing — by default over the file
+            // it came from, so a second interruption loses at most one
+            // segment (writes are atomic; `--checkpoint` redirects).
+            let sink_path = checkpoint.as_deref().unwrap_or(checkpoint_path);
+            let mut sink = Some(checkpoint_sink(sink_path));
+            match info.kind {
+                CheckpointKind::Single => {
+                    let (est, report) = pipeline::resume_single_view(
+                        view,
+                        &bytes,
+                        &prefetch,
+                        sink.as_mut().map(|s| s as &mut pipeline::CheckpointSink<'_>),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let vertex = external(est.r);
+                    out.push(format!(
+                        "resumed single-space run at iteration {} of budget {}",
+                        report.resumed_from, report.budget
+                    ));
+                    out.push(format!(
+                        "BC({vertex}) ~ {:.6} (Eq 7) | {:.6} (corrected, recommended)",
+                        est.bc, est.bc_corrected
+                    ));
+                    out.push(format!(
+                        "iterations {} | acceptance {:.3} | SPD passes {} | threads {} | kernel {}",
+                        est.iterations,
+                        est.acceptance_rate,
+                        est.spd_passes,
+                        (*threads).max(1),
+                        kernel.as_str()
+                    ));
+                    out.push(plan_vs_actual_line(&report));
+                }
+                CheckpointKind::Joint => {
+                    if prefetch.is_parallel() {
+                        return Err("joint checkpoints resume sequentially; drop --threads".into());
+                    }
+                    let engine =
+                        mhbc_core::resume_joint(view, &bytes).map_err(|e| e.to_string())?;
+                    out.push(format!(
+                        "resumed joint-space run at iteration {} of budget {}",
+                        engine.iterations(),
+                        engine.budget()
+                    ));
+                    let (est, _) = match sink.as_mut() {
+                        None => engine.run(),
+                        Some(f) => {
+                            engine.run_with(|e| f(e.checkpoint())).map_err(|e| e.to_string())?
+                        }
+                    };
+                    let inputs: Vec<Vertex> = est.probes.iter().map(|&p| external(p)).collect();
+                    let mut ranked: Vec<(Vertex, f64)> =
+                        inputs.iter().enumerate().map(|(i, &v)| (v, est.ratio(i, 0))).collect();
+                    ranked
+                        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                    out.push(format!(
+                        "ranking by betweenness ratio vs vertex {} ({} iterations):",
+                        inputs[0], est.iterations
+                    ));
+                    for (v, ratio) in ranked {
+                        out.push(format!("  {v:>8}  ratio {ratio:.4}"));
+                    }
+                }
+                CheckpointKind::Ensemble => {
+                    let engine = mhbc_core::ensemble::resume_ensemble(view, &bytes, prefetch)
+                        .map_err(|e| e.to_string())?;
+                    out.push(format!(
+                        "resumed ensemble run at iteration {} of per-chain budget {}",
+                        engine.iterations(),
+                        engine.budget()
+                    ));
+                    let (est, report) = match sink.as_mut() {
+                        None => engine.run(),
+                        Some(f) => {
+                            engine.run_with(|e| f(e.checkpoint())).map_err(|e| e.to_string())?
+                        }
+                    };
+                    out.push(format!(
+                        "BC ~ {:.6} (Eq 7, pooled) | {:.6} (corrected) | R-hat {:.4}",
+                        est.bc, est.bc_corrected, est.r_hat
+                    ));
+                    out.push(plan_vs_actual_line(&report));
+                }
             }
             Ok(out)
         }
@@ -499,6 +846,7 @@ mod tests {
                 prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
                 preprocess: PreprocessChoice::Level(ReduceLevel::Off),
                 kernel: KernelMode::Auto,
+                adaptive: AdaptiveArgs::default(),
             }
         );
     }
@@ -519,6 +867,7 @@ mod tests {
                 prefetch_depth: 64,
                 preprocess: PreprocessChoice::Level(ReduceLevel::Off),
                 kernel: KernelMode::Auto,
+                adaptive: AdaptiveArgs::default(),
             }
         );
         assert!(parse(&strs(&["estimate", "g.txt", "5", "--threads"])).is_err());
@@ -539,6 +888,7 @@ mod tests {
                 prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
                 preprocess: PreprocessChoice::Level(ReduceLevel::Off),
                 kernel: KernelMode::Auto,
+                adaptive: AdaptiveArgs::default(),
             }
         );
         let cmd =
@@ -592,6 +942,7 @@ mod tests {
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess: PreprocessChoice::Level(ReduceLevel::Off),
             kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs::default(),
         };
         let out = execute(&cmd, &lcc, &map).unwrap();
         assert!(out.iter().any(|l| l.contains("BC(5)")));
@@ -616,6 +967,7 @@ mod tests {
             prefetch_depth: 32,
             preprocess: PreprocessChoice::Level(ReduceLevel::Off),
             kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs::default(),
         };
         let seq = execute(&mk(1), &lcc, &map).unwrap();
         let par = execute(&mk(3), &lcc, &map).unwrap();
@@ -642,6 +994,7 @@ mod tests {
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess: PreprocessChoice::Level(ReduceLevel::Full),
             kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs::default(),
         };
         let out = execute(&cmd, &lcc, &map).unwrap();
         // The middle path vertex 7 carries more pairs than 6.
@@ -702,6 +1055,7 @@ mod tests {
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess: PreprocessChoice::Level(ReduceLevel::Off),
             kernel,
+            adaptive: AdaptiveArgs::default(),
         };
         let auto = execute(&mk(KernelMode::Auto), &lcc, &map).unwrap();
         for kernel in [KernelMode::TopDown, KernelMode::Hybrid] {
@@ -727,6 +1081,7 @@ mod tests {
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess: PreprocessChoice::Auto,
             kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs::default(),
         };
         let out = execute(&mk(0), &lcc, &map).unwrap();
         assert!(out.iter().any(|l| l.contains("preprocess auto: kept full")), "{out:?}");
@@ -760,6 +1115,7 @@ mod tests {
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess: PreprocessChoice::Auto,
             kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs::default(),
         };
         let out = execute(&cmd, &lcc, &map).unwrap();
         assert!(out.iter().any(|l| l.contains("discarded full for sampling")), "{out:?}");
@@ -782,6 +1138,7 @@ mod tests {
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess,
             kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs::default(),
         };
         // Retained probe: sampled estimate, with a preprocess summary line.
         let out = execute(&mk(0, PreprocessChoice::Level(ReduceLevel::Full)), &lcc, &map).unwrap();
@@ -808,6 +1165,7 @@ mod tests {
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess,
             kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs::default(),
         };
         let err = execute(&mk(PreprocessChoice::Level(ReduceLevel::Full)), &lcc, &map).unwrap_err();
         assert!(err.contains("--preprocess full"), "{err}");
@@ -828,6 +1186,7 @@ mod tests {
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess: PreprocessChoice::Level(ReduceLevel::Prune),
             kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs::default(),
         };
         let err = execute(&cmd, &lcc, &map).unwrap_err();
         assert!(err.contains("vertex 8"), "{err}");
@@ -859,6 +1218,257 @@ mod tests {
     }
 
     #[test]
+    fn parses_adaptive_and_checkpoint_flags() {
+        let cmd = parse(&strs(&[
+            "estimate",
+            "g.txt",
+            "5",
+            "--target-se",
+            "0.01",
+            "--target-delta",
+            "0.1",
+            "--segment",
+            "512",
+            "--checkpoint",
+            "run.ckpt",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Estimate { adaptive, .. } => {
+                assert_eq!(adaptive.target_se, Some(0.01));
+                assert_eq!(adaptive.target_delta, 0.1);
+                assert_eq!(adaptive.segment, 512);
+                assert_eq!(adaptive.checkpoint.as_deref(), Some("run.ckpt"));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&strs(&["estimate", "g.txt", "1", "--target-se", "0"])).is_err());
+        assert!(parse(&strs(&["estimate", "g.txt", "1", "--target-delta", "1.5"])).is_err());
+        assert!(parse(&strs(&["estimate", "g.txt", "1", "--segment", "0"])).is_err());
+        assert!(parse(&strs(&["estimate", "g.txt", "1", "--checkpoint"])).is_err());
+        assert!(parse(&strs(&["estimate", "g.txt", "1", "--checkpoint", "--exact"])).is_err());
+    }
+
+    #[test]
+    fn parses_resume_subcommand() {
+        let cmd =
+            parse(&strs(&["resume", "g.txt", "run.ckpt", "--threads", "4", "--kernel", "hybrid"]))
+                .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Resume {
+                path: "g.txt".into(),
+                checkpoint_path: "run.ckpt".into(),
+                threads: 4,
+                prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+                kernel: KernelMode::Hybrid,
+                checkpoint: None,
+            }
+        );
+        assert!(parse(&strs(&["resume", "g.txt"])).is_err());
+    }
+
+    fn lollipop_fixture() -> (CsrGraph, Vec<Vertex>) {
+        let g = mhbc_graph::generators::lollipop(8, 4);
+        load_graph(Cursor::new(edge_list_text(&g))).unwrap()
+    }
+
+    #[test]
+    fn adaptive_estimate_reports_plan_vs_actual() {
+        let (lcc, map) = lollipop_fixture();
+        let cmd = Command::Estimate {
+            path: String::new(),
+            vertex: 9,
+            iterations: 100_000,
+            seed: 5,
+            exact: false,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+            kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs {
+                target_se: Some(0.05),
+                target_delta: 0.05,
+                segment: 512,
+                checkpoint: None,
+            },
+        };
+        let out = execute(&cmd, &lcc, &map).unwrap();
+        let line = out
+            .iter()
+            .find(|l| l.starts_with("plan vs actual:"))
+            .expect("plan-vs-actual line present");
+        assert!(line.contains("budget 100000"), "{line}");
+        assert!(line.contains("target reached"), "{line}");
+        assert!(line.contains("refit mu"), "{line}");
+        // Stopped well before the budget.
+        let iters_line = out.iter().find(|l| l.starts_with("iterations ")).unwrap();
+        assert!(!iters_line.contains("iterations 100000"), "{iters_line}");
+    }
+
+    #[test]
+    fn adaptive_rank_schedules_budget_toward_uncertain_probes() {
+        let (lcc, map) = lollipop_fixture();
+        // Probe 11 has zero BC (converges instantly); probe 9 is genuinely
+        // uncertain under a tight target.
+        let cmd = Command::Rank {
+            path: String::new(),
+            vertices: vec![9, 11],
+            iterations: 2_000,
+            seed: 7,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+            kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs {
+                target_se: Some(1e-7),
+                target_delta: 0.05,
+                segment: 128,
+                checkpoint: None,
+            },
+        };
+        let out = execute(&cmd, &lcc, &map).unwrap();
+        assert!(out.iter().any(|l| l.contains("adaptive ranking")), "{out:?}");
+        let line9 = out.iter().find(|l| l.trim_start().starts_with("9 ")).unwrap();
+        let line11 = out.iter().find(|l| l.trim_start().starts_with("11 ")).unwrap();
+        assert!(line11.contains("(128 iters"), "zero-BC probe gets one segment: {line11}");
+        assert!(line9.contains("budget cut"), "hard probe exhausts the budget: {line9}");
+        // Ranking order: 9 above 11.
+        let pos9 = out.iter().position(|l| l.trim_start().starts_with("9 ")).unwrap();
+        let pos11 = out.iter().position(|l| l.trim_start().starts_with("11 ")).unwrap();
+        assert!(pos9 < pos11);
+
+        // Adaptive rank refuses --checkpoint loudly instead of silently
+        // dropping it.
+        let mut with_ckpt = cmd.clone();
+        if let Command::Rank { adaptive, .. } = &mut with_ckpt {
+            adaptive.checkpoint = Some("nope.ckpt".into());
+        }
+        let err = execute(&with_ckpt, &lcc, &map).unwrap_err();
+        assert!(err.contains("does not support --checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn checkpointed_estimate_resumes_to_identical_output() {
+        let (lcc, map) = lollipop_fixture();
+        let dir = std::env::temp_dir().join("mhbc_cli_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("single.ckpt");
+        let ckpt_str = ckpt.to_str().unwrap().to_string();
+
+        // The uninterrupted reference.
+        let mk = |adaptive| Command::Estimate {
+            path: String::new(),
+            vertex: 9,
+            iterations: 3_000,
+            seed: 21,
+            exact: false,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+            kernel: KernelMode::Auto,
+            adaptive,
+        };
+        let full = execute(&mk(AdaptiveArgs::default()), &lcc, &map).unwrap();
+        let bc_line = full.iter().find(|l| l.starts_with("BC(9)")).unwrap().clone();
+
+        // A checkpointed run leaves its last segment boundary on disk…
+        let _ = execute(
+            &mk(AdaptiveArgs {
+                checkpoint: Some(ckpt_str.clone()),
+                segment: 500,
+                ..AdaptiveArgs::default()
+            }),
+            &lcc,
+            &map,
+        )
+        .unwrap();
+        assert!(ckpt.exists());
+
+        // …which `resume` finishes to the identical estimate (here the
+        // last boundary was iteration 2500 of 3000), even under a
+        // different kernel mode and thread count.
+        for threads in [1usize, 3] {
+            let resume = Command::Resume {
+                path: String::new(),
+                checkpoint_path: ckpt_str.clone(),
+                threads,
+                prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+                kernel: KernelMode::Hybrid,
+                checkpoint: None,
+            };
+            let out = execute(&resume, &lcc, &map).unwrap();
+            assert!(
+                out.iter().any(|l| l.contains("resumed single-space run at iteration 2500")),
+                "{out:?}"
+            );
+            assert!(out.contains(&bc_line), "resume output {out:?} lacks `{bc_line}`");
+        }
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_graph() {
+        let (lcc, map) = lollipop_fixture();
+        let dir = std::env::temp_dir().join("mhbc_cli_ckpt_mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("single.ckpt");
+        let cmd = Command::Estimate {
+            path: String::new(),
+            vertex: 9,
+            iterations: 2_000,
+            seed: 1,
+            exact: false,
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            preprocess: PreprocessChoice::Level(ReduceLevel::Off),
+            kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs {
+                checkpoint: Some(ckpt.to_str().unwrap().into()),
+                segment: 500,
+                ..AdaptiveArgs::default()
+            },
+        };
+        let _ = execute(&cmd, &lcc, &map).unwrap();
+        let other = mhbc_graph::generators::barbell(6, 2);
+        let (olcc, omap) = load_graph(Cursor::new(edge_list_text(&other))).unwrap();
+        let resume = Command::Resume {
+            path: String::new(),
+            checkpoint_path: ckpt.to_str().unwrap().into(),
+            threads: 1,
+            prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
+            kernel: KernelMode::Auto,
+            checkpoint: None,
+        };
+        let err = execute(&resume, &olcc, &omap).unwrap_err();
+        assert!(err.contains("graph mismatch"), "{err}");
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn plan_reports_discarded_auto_reduction_as_unit_ratio() {
+        // A cycle is irreducible: auto builds the reduction and discards
+        // it, and the plan must report the honest 1.0 ratio rather than
+        // the assumed one.
+        let g = mhbc_graph::generators::cycle(12);
+        let (lcc, map) = load_graph(Cursor::new(edge_list_text(&g))).unwrap();
+        let cmd = Command::Plan {
+            path: String::new(),
+            vertex: 0,
+            epsilon: 0.05,
+            delta: 0.1,
+            preprocess: PreprocessChoice::Auto,
+            kernel: KernelMode::Auto,
+        };
+        let out = execute(&cmd, &lcc, &map).unwrap();
+        assert!(
+            out.iter().any(|l| l.contains("assumed reduction ratio: 1.0 (discarded)")),
+            "{out:?}"
+        );
+        assert!(!out.iter().any(|l| l.contains("less work than an unreduced pass")), "{out:?}");
+    }
+
+    #[test]
     fn missing_vertex_reported() {
         let (g, map) = load_graph(Cursor::new("0 1\n1 2\n")).unwrap();
         let cmd = Command::Estimate {
@@ -871,6 +1481,7 @@ mod tests {
             prefetch_depth: PrefetchConfig::DEFAULT_DEPTH,
             preprocess: PreprocessChoice::Level(ReduceLevel::Off),
             kernel: KernelMode::Auto,
+            adaptive: AdaptiveArgs::default(),
         };
         assert!(execute(&cmd, &g, &map).unwrap_err().contains("99"));
     }

@@ -328,3 +328,219 @@ fn sampler_pipeline_bit_identical_across_kernel_modes_and_threads() {
         }
     }
 }
+
+/// PR 5 (adaptive engine): a checkpoint written at any segment boundary,
+/// deserialized and continued, reproduces the uninterrupted run **bit for
+/// bit** — across single/joint/ensemble, `--threads 1/2/8`, and `--kernel
+/// auto/topdown` on both sides of the checkpoint. Property-based over
+/// graph family, seed, and cut point.
+mod checkpoint_roundtrip {
+    use super::single_fingerprint;
+    use mhbc_core::ensemble::{resume_ensemble, run_ensemble_view_adaptive};
+    use mhbc_core::{
+        pipeline, EngineConfig, EnsembleConfig, JointSpaceConfig, JointSpaceSampler,
+        PrefetchConfig, SingleSpaceConfig, SingleSpaceSampler,
+    };
+    use mhbc_graph::generators;
+    use mhbc_spd::{KernelMode, SpdView};
+    use proptest::prelude::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    const THREADS: [usize; 3] = [1, 2, 8];
+    const KERNELS: [KernelMode; 2] = [KernelMode::Auto, KernelMode::TopDown];
+
+    fn graph_for(pick: u8) -> mhbc_graph::CsrGraph {
+        match pick % 3 {
+            0 => generators::lollipop(8, 4),
+            1 => generators::barbell(6, 2),
+            _ => {
+                let mut rng = SmallRng::seed_from_u64(99);
+                generators::barabasi_albert(80, 3, &mut rng)
+            }
+        }
+    }
+
+    fn hub(g: &mhbc_graph::CsrGraph) -> u32 {
+        (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).expect("non-empty")
+    }
+
+    /// Captures the `cut`-th checkpoint a segmented run writes.
+    fn nth_checkpoint<'a>(
+        sink_calls: &'a mut u64,
+        cut: u64,
+        saved: &'a mut Option<Vec<u8>>,
+    ) -> impl FnMut(Vec<u8>) -> Result<(), mhbc_core::CoreError> + 'a {
+        move |bytes| {
+            *sink_calls += 1;
+            if *sink_calls == cut {
+                *saved = Some(bytes);
+            }
+            Ok(())
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn single_resume_equals_uninterrupted(
+            pick in 0u8..3,
+            seed in 0u64..1_000,
+            cut in 1u64..7,
+            write_threads_i in 0usize..3,
+            resume_threads_i in 0usize..3,
+            write_kernel_i in 0usize..2,
+            resume_kernel_i in 0usize..2,
+        ) {
+            let g = graph_for(pick);
+            let r = hub(&g);
+            let write_view = SpdView::direct(&g).with_kernel(KERNELS[write_kernel_i]);
+            let resume_view = SpdView::direct(&g).with_kernel(KERNELS[resume_kernel_i]);
+            let config = SingleSpaceConfig::new(1_200, seed).with_trace();
+            let uninterrupted =
+                SingleSpaceSampler::for_view(write_view, r, config.clone()).unwrap().run();
+
+            // Serialize at the cut-th of 7 boundaries (segment 150)…
+            let mut calls = 0;
+            let mut saved = None;
+            let mut sink = nth_checkpoint(&mut calls, cut, &mut saved);
+            let _ = pipeline::run_single_view_adaptive(
+                write_view,
+                r,
+                &config,
+                EngineConfig::fixed().with_segment(150),
+                &PrefetchConfig::with_threads(THREADS[write_threads_i]),
+                Some(&mut sink),
+            )
+            .unwrap();
+            drop(sink);
+            let bytes = saved.expect("cut below the boundary count");
+
+            // …deserialize and run to completion under independently chosen
+            // thread count and kernel mode.
+            let (resumed, report) = pipeline::resume_single_view(
+                resume_view,
+                &bytes,
+                &PrefetchConfig::with_threads(THREADS[resume_threads_i]),
+                None,
+            )
+            .unwrap();
+            prop_assert_eq!(report.resumed_from, cut * 150);
+            prop_assert_eq!(single_fingerprint(&uninterrupted), single_fingerprint(&resumed));
+            prop_assert_eq!(uninterrupted.trace, resumed.trace);
+            prop_assert_eq!(uninterrupted.density_series, resumed.density_series);
+        }
+
+        #[test]
+        fn joint_resume_equals_uninterrupted(
+            pick in 0u8..3,
+            seed in 0u64..1_000,
+            cut in 1u64..5,
+            threads_i in 0usize..3,
+            write_kernel_i in 0usize..2,
+            resume_kernel_i in 0usize..2,
+        ) {
+            let g = graph_for(pick);
+            let r = hub(&g);
+            let n = g.num_vertices() as u32;
+            let probes = [r, (r + 1) % n, (r + 5) % n];
+            let write_view = SpdView::direct(&g).with_kernel(KERNELS[write_kernel_i]);
+            let resume_view = SpdView::direct(&g).with_kernel(KERNELS[resume_kernel_i]);
+            let config = JointSpaceConfig::new(900, seed);
+            // The uninterrupted reference, through the threaded pipeline
+            // (itself pinned bit-identical to sequential above).
+            let uninterrupted = pipeline::run_joint_view(
+                write_view,
+                &probes,
+                &config,
+                &PrefetchConfig::with_threads(THREADS[threads_i]),
+            )
+            .unwrap();
+
+            let mut calls = 0;
+            let mut saved = None;
+            let mut sink = nth_checkpoint(&mut calls, cut, &mut saved);
+            let _ = JointSpaceSampler::for_view(write_view, &probes, config)
+                .unwrap()
+                .into_engine(EngineConfig::fixed().with_segment(150))
+                .run_with(|e| sink(e.checkpoint()))
+                .unwrap();
+            drop(sink);
+            let bytes = saved.expect("cut below the boundary count");
+
+            let (resumed, _) =
+                mhbc_core::resume_joint(resume_view, &bytes).unwrap().run();
+            prop_assert_eq!(&uninterrupted.counts, &resumed.counts);
+            prop_assert_eq!(uninterrupted.spd_passes, resumed.spd_passes);
+            prop_assert_eq!(
+                uninterrupted.acceptance_rate.to_bits(),
+                resumed.acceptance_rate.to_bits()
+            );
+            for i in 0..probes.len() {
+                for j in 0..probes.len() {
+                    prop_assert_eq!(
+                        uninterrupted.relative[i][j].to_bits(),
+                        resumed.relative[i][j].to_bits(),
+                        "({}, {})", i, j
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn ensemble_resume_equals_uninterrupted(
+            pick in 0u8..3,
+            seed in 0u64..1_000,
+            cut in 1u64..5,
+            write_threads_i in 0usize..3,
+            resume_threads_i in 0usize..3,
+            write_kernel_i in 0usize..2,
+            resume_kernel_i in 0usize..2,
+        ) {
+            let g = graph_for(pick);
+            let r = hub(&g);
+            let write_view = SpdView::direct(&g).with_kernel(KERNELS[write_kernel_i]);
+            let resume_view = SpdView::direct(&g).with_kernel(KERNELS[resume_kernel_i]);
+            let config = EnsembleConfig::new(3, 800, seed)
+                .with_prefetch(PrefetchConfig::with_threads(THREADS[write_threads_i]));
+            let uninterrupted =
+                mhbc_core::run_ensemble_view(write_view, r, &config).unwrap();
+
+            let mut calls = 0;
+            let mut saved = None;
+            let mut sink = nth_checkpoint(&mut calls, cut, &mut saved);
+            let _ = run_ensemble_view_adaptive(
+                write_view,
+                r,
+                &config,
+                EngineConfig::fixed().with_segment(150),
+                Some(&mut sink),
+            )
+            .unwrap();
+            drop(sink);
+            let bytes = saved.expect("cut below the boundary count");
+
+            let (resumed, _) = resume_ensemble(
+                resume_view,
+                &bytes,
+                PrefetchConfig::with_threads(THREADS[resume_threads_i]),
+            )
+            .unwrap()
+            .run();
+            prop_assert_eq!(uninterrupted.bc.to_bits(), resumed.bc.to_bits());
+            prop_assert_eq!(
+                uninterrupted.bc_corrected.to_bits(),
+                resumed.bc_corrected.to_bits()
+            );
+            prop_assert_eq!(uninterrupted.r_hat.to_bits(), resumed.r_hat.to_bits());
+            prop_assert_eq!(uninterrupted.spd_passes, resumed.spd_passes);
+            prop_assert_eq!(
+                uninterrupted.acceptance_rate.to_bits(),
+                resumed.acceptance_rate.to_bits()
+            );
+            for (a, b) in uninterrupted.per_chain.iter().zip(&resumed.per_chain) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
